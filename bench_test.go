@@ -1,0 +1,188 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section (one benchmark per artifact, built on
+// internal/experiments), the ablations from DESIGN.md, and component
+// micro-benchmarks for the substrate layers. Run with:
+//
+//	go test -bench=. -benchmem
+package perfknow_test
+
+import (
+	"fmt"
+	"testing"
+
+	"perfknow"
+	"perfknow/internal/experiments"
+)
+
+// regen runs one experiment per benchmark iteration and fails the benchmark
+// if any shape check regresses.
+func regen(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Checks {
+			if !c.OK() {
+				b.Fatalf("%s: check %q out of band: measured %g not in [%g, %g] (paper %g)",
+					id, c.Name, c.Measured, c.Lo, c.Hi, c.Paper)
+			}
+		}
+	}
+}
+
+// --- one benchmark per paper artifact ---------------------------------
+
+func BenchmarkFig1SampleScript(b *testing.B)     { regen(b, "F1") }
+func BenchmarkFig2SampleRule(b *testing.B)       { regen(b, "F2") }
+func BenchmarkFig3Pipeline(b *testing.B)         { regen(b, "F3") }
+func BenchmarkFig4aMSAImbalance(b *testing.B)    { regen(b, "F4a") }
+func BenchmarkFig4bMSAEfficiency(b *testing.B)   { regen(b, "F4b") }
+func BenchmarkFig5aPerEventSpeedup(b *testing.B) { regen(b, "F5a") }
+func BenchmarkFig5bScaling(b *testing.B)         { regen(b, "F5b") }
+func BenchmarkTable1PowerSweep(b *testing.B)     { regen(b, "T1") }
+func BenchmarkInefficiencyMetric(b *testing.B)   { regen(b, "M1") }
+func BenchmarkStallDecomposition(b *testing.B)   { regen(b, "M2") }
+func BenchmarkMemoryAnalysis(b *testing.B)       { regen(b, "M3") }
+
+// --- ablation benchmarks ------------------------------------------------
+
+func BenchmarkAblationGenIDLESTFixes(b *testing.B)      { regen(b, "A1") }
+func BenchmarkAblationSelectiveInstrument(b *testing.B) { regen(b, "A2") }
+func BenchmarkFeedbackDirectedLoop(b *testing.B)        { regen(b, "A3") }
+func BenchmarkHybridMPIOpenMP(b *testing.B)             { regen(b, "A4") }
+
+// --- component micro-benchmarks -----------------------------------------
+
+func BenchmarkSimOpenMPDynamicFor(b *testing.B) {
+	m := perfknow.NewMachine(perfknow.AltixConfig(8, 2))
+	for i := 0; i < b.N; i++ {
+		eng := perfknow.NewEngine(m, 16)
+		// One parallel loop with 1024 dynamically scheduled iterations.
+		prog, err := perfknow.ParseSource(`
+program bench
+proc main() {
+    parallel loop l 1024 schedule(dynamic,1) {
+        compute fp=500 int=200 loads=100 dep=0.3
+    }
+}
+`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ex, _, err := perfknow.Compile(prog, perfknow.O2, perfknow.InstrumentOptions{}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ex.Run(eng, "bench", "bench", "b"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRuleEngineJoin(b *testing.B) {
+	src := `
+rule "join"
+when
+    a : Imbalance ( e : eventName, ratio > 0.25 )
+    n : Nesting ( inner == e, o : outer )
+    c : Correlation ( innerEvent == e, value < -0.9 )
+then
+    recommend("scheduling", "fix " + e + " in " + o)
+end
+`
+	for i := 0; i < b.N; i++ {
+		eng := perfknow.NewRuleEngine()
+		if err := eng.LoadString(src); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 30; j++ {
+			name := fmt.Sprintf("loop_%d", j)
+			eng.Assert(perfknow.NewFact("Imbalance", map[string]any{"eventName": name, "ratio": 0.3}))
+			eng.Assert(perfknow.NewFact("Nesting", map[string]any{"inner": name, "outer": "main"}))
+			eng.Assert(perfknow.NewFact("Correlation", map[string]any{"innerEvent": name, "value": -0.95}))
+		}
+		res, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Fired) != 30 {
+			b.Fatalf("fired %d", len(res.Fired))
+		}
+	}
+}
+
+func BenchmarkScriptInterpreter(b *testing.B) {
+	s := perfknow.NewSession(nil)
+	src := `
+total = 0
+for i in range(1000) {
+    if i % 3 == 0 { total = total + i }
+}
+`
+	for i := 0; i < b.N; i++ {
+		if err := s.RunScript(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSmithWaterman(b *testing.B) {
+	seqs := perfknow.GenerateSequences(2, 400, 0, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		score, cells := perfknow.SmithWaterman(seqs[0], seqs[1], perfknow.DefaultMSAScore())
+		if score < 0 || cells != 160000 {
+			b.Fatal("unexpected result")
+		}
+	}
+}
+
+func BenchmarkKMeansThreadClustering(b *testing.B) {
+	tr := perfknow.NewTrial("a", "e", "t", 64)
+	tr.AddMetric(perfknow.TimeMetric)
+	for j := 0; j < 20; j++ {
+		e := tr.EnsureEvent(fmt.Sprintf("ev%d", j))
+		for th := 0; th < 64; th++ {
+			v := float64((th%4)*100 + j)
+			e.SetValue(perfknow.TimeMetric, th, v, v)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		cl, err := perfknow.KMeansThreadClusters(tr, perfknow.TimeMetric, 4, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cl.K != 4 {
+			b.Fatal("bad clustering")
+		}
+	}
+}
+
+func BenchmarkTAURoundTrip(b *testing.B) {
+	tr := perfknow.NewTrial("app", "exp", "t", 16)
+	tr.AddMetric(perfknow.TimeMetric)
+	tr.AddMetric("CPU_CYCLES")
+	for j := 0; j < 50; j++ {
+		e := tr.EnsureEvent(fmt.Sprintf("event_%d", j))
+		for th := 0; th < 16; th++ {
+			e.SetValue(perfknow.TimeMetric, th, float64(j*th+1), float64(j*th))
+			e.SetValue("CPU_CYCLES", th, float64(j*th*1500+1), float64(j*th*1500))
+		}
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := perfknow.WriteTAU(dir, tr); err != nil {
+			b.Fatal(err)
+		}
+		got, err := perfknow.ParseTAU(dir, "app", "exp", "t")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Threads != 16 {
+			b.Fatal("round trip lost threads")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command perfexplorer runs PerfExplorer analysis scripts and inference
+// rules against a profile repository — the scripted, automated analysis
+// path of Fig. 3.
+//
+// Usage:
+//
+//	perfexplorer -repo DIR -script FILE [-rules DIR] [arg ...]
+//	perfexplorer -repo DIR -list
+//	perfexplorer -write-assets DIR
+//
+// Script arguments (usually application, experiment and trial names) are
+// visible to the script as the `args` list. The bundled analysis scripts
+// live under assets/scripts and the rule files under assets/rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"perfknow/internal/core"
+	"perfknow/internal/diagnosis"
+	"perfknow/internal/perfdmf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable arguments and streams, for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("perfexplorer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		repoDir     = fs.String("repo", "perfdata", "profile repository directory")
+		scriptPath  = fs.String("script", "", "analysis script (.pes) to run")
+		rulesDir    = fs.String("rules", "assets/rules", "directory holding .prl rule files")
+		list        = fs.Bool("list", false, "list repository contents and exit")
+		writeAssets = fs.String("write-assets", "", "write the bundled rules and scripts under this directory and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *writeAssets != "" {
+		if err := diagnosis.WriteAssets(*writeAssets); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "wrote knowledge base under %s/rules and %s/scripts\n", *writeAssets, *writeAssets)
+		return 0
+	}
+
+	repo, err := perfdmf.OpenRepository(*repoDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	if *list {
+		for _, app := range repo.Applications() {
+			fmt.Fprintln(stdout, app)
+			for _, exp := range repo.Experiments(app) {
+				fmt.Fprintf(stdout, "  %s\n", exp)
+				for _, tr := range repo.Trials(app, exp) {
+					fmt.Fprintf(stdout, "    %s\n", tr)
+				}
+			}
+		}
+		return 0
+	}
+
+	if *scriptPath == "" {
+		fmt.Fprintln(stderr, "perfexplorer: -script is required (or -list / -write-assets)")
+		fs.Usage()
+		return 2
+	}
+
+	s := core.NewSession(repo)
+	s.SetOutput(stdout)
+	diagnosis.Install(s, *rulesDir)
+	diagnosis.SetArgs(s, fs.Args())
+	if err := s.RunScriptFile(*scriptPath); err != nil {
+		return fail(stderr, err)
+	}
+	if res := s.LastResult(); res != nil && len(res.Recommendations) > 0 {
+		fmt.Fprintf(stdout, "\n%d recommendation(s) produced.\n", len(res.Recommendations))
+	}
+	return 0
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "perfexplorer:", err)
+	return 1
+}

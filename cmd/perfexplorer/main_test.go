@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfknow/internal/perfdmf"
+)
+
+// seedRepo writes a repository with one trial exercising the stall metrics.
+func seedRepo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	repo, err := perfdmf.OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := perfdmf.NewTrial("app", "exp", "t1", 2)
+	tr.AddMetric(perfdmf.TimeMetric)
+	tr.AddMetric("BACK_END_BUBBLE_ALL")
+	tr.AddMetric("CPU_CYCLES")
+	main := tr.EnsureEvent("main")
+	hot := tr.EnsureEvent("hot")
+	for th := 0; th < 2; th++ {
+		main.SetValue(perfdmf.TimeMetric, th, 1000, 100)
+		main.SetValue("BACK_END_BUBBLE_ALL", th, 100, 10)
+		main.SetValue("CPU_CYCLES", th, 1500000, 150000)
+		hot.SetValue(perfdmf.TimeMetric, th, 800, 800)
+		hot.SetValue("BACK_END_BUBBLE_ALL", th, 700, 700)
+		hot.SetValue("CPU_CYCLES", th, 1000, 1000)
+	}
+	if err := repo.Save(tr); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestWriteAssetsFlag(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-assets", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit: %s", errb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "rules", "OpenUHRules.prl")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "scripts", "stalls_per_cycle.pes")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	repo := seedRepo(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-repo", repo, "-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit: %s", errb.String())
+	}
+	for _, want := range []string{"app", "exp", "t1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("listing missing %q: %s", want, out.String())
+		}
+	}
+}
+
+func TestRunScriptEndToEnd(t *testing.T) {
+	repo := seedRepo(t)
+	assets := t.TempDir()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-assets", assets}, &out, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	out.Reset()
+	code := run([]string{
+		"-repo", repo,
+		"-rules", filepath.Join(assets, "rules"),
+		"-script", filepath.Join(assets, "scripts", "stalls_per_cycle.pes"),
+		"app", "exp", "t1",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "hot") {
+		t.Fatalf("diagnosis missing: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "recommendation") {
+		t.Fatalf("recommendations missing: %s", out.String())
+	}
+}
+
+func TestScriptRequired(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-repo", t.TempDir()}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestMissingScript(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-repo", t.TempDir(), "-script", "/does/not/exist.pes"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,82 @@
+package perfknow_test
+
+import (
+	"fmt"
+	"sort"
+
+	"perfknow"
+)
+
+// The Fig. 2 rule firing on working-memory facts, fully programmatically.
+func ExampleNewRuleEngine() {
+	eng := perfknow.NewRuleEngine()
+	_ = eng.LoadString(`
+rule "Stalls per Cycle"
+when
+    f : MeanEventFact ( higherLower == HIGHER, s : severity > 0.10,
+                        e : eventName, factType == "Compared to Main" )
+then
+    println("Event " + e + " has a higher than average stall / cycle rate")
+end
+`)
+	eng.Assert(perfknow.NewFact("MeanEventFact", map[string]any{
+		"higherLower": "HIGHER", "severity": 0.31,
+		"eventName": "bicgstab", "factType": "Compared to Main",
+	}))
+	eng.Assert(perfknow.NewFact("MeanEventFact", map[string]any{
+		"higherLower": "HIGHER", "severity": 0.02,
+		"eventName": "tiny", "factType": "Compared to Main",
+	}))
+	res, _ := eng.Run()
+	for _, line := range res.Output {
+		fmt.Println(line)
+	}
+	// Output:
+	// Event bicgstab has a higher than average stall / cycle rate
+}
+
+// Smith-Waterman local alignment: the real kernel behind the MSA case study.
+func ExampleSmithWaterman() {
+	score, cells := perfknow.SmithWaterman(
+		[]byte("ACDEFGHIK"), []byte("XXACDEFGZZ"), perfknow.DefaultMSAScore())
+	fmt.Println(score, cells)
+	// Output:
+	// 12 90
+}
+
+// Building a parameter grid for a study.
+func ExampleStudyGrid() {
+	grid := perfknow.StudyGrid(map[string][]string{
+		"schedule": {"static", "dynamic,1"},
+		"threads":  {"8", "16"},
+	})
+	var names []string
+	for _, p := range grid {
+		names = append(names, p.Name())
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	// Output:
+	// schedule=dynamic,1,threads=16
+	// schedule=dynamic,1,threads=8
+	// schedule=static,threads=16
+	// schedule=static,threads=8
+}
+
+// The OpenMP load-imbalance diagnosis end to end on the MSA workload.
+func ExampleNewSession() {
+	trial, _ := perfknow.RunMSA(perfknow.AltixConfig(8, 2), perfknow.MSAParams{
+		Sequences: 64, MeanLen: 120, LenJitter: 60, Seed: 42,
+		Threads: 16, Schedule: perfknow.MustSchedule("static"),
+	})
+	lbs := perfknow.LoadBalanceAnalysis(trial, perfknow.TimeMetric)
+	for _, lb := range lbs {
+		if lb.Event == "pairwise_inner" {
+			fmt.Printf("%s imbalanced: %v\n", lb.Event, lb.Ratio > 0.25)
+		}
+	}
+	// Output:
+	// pairwise_inner imbalanced: true
+}

@@ -1,0 +1,3 @@
+module perfknow
+
+go 1.22

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"perfknow/internal/perfdmf"
+)
+
+func algebraTrial(name string, scale float64, extraEvent bool) *perfdmf.Trial {
+	t := perfdmf.NewTrial("app", "exp", name, 2)
+	t.AddMetric("TIME")
+	t.AddMetric("CPU_CYCLES")
+	a := t.EnsureEvent("a")
+	b := t.EnsureEvent("b")
+	for th := 0; th < 2; th++ {
+		a.Calls[th] = 2
+		a.SetValue("TIME", th, 100*scale, 80*scale)
+		a.SetValue("CPU_CYCLES", th, 1000*scale, 800*scale)
+		b.Calls[th] = 1
+		b.SetValue("TIME", th, 50*scale, 50*scale)
+		b.SetValue("CPU_CYCLES", th, 500*scale, 500*scale)
+	}
+	if extraEvent {
+		c := t.EnsureEvent("only_here")
+		for th := 0; th < 2; th++ {
+			c.SetValue("TIME", th, 10, 10)
+		}
+	}
+	return t
+}
+
+func TestDiffTrials(t *testing.T) {
+	x := algebraTrial("x", 2, true)
+	y := algebraTrial("y", 1, false)
+	d, err := DiffTrials(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Event("a").Exclusive["TIME"][0]; got != 80 {
+		t.Fatalf("a diff = %g, want 80", got)
+	}
+	if got := d.Event("a").Calls[1]; got != 0 {
+		t.Fatalf("a calls diff = %g", got)
+	}
+	// Event only in x shows as its full value.
+	if got := d.Event("only_here").Inclusive["TIME"][0]; got != 10 {
+		t.Fatalf("only_here diff = %g", got)
+	}
+	if d.Metadata["algebra"] != "difference" {
+		t.Fatalf("metadata: %v", d.Metadata)
+	}
+	// Improvement is negative.
+	d2, err := DiffTrials(y, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Event("a").Exclusive["TIME"][0]; got != -80 {
+		t.Fatalf("reverse diff = %g, want -80", got)
+	}
+}
+
+func TestDiffTrialsErrors(t *testing.T) {
+	x := algebraTrial("x", 1, false)
+	y := perfdmf.NewTrial("app", "exp", "y", 4)
+	if _, err := DiffTrials(x, y); err == nil {
+		t.Fatal("mismatched threads accepted")
+	}
+	z := perfdmf.NewTrial("app", "exp", "z", 2)
+	z.AddMetric("OTHER")
+	z.EnsureEvent("a")
+	if _, err := DiffTrials(x, z); err == nil {
+		t.Fatal("no shared metrics accepted")
+	}
+}
+
+func TestMergeTrials(t *testing.T) {
+	x := algebraTrial("x", 1, false)
+	y := algebraTrial("y", 2, true)
+	m, err := MergeTrials([]*perfdmf.Trial{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// a exclusive TIME = 80 + 160 = 240.
+	if got := m.Event("a").Exclusive["TIME"][0]; got != 240 {
+		t.Fatalf("merged a = %g, want 240", got)
+	}
+	if got := m.Event("a").Calls[0]; got != 4 {
+		t.Fatalf("merged calls = %g, want 4", got)
+	}
+	if m.Event("only_here") == nil {
+		t.Fatal("union event missing")
+	}
+	if _, err := MergeTrials(nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	bad := perfdmf.NewTrial("a", "e", "bad", 7)
+	if _, err := MergeTrials([]*perfdmf.Trial{x, bad}); err == nil {
+		t.Fatal("mismatched merge accepted")
+	}
+}
+
+func TestRelativeChange(t *testing.T) {
+	base := algebraTrial("base", 1, false)
+	// Other: a doubles, b halves.
+	other := perfdmf.NewTrial("app", "exp", "other", 2)
+	other.AddMetric("TIME")
+	for th := 0; th < 2; th++ {
+		other.EnsureEvent("a").SetValue("TIME", th, 0, 160)
+		other.EnsureEvent("b").SetValue("TIME", th, 0, 25)
+	}
+	changes := RelativeChange(base, other, "TIME", 0.1)
+	if len(changes) != 2 {
+		t.Fatalf("changes: %+v", changes)
+	}
+	// a: (160-80)/80 = +1.0; b: (25-50)/50 = -0.5. Sorted by |fraction|.
+	if changes[0].Event != "a" || math.Abs(changes[0].Fraction-1.0) > 1e-12 {
+		t.Fatalf("changes[0] = %+v", changes[0])
+	}
+	if changes[1].Event != "b" || math.Abs(changes[1].Fraction+0.5) > 1e-12 {
+		t.Fatalf("changes[1] = %+v", changes[1])
+	}
+	// minBase filters everything.
+	if got := RelativeChange(base, other, "TIME", 1e9); len(got) != 0 {
+		t.Fatalf("minBase filter failed: %+v", got)
+	}
+}
+
+// Property: Diff(Merge([a,b]), b) == a on shared events and metrics.
+func TestAlgebraRoundTrip(t *testing.T) {
+	a := algebraTrial("a", 3, false)
+	b := algebraTrial("b", 1, false)
+	m, err := MergeTrials([]*perfdmf.Trial{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiffTrials(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		for th := 0; th < 2; th++ {
+			want := a.Event(name).Exclusive["TIME"][th]
+			got := d.Event(name).Exclusive["TIME"][th]
+			if math.Abs(want-got) > 1e-9 {
+				t.Fatalf("%s thread %d: %g != %g", name, th, got, want)
+			}
+		}
+	}
+}

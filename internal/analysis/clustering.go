@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"perfknow/internal/perfdmf"
+)
+
+// Clustering is the result of k-means over the threads of a trial: each
+// thread is a feature vector of per-event exclusive metric values, and the
+// clustering partitions threads with similar behaviour — PerfExplorer's
+// classic technique for spotting groups of threads doing different work
+// (e.g. master vs workers, or imbalanced schedules).
+type Clustering struct {
+	K          int
+	Events     []string    // feature order
+	Assignment []int       // thread → cluster
+	Centroids  [][]float64 // cluster → feature vector
+	Sizes      []int       // cluster → member count
+	Inertia    float64     // sum of squared distances to assigned centroids
+}
+
+// KMeans clusters the threads of a trial into k groups on their per-event
+// exclusive values of the metric. Initialization is deterministic
+// (farthest-point seeding from thread 0), so results are reproducible.
+func KMeans(t *perfdmf.Trial, metric string, k int, maxIter int) (*Clustering, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("analysis: k must be positive, got %d", k)
+	}
+	if k > t.Threads {
+		return nil, fmt.Errorf("analysis: k=%d exceeds thread count %d", k, t.Threads)
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	var events []string
+	for _, e := range t.Events {
+		if !e.IsCallpath() && len(e.Exclusive[metric]) == t.Threads {
+			events = append(events, e.Name)
+		}
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("analysis: trial %q has no events with metric %q", t.Name, metric)
+	}
+
+	// Build feature matrix: threads × events.
+	feats := make([][]float64, t.Threads)
+	for th := range feats {
+		row := make([]float64, len(events))
+		for j, name := range events {
+			row[j] = t.Event(name).Exclusive[metric][th]
+		}
+		feats[th] = row
+	}
+
+	// Farthest-point initialization.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), feats[0]...))
+	for len(centroids) < k {
+		bestIdx, bestDist := 0, -1.0
+		for i, f := range feats {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if dd := sqDist(f, c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestDist {
+				bestDist, bestIdx = d, i
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), feats[bestIdx]...))
+	}
+
+	assign := make([]int, t.Threads)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, f := range feats {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(f, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, len(events))
+		}
+		for i, f := range feats {
+			counts[assign[i]]++
+			for j, v := range f {
+				sums[assign[i]][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // keep the old centroid for empty clusters
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	cl := &Clustering{K: k, Events: events, Assignment: assign, Centroids: centroids, Sizes: make([]int, k)}
+	for i, f := range feats {
+		cl.Sizes[assign[i]]++
+		cl.Inertia += sqDist(f, centroids[assign[i]])
+	}
+	return cl, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

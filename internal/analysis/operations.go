@@ -1,0 +1,321 @@
+// Package analysis is the data-mining operation library of PerfExplorer:
+// derived metrics, descriptive statistics across threads, load-balance and
+// correlation analyses, top-N selection, scalability/efficiency series over
+// multi-trial parametric studies, k-means clustering of thread behaviour,
+// and simple regression. Operations take perfdmf Trials and return either
+// new Trials (so operations compose) or small result structs that scripts
+// and inference rules consume.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"perfknow/internal/perfdmf"
+)
+
+// Op is a binary derived-metric operator.
+type Op int
+
+const (
+	OpAdd Op = iota
+	OpSubtract
+	OpMultiply
+	OpDivide
+)
+
+// String renders the operator symbol used inside derived metric names.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpSubtract:
+		return "-"
+	case OpMultiply:
+		return "*"
+	case OpDivide:
+		return "/"
+	}
+	return "?"
+}
+
+// ParseOp parses "+", "-", "*", "/".
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "+":
+		return OpAdd, nil
+	case "-":
+		return OpSubtract, nil
+	case "*":
+		return OpMultiply, nil
+	case "/":
+		return OpDivide, nil
+	}
+	return 0, fmt.Errorf("analysis: unknown operator %q", s)
+}
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case OpAdd:
+		return a + b
+	case OpSubtract:
+		return a - b
+	case OpMultiply:
+		return a * b
+	case OpDivide:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return 0
+}
+
+// DeriveMetricName is the canonical name of a derived metric, matching the
+// "(LHS / RHS)" convention PerfExplorer scripts and rules use.
+func DeriveMetricName(lhs, rhs string, op Op) string {
+	return "(" + lhs + " " + op.String() + " " + rhs + ")"
+}
+
+// DeriveMetric adds a new metric computed element-wise from two existing
+// metrics to a copy of the trial, returning the copy and the new metric's
+// name. Division by zero yields zero rather than infinity, because profile
+// cells with no samples are legitimately zero.
+func DeriveMetric(t *perfdmf.Trial, lhs, rhs string, op Op) (*perfdmf.Trial, string, error) {
+	if !t.HasMetric(lhs) {
+		return nil, "", fmt.Errorf("analysis: trial %q has no metric %q", t.Name, lhs)
+	}
+	if !t.HasMetric(rhs) {
+		return nil, "", fmt.Errorf("analysis: trial %q has no metric %q", t.Name, rhs)
+	}
+	name := DeriveMetricName(lhs, rhs, op)
+	out := t.Clone()
+	out.AddMetric(name)
+	for _, e := range out.Events {
+		li, ri := e.Inclusive[lhs], e.Inclusive[rhs]
+		le, re := e.Exclusive[lhs], e.Exclusive[rhs]
+		for th := 0; th < out.Threads; th++ {
+			e.SetValue(name, th, op.apply(at(li, th), at(ri, th)), op.apply(at(le, th), at(re, th)))
+		}
+	}
+	return out, name, nil
+}
+
+// DeriveScaled adds metric*scale as a new metric named like "(M * 2.5)".
+func DeriveScaled(t *perfdmf.Trial, metric string, scale float64) (*perfdmf.Trial, string, error) {
+	if !t.HasMetric(metric) {
+		return nil, "", fmt.Errorf("analysis: trial %q has no metric %q", t.Name, metric)
+	}
+	name := "(" + metric + " * " + strconv.FormatFloat(scale, 'g', -1, 64) + ")"
+	out := t.Clone()
+	out.AddMetric(name)
+	for _, e := range out.Events {
+		inc, exc := e.Inclusive[metric], e.Exclusive[metric]
+		for th := 0; th < out.Threads; th++ {
+			e.SetValue(name, th, at(inc, th)*scale, at(exc, th)*scale)
+		}
+	}
+	return out, name, nil
+}
+
+// DeriveSum adds metric(a)+metric(b)+... as one combined metric.
+func DeriveSum(t *perfdmf.Trial, metrics []string) (*perfdmf.Trial, string, error) {
+	if len(metrics) == 0 {
+		return nil, "", fmt.Errorf("analysis: DeriveSum needs at least one metric")
+	}
+	for _, m := range metrics {
+		if !t.HasMetric(m) {
+			return nil, "", fmt.Errorf("analysis: trial %q has no metric %q", t.Name, m)
+		}
+	}
+	name := "(sum"
+	for _, m := range metrics {
+		name += " " + m
+	}
+	name += ")"
+	out := t.Clone()
+	out.AddMetric(name)
+	for _, e := range out.Events {
+		for th := 0; th < out.Threads; th++ {
+			var inc, exc float64
+			for _, m := range metrics {
+				inc += at(e.Inclusive[m], th)
+				exc += at(e.Exclusive[m], th)
+			}
+			e.SetValue(name, th, inc, exc)
+		}
+	}
+	return out, name, nil
+}
+
+func at(xs []float64, i int) float64 {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return 0
+}
+
+// Reduction collapses the thread dimension of a trial.
+type Reduction int
+
+const (
+	ReduceMean Reduction = iota
+	ReduceTotal
+	ReduceMax
+	ReduceMin
+	ReduceStdDev
+)
+
+// Reduce collapses a trial to a single synthetic "thread" holding the
+// chosen statistic of every (event, metric) cell — the TrialMeanResult /
+// TrialTotalResult views of PerfExplorer.
+func Reduce(t *perfdmf.Trial, r Reduction) *perfdmf.Trial {
+	out := perfdmf.NewTrial(t.App, t.Experiment, t.Name, 1)
+	for k, v := range t.Metadata {
+		out.Metadata[k] = v
+	}
+	out.Metadata["reduction"] = r.String()
+	out.Metrics = append([]string(nil), t.Metrics...)
+	for _, e := range t.Events {
+		ne := out.EnsureEvent(e.Name)
+		ne.Calls[0] = reduce(e.Calls, r)
+		ne.Groups = append([]string(nil), e.Groups...)
+		for _, m := range t.Metrics {
+			ne.SetValue(m, 0, reduce(e.Inclusive[m], r), reduce(e.Exclusive[m], r))
+		}
+	}
+	return out
+}
+
+// String names the reduction.
+func (r Reduction) String() string {
+	switch r {
+	case ReduceMean:
+		return "mean"
+	case ReduceTotal:
+		return "total"
+	case ReduceMax:
+		return "max"
+	case ReduceMin:
+		return "min"
+	case ReduceStdDev:
+		return "stddev"
+	}
+	return "unknown"
+}
+
+func reduce(xs []float64, r Reduction) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	switch r {
+	case ReduceMean:
+		return perfdmf.Mean(xs)
+	case ReduceTotal:
+		return perfdmf.Sum(xs)
+	case ReduceMax:
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	case ReduceMin:
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	case ReduceStdDev:
+		return perfdmf.StdDev(xs)
+	}
+	return 0
+}
+
+// ExtractEvents returns a copy of the trial restricted to the named events.
+func ExtractEvents(t *perfdmf.Trial, names []string) *perfdmf.Trial {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	out := perfdmf.NewTrial(t.App, t.Experiment, t.Name, t.Threads)
+	for k, v := range t.Metadata {
+		out.Metadata[k] = v
+	}
+	out.Metrics = append([]string(nil), t.Metrics...)
+	for _, e := range t.Events {
+		if !want[e.Name] {
+			continue
+		}
+		ne := out.EnsureEvent(e.Name)
+		copy(ne.Calls, e.Calls)
+		ne.Groups = append([]string(nil), e.Groups...)
+		for _, m := range t.Metrics {
+			for th := 0; th < t.Threads; th++ {
+				ne.SetValue(m, th, at(e.Inclusive[m], th), at(e.Exclusive[m], th))
+			}
+		}
+	}
+	return out
+}
+
+// TopN returns the n flat events with the largest mean exclusive value of
+// the metric, in descending order.
+func TopN(t *perfdmf.Trial, metric string, n int) []string {
+	type ev struct {
+		name string
+		val  float64
+	}
+	var evs []ev
+	for _, e := range t.Events {
+		if e.IsCallpath() {
+			continue
+		}
+		evs = append(evs, ev{e.Name, perfdmf.Mean(e.Exclusive[metric])})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].val != evs[j].val {
+			return evs[i].val > evs[j].val
+		}
+		return evs[i].name < evs[j].name
+	})
+	if n > len(evs) {
+		n = len(evs)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = evs[i].name
+	}
+	return out
+}
+
+// LinearRegression fits y = slope*x + intercept by least squares and
+// returns the fit along with r² (coefficient of determination).
+func LinearRegression(xs, ys []float64) (slope, intercept, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, fmt.Errorf("analysis: regression needs two equal-length series of >= 2 points")
+	}
+	mx, my := perfdmf.Mean(xs), perfdmf.Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, fmt.Errorf("analysis: regression with constant x")
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1, nil
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	return slope, intercept, r * r, nil
+}

@@ -1,0 +1,315 @@
+package genidlest
+
+import (
+	"testing"
+
+	"perfknow/internal/machine"
+	"perfknow/internal/openuh"
+	"perfknow/internal/perfdmf"
+)
+
+func altix() machine.Config { return machine.Altix(16, 2) }
+
+func run(t *testing.T, p Problem, mode Mode, threads int, opt bool) *perfdmf.Trial {
+	t.Helper()
+	c := DefaultConfig(p, mode, threads)
+	c.Optimized = opt
+	tr, err := Run(altix(), c)
+	if err != nil {
+		t.Fatalf("Run(%s %s %d opt=%v): %v", p.Name, mode, threads, opt, err)
+	}
+	return tr
+}
+
+// t0 is the main event's inclusive time on thread 0 in seconds.
+func t0(tr *perfdmf.Trial, ev string) float64 {
+	e := tr.Event(ev)
+	if e == nil {
+		return 0
+	}
+	return e.Inclusive[perfdmf.TimeMetric][0] / 1e6
+}
+
+func TestProblems(t *testing.T) {
+	p45, p90 := Rib45(), Rib90()
+	if per, total := p45.Cells(); total != 128*80*64 || per != total/8 {
+		t.Fatalf("45rib cells: %d/%d", per, total)
+	}
+	if per, total := p90.Cells(); total != 128*128*128 || per != total/32 {
+		t.Fatalf("90rib cells: %d/%d", per, total)
+	}
+	if p45.OnProcCopies != 30 || p90.OnProcCopies != 126 {
+		t.Fatal("paper copy counts wrong")
+	}
+	if p45.FaceBytes() <= 0 {
+		t.Fatal("face bytes")
+	}
+	if _, err := ProblemByName("45rib"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProblemByName("60rib"); err == nil {
+		t.Fatal("unknown problem accepted")
+	}
+	if OpenMP.String() != "OpenMP" || MPI.String() != "MPI" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Problem: Rib45(), Threads: 0, Timesteps: 1, InnerIters: 1},
+		{Problem: Rib45(), Threads: 3, Timesteps: 1, InnerIters: 1}, // 3 does not divide 8
+		{Problem: Rib45(), Threads: 8, Timesteps: 0, InnerIters: 1},
+		{Problem: Rib45(), Threads: 8, Timesteps: 1, InnerIters: 0},
+	}
+	for i, c := range bad {
+		if _, err := Run(altix(), c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestTrialStructure(t *testing.T) {
+	tr := run(t, Rib45(), OpenMP, 8, false)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range append(SolverEvents(), EventMain, EventInit, EventExchange, EventSendRecvKo) {
+		if tr.Event(ev) == nil {
+			t.Fatalf("missing event %q", ev)
+		}
+	}
+	if tr.Metadata["problem"] != "45rib" || tr.Metadata["mode"] != "OpenMP" {
+		t.Fatalf("metadata: %v", tr.Metadata)
+	}
+	// The optimized version has no serial mpi_send_recv_ko copies.
+	opt := run(t, Rib45(), OpenMP, 8, true)
+	if opt.Event(EventSendRecvKo) != nil {
+		t.Fatal("optimized run should not execute mpi_send_recv_ko")
+	}
+}
+
+func TestFirstTouchPlacementDiffersByMode(t *testing.T) {
+	// Unoptimized OpenMP: sequential init places every page on node 0.
+	cfgU := DefaultConfig(Rib45(), OpenMP, 8)
+	mach := machine.New(altix())
+	// Re-run initialization logic through Run and inspect via a private
+	// machine is not possible (Run builds its own machine), so instead we
+	// verify the observable consequence: remote accesses dominate in the
+	// unoptimized run and not in the optimized one.
+	_ = cfgU
+	_ = mach
+	unopt := run(t, Rib90(), OpenMP, 16, false)
+	opt := run(t, Rib90(), OpenMP, 16, true)
+	remoteRatio := func(tr *perfdmf.Trial) float64 {
+		var rem, loc float64
+		for _, ev := range SolverEvents() {
+			e := tr.Event(ev)
+			rem += perfdmf.Sum(e.Exclusive["REMOTE_MEMORY_ACCESSES"])
+			loc += perfdmf.Sum(e.Exclusive["LOCAL_MEMORY_ACCESSES"])
+		}
+		if rem+loc == 0 {
+			return 0
+		}
+		return rem / (rem + loc)
+	}
+	ru, ro := remoteRatio(unopt), remoteRatio(opt)
+	if ru < 0.8 {
+		t.Fatalf("unoptimized remote fraction = %g, want > 0.8 (all data on node 0)", ru)
+	}
+	if ro > 0.3 {
+		t.Fatalf("optimized remote fraction = %g, want < 0.3 (first-touch distributed)", ro)
+	}
+}
+
+func TestOpenMPvsMPIGap90rib(t *testing.T) {
+	// Paper: unoptimized OpenMP lags MPI by 11.16x on 90rib; our model
+	// should land in the same neighbourhood (say 7x-15x).
+	mpi := run(t, Rib90(), MPI, 16, true)
+	unopt := run(t, Rib90(), OpenMP, 16, false)
+	opt := run(t, Rib90(), OpenMP, 16, true)
+	gap := t0(unopt, EventMain) / t0(mpi, EventMain)
+	if gap < 7 || gap > 15 {
+		t.Fatalf("unoptimized gap = %.2fx, want in [7,15] (paper: 11.16)", gap)
+	}
+	// After optimization the difference becomes minimal (paper: ~15%).
+	optGap := t0(opt, EventMain)/t0(mpi, EventMain) - 1
+	if optGap < 0 || optGap > 0.25 {
+		t.Fatalf("optimized gap = %+.1f%%, want within [0,25]%%", 100*optGap)
+	}
+}
+
+func TestOpenMPvsMPIGap45rib(t *testing.T) {
+	// Paper: 3.48x for 45rib on 8 processors; allow [2.5, 5].
+	mpi := run(t, Rib45(), MPI, 8, true)
+	unopt := run(t, Rib45(), OpenMP, 8, false)
+	gap := t0(unopt, EventMain) / t0(mpi, EventMain)
+	if gap < 2.5 || gap > 5 {
+		t.Fatalf("45rib gap = %.2fx, want in [2.5,5] (paper: 3.48)", gap)
+	}
+}
+
+func TestExchangeVarDominatesUnoptimizedRuntime(t *testing.T) {
+	// Paper: exchange_var__ represented 31% of the unoptimized OpenMP
+	// runtime and scaled very poorly.
+	unopt := run(t, Rib90(), OpenMP, 16, false)
+	frac := t0(unopt, EventExchange) / t0(unopt, EventMain)
+	if frac < 0.2 || frac > 0.5 {
+		t.Fatalf("exchange fraction = %.2f, want in [0.2,0.5] (paper: 0.31)", frac)
+	}
+	// The serial master-thread copies show up as barrier wait on workers:
+	// worker exclusive time inside exchange is dominated by waiting.
+	ex := unopt.Event(EventExchange)
+	if ex.Exclusive["OMP_BARRIER_CYCLES"][15] <= 0 {
+		t.Fatal("workers should wait inside exchange_var__")
+	}
+}
+
+func TestUnoptimizedOpenMPDoesNotScale(t *testing.T) {
+	// Fig. 5(b): the unoptimized OpenMP version does not scale at all,
+	// while optimized OpenMP and MPI scale.
+	u4 := run(t, Rib90(), OpenMP, 4, false)
+	u16 := run(t, Rib90(), OpenMP, 16, false)
+	su := t0(u4, EventMain) / t0(u16, EventMain) // ideal would be 4
+	if su > 1.6 {
+		t.Fatalf("unoptimized OpenMP speedup 4->16 threads = %.2f, want < 1.6 (flat)", su)
+	}
+	o4 := run(t, Rib90(), OpenMP, 4, true)
+	o16 := run(t, Rib90(), OpenMP, 16, true)
+	so := t0(o4, EventMain) / t0(o16, EventMain)
+	if so < 3 {
+		t.Fatalf("optimized OpenMP speedup 4->16 threads = %.2f, want near 4", so)
+	}
+	m4 := run(t, Rib90(), MPI, 4, true)
+	m16 := run(t, Rib90(), MPI, 16, true)
+	sm := t0(m4, EventMain) / t0(m16, EventMain)
+	if sm < 3.3 {
+		t.Fatalf("MPI speedup 4->16 ranks = %.2f, want near 4", sm)
+	}
+}
+
+func TestSolverProceduresScalePoorlyUnoptimized(t *testing.T) {
+	// Fig. 5(a): bicgstab, diff_coeff, matxvec, pc, pc_jac_glb do not scale
+	// in the unoptimized OpenMP version (speedup far below ideal 16).
+	u1 := run(t, Rib90(), OpenMP, 1, false)
+	u16 := run(t, Rib90(), OpenMP, 16, false)
+	for _, ev := range SolverEvents() {
+		s := perfdmf.Mean(u1.Event(ev).Exclusive[perfdmf.TimeMetric]) /
+			perfdmf.Mean(u16.Event(ev).Exclusive[perfdmf.TimeMetric])
+		if s > 6 {
+			t.Fatalf("%s speedup at 16 threads = %.2f, want << 16 (poor scaling)", ev, s)
+		}
+		if s < 1 {
+			t.Fatalf("%s slowed down: %.2f", ev, s)
+		}
+	}
+}
+
+func TestStallCountersSupportJarpDecomposition(t *testing.T) {
+	// §III-B: for the hot procedures, L1D + FP stalls account for >= 90% of
+	// back end stalls, which is the condition under which the methodology
+	// ignores the remaining stall sources.
+	tr := run(t, Rib90(), OpenMP, 16, false)
+	for _, ev := range SolverEvents() {
+		e := tr.Event(ev)
+		all := perfdmf.Sum(e.Exclusive["BACK_END_BUBBLE_ALL"])
+		l1d := perfdmf.Sum(e.Exclusive["BE_L1D_FPU_BUBBLE_L1D"])
+		fp := perfdmf.Sum(e.Exclusive["BE_L1D_FPU_BUBBLE_FPU"])
+		if all == 0 {
+			t.Fatalf("%s has no stalls", ev)
+		}
+		if (l1d+fp)/all < 0.9 {
+			t.Fatalf("%s: L1D+FP stalls = %.1f%% of total, want >= 90%%", ev, 100*(l1d+fp)/all)
+		}
+	}
+}
+
+func TestOptLevelAffectsRuntime(t *testing.T) {
+	c0 := DefaultConfig(Rib45(), MPI, 8)
+	c0.OptLevel = openuh.O0
+	c0.Timesteps, c0.InnerIters = 1, 2
+	tr0, err := Run(altix(), c0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := c0
+	c2.OptLevel = openuh.O2
+	tr2, err := Run(altix(), c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t0(tr2, EventMain) >= t0(tr0, EventMain) {
+		t.Fatal("O2 not faster than O0")
+	}
+	i0 := perfdmf.Sum(tr0.Event(EventMain).Inclusive["INSTRUCTIONS_COMPLETED"])
+	i2 := perfdmf.Sum(tr2.Event(EventMain).Inclusive["INSTRUCTIONS_COMPLETED"])
+	if r := i2 / i0; r > 0.2 {
+		t.Fatalf("O2/O0 instruction ratio = %.3f, want < 0.2 (Table I: 0.059)", r)
+	}
+}
+
+func TestHybridMode(t *testing.T) {
+	// Hybrid 4 ranks x 4 threads on 90rib: data local per unit, so it
+	// should land near MPI at the same total unit count, far from the
+	// unoptimized OpenMP disaster.
+	hyb := DefaultConfig(Rib90(), Hybrid, 16)
+	hyb.ThreadsPerRank = 4
+	th, err := Run(altix(), hyb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if th.Metadata["mode"] != "Hybrid" {
+		t.Fatalf("metadata: %v", th.Metadata)
+	}
+	mpi := run(t, Rib90(), MPI, 16, true)
+	unopt := run(t, Rib90(), OpenMP, 16, false)
+	hT, mT, uT := t0(th, EventMain), t0(mpi, EventMain), t0(unopt, EventMain)
+	if hT > 2*mT {
+		t.Fatalf("hybrid (%gs) should be near MPI (%gs)", hT, mT)
+	}
+	if hT > uT/3 {
+		t.Fatalf("hybrid (%gs) should be far faster than unoptimized OpenMP (%gs)", hT, uT)
+	}
+	// All 16 units took part in the solver.
+	mx := th.Event(EventMatxvec)
+	for u := 0; u < 16; u++ {
+		if mx.Inclusive[perfdmf.TimeMetric][u] <= 0 {
+			t.Fatalf("unit %d idle in matxvec", u)
+		}
+	}
+	// Hybrid scales from 2x2 to 4x4.
+	small := DefaultConfig(Rib90(), Hybrid, 4)
+	small.ThreadsPerRank = 2
+	ts, err := Run(altix(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := t0(ts, EventMain) / hT; sp < 2.5 {
+		t.Fatalf("hybrid 4->16 unit speedup = %.2f, want near 4", sp)
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	c := DefaultConfig(Rib90(), Hybrid, 16)
+	if _, err := Run(altix(), c); err == nil {
+		t.Fatal("hybrid without ThreadsPerRank accepted")
+	}
+	c.ThreadsPerRank = 3 // does not divide 16
+	if _, err := Run(altix(), c); err == nil {
+		t.Fatal("non-dividing ThreadsPerRank accepted")
+	}
+}
+
+func TestMoreThreadsThanBlocks(t *testing.T) {
+	// 45rib has 8 blocks; 16 threads leave 8 threads idle but must work.
+	tr := run(t, Rib45(), OpenMP, 16, true)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if t0(tr, EventMain) <= 0 {
+		t.Fatal("run produced no time")
+	}
+}

@@ -1,0 +1,354 @@
+// Package core is the PerfExplorer 2.0 facade: it wires the profile
+// repository (perfdmf), the analysis operation library, the inference
+// engine (rules) and the scripting interface (script) into one session, and
+// binds the PerfExplorer object API into the script interpreter so that
+// analysis processes are captured as reusable scripts in the style of
+// Fig. 1 of the paper:
+//
+//	ruleHarness = RuleHarness("rules/OpenUHRules.prl")
+//	trial = TrialMeanResult(Utilities.getTrial("Fluid Dynamic", "rib 45", "1_8"))
+//	derived = DeriveMetric(trial, "BACK_END_BUBBLE_ALL", "CPU_CYCLES", "/")
+//	metric = DeriveMetricName("BACK_END_BUBBLE_ALL", "CPU_CYCLES", "/")
+//	for event in derived.events {
+//	    MeanEventFact.compareEventToMain(derived, metric, event)
+//	}
+//	ruleHarness.processRules()
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"perfknow/internal/analysis"
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/rules"
+	"perfknow/internal/script"
+)
+
+// Session couples a repository, a rule engine and a script interpreter.
+type Session struct {
+	Repo   *perfdmf.Repository
+	Engine *rules.Engine
+	Interp *script.Interp
+
+	lastResult *rules.Result
+}
+
+// NewSession builds a session over a repository (a fresh in-memory
+// repository when repo is nil) and installs the PerfExplorer script API.
+func NewSession(repo *perfdmf.Repository) *Session {
+	if repo == nil {
+		repo = perfdmf.NewRepository()
+	}
+	s := &Session{
+		Repo:   repo,
+		Engine: rules.NewEngine(),
+		Interp: script.New(),
+	}
+	s.Interp.Stdout = os.Stdout
+	s.install()
+	return s
+}
+
+// SetOutput redirects script print output.
+func (s *Session) SetOutput(w io.Writer) { s.Interp.Stdout = w }
+
+// RunScript executes PerfExplorer script source.
+func (s *Session) RunScript(src string) error { return s.Interp.Run(src) }
+
+// RunScriptFile executes a script file.
+func (s *Session) RunScriptFile(path string) error { return s.Interp.RunFile(path) }
+
+// LastResult returns the result of the most recent processRules call, or nil.
+func (s *Session) LastResult() *rules.Result { return s.lastResult }
+
+// install binds the script API.
+func (s *Session) install() {
+	in := s.Interp
+
+	in.SetGlobal("Utilities", &script.Module{Name: "Utilities", Members: map[string]script.Value{
+		"getTrial": script.NewBuiltin("getTrial", func(args []script.Value) (script.Value, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("getTrial(app, experiment, trial) expects 3 arguments")
+			}
+			t, err := s.Repo.GetTrial(script.ToString(args[0]), script.ToString(args[1]), script.ToString(args[2]))
+			if err != nil {
+				return nil, err
+			}
+			return &TrialObject{Trial: t}, nil
+		}),
+		"applications": script.NewBuiltin("applications", func(args []script.Value) (script.Value, error) {
+			return stringList(s.Repo.Applications()), nil
+		}),
+		"experiments": script.NewBuiltin("experiments", func(args []script.Value) (script.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("experiments(app) expects 1 argument")
+			}
+			return stringList(s.Repo.Experiments(script.ToString(args[0]))), nil
+		}),
+		"trials": script.NewBuiltin("trials", func(args []script.Value) (script.Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("trials(app, experiment) expects 2 arguments")
+			}
+			return stringList(s.Repo.Trials(script.ToString(args[0]), script.ToString(args[1]))), nil
+		}),
+		"saveTrial": script.NewBuiltin("saveTrial", func(args []script.Value) (script.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("saveTrial(trial) expects 1 argument")
+			}
+			to, err := asTrial(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return nil, s.Repo.Save(to.Trial)
+		}),
+	}})
+
+	reducer := func(name string, r analysis.Reduction) *script.Builtin {
+		return script.NewBuiltin(name, func(args []script.Value) (script.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("%s(trial) expects 1 argument", name)
+			}
+			to, err := asTrial(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return &TrialObject{Trial: analysis.Reduce(to.Trial, r)}, nil
+		})
+	}
+	in.SetGlobal("TrialMeanResult", reducer("TrialMeanResult", analysis.ReduceMean))
+	in.SetGlobal("TrialTotalResult", reducer("TrialTotalResult", analysis.ReduceTotal))
+	in.SetGlobal("TrialMaxResult", reducer("TrialMaxResult", analysis.ReduceMax))
+
+	in.SetGlobal("DeriveMetric", script.NewBuiltin("DeriveMetric", func(args []script.Value) (script.Value, error) {
+		if len(args) != 4 {
+			return nil, fmt.Errorf("DeriveMetric(trial, lhs, rhs, op) expects 4 arguments")
+		}
+		to, err := asTrial(args[0])
+		if err != nil {
+			return nil, err
+		}
+		op, err := analysis.ParseOp(script.ToString(args[3]))
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := analysis.DeriveMetric(to.Trial, script.ToString(args[1]), script.ToString(args[2]), op)
+		if err != nil {
+			return nil, err
+		}
+		return &TrialObject{Trial: out}, nil
+	}))
+	in.SetGlobal("DeriveMetricName", script.NewBuiltin("DeriveMetricName", func(args []script.Value) (script.Value, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("DeriveMetricName(lhs, rhs, op) expects 3 arguments")
+		}
+		op, err := analysis.ParseOp(script.ToString(args[2]))
+		if err != nil {
+			return nil, err
+		}
+		return analysis.DeriveMetricName(script.ToString(args[0]), script.ToString(args[1]), op), nil
+	}))
+
+	in.SetGlobal("RuleHarness", script.NewBuiltin("RuleHarness", func(args []script.Value) (script.Value, error) {
+		for _, a := range args {
+			if err := s.Engine.LoadFile(script.ToString(a)); err != nil {
+				return nil, err
+			}
+		}
+		return s.harnessObject(), nil
+	}))
+	in.SetGlobal("RuleHarnessFromSource", script.NewBuiltin("RuleHarnessFromSource", func(args []script.Value) (script.Value, error) {
+		for _, a := range args {
+			if err := s.Engine.LoadString(script.ToString(a)); err != nil {
+				return nil, err
+			}
+		}
+		return s.harnessObject(), nil
+	}))
+
+	in.SetGlobal("MeanEventFact", &script.Module{Name: "MeanEventFact", Members: map[string]script.Value{
+		"compareEventToMain": script.NewBuiltin("compareEventToMain", func(args []script.Value) (script.Value, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("compareEventToMain(trial, metric, event) expects 3 arguments")
+			}
+			to, err := asTrial(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return nil, s.CompareEventToMain(to.Trial, script.ToString(args[1]), script.ToString(args[2]))
+		}),
+	}})
+
+	in.SetGlobal("assertFact", script.NewBuiltin("assertFact", func(args []script.Value) (script.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("assertFact(type, fields) expects 2 arguments")
+		}
+		m, ok := args[1].(*script.Map)
+		if !ok {
+			return nil, fmt.Errorf("assertFact fields must be a map")
+		}
+		fields := make(map[string]any, len(m.Entries))
+		for k, v := range m.Entries {
+			fields[k] = v
+		}
+		s.Engine.Assert(rules.NewFact(script.ToString(args[0]), fields))
+		return nil, nil
+	}))
+
+	in.SetGlobal("LoadBalanceFacts", script.NewBuiltin("LoadBalanceFacts", func(args []script.Value) (script.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("LoadBalanceFacts(trial, metric) expects 2 arguments")
+		}
+		to, err := asTrial(args[0])
+		if err != nil {
+			return nil, err
+		}
+		n := s.AssertLoadBalanceFacts(to.Trial, script.ToString(args[1]))
+		return float64(n), nil
+	}))
+}
+
+// harnessObject exposes the session rule engine to scripts.
+func (s *Session) harnessObject() *script.Module {
+	return &script.Module{Name: "RuleHarness", Members: map[string]script.Value{
+		"processRules": script.NewBuiltin("processRules", func(args []script.Value) (script.Value, error) {
+			res, err := s.Engine.Run()
+			if err != nil {
+				return nil, err
+			}
+			s.lastResult = res
+			out := script.NewList()
+			for _, line := range res.Output {
+				out.Items = append(out.Items, line)
+				fmt.Fprintln(s.Interp.Stdout, line)
+			}
+			for _, rec := range res.Recommendations {
+				fmt.Fprintf(s.Interp.Stdout, "recommendation [%s/%s]: %s\n", rec.Rule, rec.Category, rec.Text)
+			}
+			return out, nil
+		}),
+		"reset": script.NewBuiltin("reset", func(args []script.Value) (script.Value, error) {
+			s.Engine.Reset()
+			return nil, nil
+		}),
+	}}
+}
+
+// CompareEventToMain asserts the paper's MeanEventFact for one event: its
+// exclusive mean of `metric` against the main event's inclusive mean, with
+// severity defined as the event's share of total runtime (TIME when
+// available, else the metric itself).
+func (s *Session) CompareEventToMain(t *perfdmf.Trial, metric, event string) error {
+	e := t.Event(event)
+	if e == nil {
+		return fmt.Errorf("core: trial %q has no event %q", t.Name, event)
+	}
+	if !t.HasMetric(metric) {
+		return fmt.Errorf("core: trial %q has no metric %q", t.Name, metric)
+	}
+	// "Main" is the program's top-level event — found by wall-clock time
+	// when available, so that derived ratio metrics are still compared
+	// against the application's overall value of the ratio.
+	mainBy := metric
+	if t.HasMetric(perfdmf.TimeMetric) {
+		mainBy = perfdmf.TimeMetric
+	}
+	main := t.MainEvent(mainBy)
+	if main == nil {
+		return fmt.Errorf("core: trial %q has no main event", t.Name)
+	}
+	eventVal := perfdmf.Mean(e.Exclusive[metric])
+	mainVal := perfdmf.Mean(main.Inclusive[metric])
+
+	higherLower := "EQUAL"
+	switch {
+	case eventVal > mainVal:
+		higherLower = "HIGHER"
+	case eventVal < mainVal:
+		higherLower = "LOWER"
+	}
+
+	sevMetric := metric
+	if t.HasMetric(perfdmf.TimeMetric) {
+		sevMetric = perfdmf.TimeMetric
+	}
+	severity := 0.0
+	if sm := t.MainEvent(sevMetric); sm != nil {
+		if total := perfdmf.Mean(sm.Inclusive[sevMetric]); total > 0 {
+			severity = perfdmf.Mean(e.Exclusive[sevMetric]) / total
+		}
+	}
+
+	s.Engine.Assert(rules.NewFact("MeanEventFact", map[string]any{
+		"metric":      metric,
+		"eventName":   event,
+		"mainValue":   mainVal,
+		"eventValue":  eventVal,
+		"higherLower": higherLower,
+		"severity":    severity,
+		"factType":    "Compared to Main",
+	}))
+	return nil
+}
+
+// AssertLoadBalanceFacts asserts the facts the load-imbalance rule joins
+// over (§III-A): per-event Imbalance facts (stddev/mean ratio and runtime
+// share), Nesting facts derived from callpath events, and per-pair
+// Correlation facts for nested pairs. It returns the number of facts
+// asserted.
+func (s *Session) AssertLoadBalanceFacts(t *perfdmf.Trial, metric string) int {
+	n := 0
+	lbs := analysis.LoadBalanceAnalysis(t, metric)
+	for _, lb := range lbs {
+		s.Engine.Assert(rules.NewFact("Imbalance", map[string]any{
+			"eventName": lb.Event,
+			"ratio":     lb.Ratio,
+			"severity":  lb.FractionOfTotal,
+			"mean":      lb.Mean,
+			"stddev":    lb.StdDev,
+		}))
+		n++
+	}
+	// Nesting from callpaths, correlation for each nested pair.
+	for _, outer := range lbs {
+		for _, inner := range lbs {
+			if outer.Event == inner.Event {
+				continue
+			}
+			if !analysis.IsNested(t, outer.Event, inner.Event) {
+				continue
+			}
+			s.Engine.Assert(rules.NewFact("Nesting", map[string]any{
+				"outer": outer.Event,
+				"inner": inner.Event,
+			}))
+			n++
+			if corr, err := analysis.EventCorrelation(t, metric, inner.Event, outer.Event); err == nil {
+				s.Engine.Assert(rules.NewFact("Correlation", map[string]any{
+					"innerEvent": inner.Event,
+					"outerEvent": outer.Event,
+					"value":      corr,
+				}))
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func stringList(xs []string) *script.List {
+	out := script.NewList()
+	for _, x := range xs {
+		out.Items = append(out.Items, x)
+	}
+	return out
+}
+
+func asTrial(v script.Value) (*TrialObject, error) {
+	to, ok := v.(*TrialObject)
+	if !ok {
+		return nil, fmt.Errorf("core: expected a trial, got %T", v)
+	}
+	return to, nil
+}

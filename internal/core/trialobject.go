@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"perfknow/internal/analysis"
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/script"
+)
+
+// TrialObject wraps a perfdmf.Trial as a scriptable object. Data members
+// (name, threads, events, metrics, mainEvent) resolve directly; analytic
+// members are methods taking arguments.
+type TrialObject struct {
+	Trial *perfdmf.Trial
+}
+
+// TypeName implements script.Object.
+func (t *TrialObject) TypeName() string { return "Trial(" + t.Trial.Name + ")" }
+
+// Member implements script.Object.
+func (t *TrialObject) Member(name string) (script.Value, bool) {
+	switch name {
+	case "name":
+		return t.Trial.Name, true
+	case "application":
+		return t.Trial.App, true
+	case "experiment":
+		return t.Trial.Experiment, true
+	case "threads":
+		return float64(t.Trial.Threads), true
+	case "events":
+		return stringList(t.Trial.EventNames()), true
+	case "metrics":
+		return stringList(t.Trial.Metrics), true
+	case "mainEvent":
+		main := t.Trial.MainEvent(t.timeOrFirstMetric())
+		if main == nil {
+			return "", true
+		}
+		return main.Name, true
+	case "metadata":
+		return script.NewBuiltin("metadata", func(args []script.Value) (script.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("metadata(key) expects 1 argument")
+			}
+			return t.Trial.Metadata[script.ToString(args[0])], nil
+		}), true
+	case "meanExclusive":
+		return t.statBuiltin("meanExclusive", false, perfdmf.Mean), true
+	case "meanInclusive":
+		return t.statBuiltin("meanInclusive", true, perfdmf.Mean), true
+	case "stddevExclusive":
+		return t.statBuiltin("stddevExclusive", false, perfdmf.StdDev), true
+	case "totalExclusive":
+		return t.statBuiltin("totalExclusive", false, perfdmf.Sum), true
+	case "maxExclusive":
+		return t.statBuiltin("maxExclusive", false, maxOf), true
+	case "calls":
+		return script.NewBuiltin("calls", func(args []script.Value) (script.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("calls(event) expects 1 argument")
+			}
+			e := t.Trial.Event(script.ToString(args[0]))
+			if e == nil {
+				return nil, fmt.Errorf("no event %q", script.ToString(args[0]))
+			}
+			return perfdmf.Sum(e.Calls), nil
+		}), true
+	case "deriveMetric":
+		return script.NewBuiltin("deriveMetric", func(args []script.Value) (script.Value, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("deriveMetric(lhs, rhs, op) expects 3 arguments")
+			}
+			op, err := analysis.ParseOp(script.ToString(args[2]))
+			if err != nil {
+				return nil, err
+			}
+			out, _, err := analysis.DeriveMetric(t.Trial, script.ToString(args[0]), script.ToString(args[1]), op)
+			if err != nil {
+				return nil, err
+			}
+			return &TrialObject{Trial: out}, nil
+		}), true
+	case "correlation":
+		return script.NewBuiltin("correlation", func(args []script.Value) (script.Value, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("correlation(eventA, eventB, metric) expects 3 arguments")
+			}
+			return analysis.EventCorrelation(t.Trial, script.ToString(args[2]),
+				script.ToString(args[0]), script.ToString(args[1]))
+		}), true
+	case "isNested":
+		return script.NewBuiltin("isNested", func(args []script.Value) (script.Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("isNested(outer, inner) expects 2 arguments")
+			}
+			return analysis.IsNested(t.Trial, script.ToString(args[0]), script.ToString(args[1])), nil
+		}), true
+	case "topN":
+		return script.NewBuiltin("topN", func(args []script.Value) (script.Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("topN(metric, n) expects 2 arguments")
+			}
+			n, err := script.ToFloat(args[1])
+			if err != nil {
+				return nil, err
+			}
+			return stringList(analysis.TopN(t.Trial, script.ToString(args[0]), int(n))), nil
+		}), true
+	case "imbalanceRatio":
+		return script.NewBuiltin("imbalanceRatio", func(args []script.Value) (script.Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("imbalanceRatio(event, metric) expects 2 arguments")
+			}
+			e := t.Trial.Event(script.ToString(args[0]))
+			if e == nil {
+				return nil, fmt.Errorf("no event %q", script.ToString(args[0]))
+			}
+			vals := e.Exclusive[script.ToString(args[1])]
+			mean := perfdmf.Mean(vals)
+			if mean == 0 {
+				return 0.0, nil
+			}
+			return perfdmf.StdDev(vals) / mean, nil
+		}), true
+	case "extract":
+		return script.NewBuiltin("extract", func(args []script.Value) (script.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("extract(events) expects 1 argument")
+			}
+			l, ok := args[0].(*script.List)
+			if !ok {
+				return nil, fmt.Errorf("extract expects a list of event names")
+			}
+			names := make([]string, len(l.Items))
+			for i, it := range l.Items {
+				names[i] = script.ToString(it)
+			}
+			return &TrialObject{Trial: analysis.ExtractEvents(t.Trial, names)}, nil
+		}), true
+	}
+	return nil, false
+}
+
+func (t *TrialObject) timeOrFirstMetric() string {
+	if t.Trial.HasMetric(perfdmf.TimeMetric) {
+		return perfdmf.TimeMetric
+	}
+	if len(t.Trial.Metrics) > 0 {
+		return t.Trial.Metrics[0]
+	}
+	return perfdmf.TimeMetric
+}
+
+func (t *TrialObject) statBuiltin(name string, inclusive bool, stat func([]float64) float64) *script.Builtin {
+	return script.NewBuiltin(name, func(args []script.Value) (script.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%s(event, metric) expects 2 arguments", name)
+		}
+		e := t.Trial.Event(script.ToString(args[0]))
+		if e == nil {
+			return nil, fmt.Errorf("no event %q", script.ToString(args[0]))
+		}
+		metric := script.ToString(args[1])
+		if !t.Trial.HasMetric(metric) {
+			return nil, fmt.Errorf("no metric %q", metric)
+		}
+		vals := e.Exclusive[metric]
+		if inclusive {
+			vals = e.Inclusive[metric]
+		}
+		return stat(vals), nil
+	})
+}
+
+func maxOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

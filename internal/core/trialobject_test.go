@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrialObjectMembers(t *testing.T) {
+	s, buf := newTestSession(t)
+	src := `
+trial = Utilities.getTrial("app", "exp", "t1")
+print(trial.experiment, trial.metrics)
+print(trial.calls("main"))
+print(trial.totalExclusive("hot", "TIME"), trial.maxExclusive("hot", "TIME"))
+print(trial.stddevExclusive("cold", "TIME"))
+print(trial.correlation("hot", "cold", "TIME"))
+sub = trial.extract(["hot"])
+print(sub.events)
+`
+	if err := s.RunScript(src); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"exp [TIME, BACK_END_BUBBLE_ALL, CPU_CYCLES]",
+		"4",         // main calls summed over 4 threads
+		"3000 1200", // hot exclusive total/max (300+600+900+1200)
+		"0",         // cold is constant → stddev 0
+		"[hot]",     // extract
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrialObjectErrors(t *testing.T) {
+	s, _ := newTestSession(t)
+	cases := []string{
+		`trial = Utilities.getTrial("app", "exp", "t1"); trial.nosuchmember`,
+		`trial = Utilities.getTrial("app", "exp", "t1"); trial.calls("ghost")`,
+		`trial = Utilities.getTrial("app", "exp", "t1"); trial.metadata()`,
+		`trial = Utilities.getTrial("app", "exp", "t1"); trial.deriveMetric("TIME", "NOPE", "/")`,
+		`trial = Utilities.getTrial("app", "exp", "t1"); trial.correlation("ghost", "hot", "TIME")`,
+		`trial = Utilities.getTrial("app", "exp", "t1"); trial.extract("notalist")`,
+		`trial = Utilities.getTrial("app", "exp", "t1"); trial.topN("TIME")`,
+		`trial = Utilities.getTrial("app", "exp", "t1"); trial.imbalanceRatio("ghost", "TIME")`,
+	}
+	for _, src := range cases {
+		if err := s.RunScript(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestTrialObjectMetadataAndName(t *testing.T) {
+	s, _ := newTestSession(t)
+	trial, _ := s.Repo.GetTrial("app", "exp", "t1")
+	trial.Metadata["schedule"] = "static"
+	to := &TrialObject{Trial: trial}
+	if to.TypeName() != "Trial(t1)" {
+		t.Fatalf("TypeName: %s", to.TypeName())
+	}
+	v, ok := to.Member("metadata")
+	if !ok {
+		t.Fatal("metadata member missing")
+	}
+	_ = v
+	if err := s.RunScript(`
+trial = Utilities.getTrial("app", "exp", "t1")
+if trial.metadata("schedule") != "static" { print("bad") } else { print("good") }
+`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrialObjectMainEventFallback(t *testing.T) {
+	// A trial without TIME falls back to its first metric for mainEvent.
+	s, buf := newTestSession(t)
+	if err := s.RunScript(`
+trial = Utilities.getTrial("app", "exp", "t1")
+d = TrialMeanResult(trial)
+print(d.mainEvent)
+`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "main") && !strings.Contains(buf.String(), "hot") {
+		t.Fatalf("mainEvent: %s", buf.String())
+	}
+}

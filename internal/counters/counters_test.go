@@ -1,0 +1,189 @@
+package counters
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNamesAreUniqueAndComplete(t *testing.T) {
+	seen := make(map[string]ID)
+	for id := ID(0); id < NumIDs; id++ {
+		name := id.Name()
+		if name == "" {
+			t.Fatalf("counter %d has empty name", id)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("counter name %q used by both %d and %d", name, prev, id)
+		}
+		seen[name] = id
+	}
+	if len(seen) != int(NumIDs) {
+		t.Fatalf("expected %d names, got %d", NumIDs, len(seen))
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	for id := ID(0); id < NumIDs; id++ {
+		got, ok := Lookup(id.Name())
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", id.Name())
+		}
+		if got != id {
+			t.Fatalf("Lookup(%q) = %d, want %d", id.Name(), got, id)
+		}
+	}
+	if _, ok := Lookup("NO_SUCH_COUNTER"); ok {
+		t.Fatal("Lookup of unknown name succeeded")
+	}
+}
+
+func TestUnknownIDName(t *testing.T) {
+	if got := ID(-1).Name(); got != "UNKNOWN_COUNTER_-1" {
+		t.Fatalf("ID(-1).Name() = %q", got)
+	}
+	if got := NumIDs.Name(); got == "" {
+		t.Fatal("out-of-range ID produced empty name")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if len(names) != int(NumIDs) {
+		t.Fatalf("Names() returned %d entries, want %d", len(names), NumIDs)
+	}
+	if names[Cycles] != "CPU_CYCLES" {
+		t.Fatalf("names[Cycles] = %q", names[Cycles])
+	}
+	if names[StallAll] != "BACK_END_BUBBLE_ALL" {
+		t.Fatalf("names[StallAll] = %q", names[StallAll])
+	}
+}
+
+func TestStallComponentsDistinctAndNotAll(t *testing.T) {
+	comp := StallComponents()
+	if len(comp) != 7 {
+		t.Fatalf("expected 7 stall components (Jarp's formula), got %d", len(comp))
+	}
+	seen := map[ID]bool{}
+	for _, id := range comp {
+		if id == StallAll {
+			t.Fatal("StallAll must not be its own component")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate stall component %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSetAddSubDelta(t *testing.T) {
+	var a, b Set
+	a.Inc(Cycles, 100)
+	a.Inc(FPOps, 7)
+	b.Inc(Cycles, 40)
+	b.Inc(Loads, 3)
+
+	a.Add(&b)
+	if a.Get(Cycles) != 140 || a.Get(FPOps) != 7 || a.Get(Loads) != 3 {
+		t.Fatalf("Add produced %v", a.NonZero())
+	}
+
+	d := a.Delta(&b)
+	if d.Get(Cycles) != 100 || d.Get(Loads) != 0 || d.Get(FPOps) != 7 {
+		t.Fatalf("Delta wrong: cycles=%d loads=%d fp=%d", d.Get(Cycles), d.Get(Loads), d.Get(FPOps))
+	}
+
+	// Saturating subtraction never underflows.
+	var small, big Set
+	small.Inc(Cycles, 1)
+	big.Inc(Cycles, 10)
+	small.Sub(&big)
+	if small.Get(Cycles) != 0 {
+		t.Fatalf("Sub should saturate at 0, got %d", small.Get(Cycles))
+	}
+}
+
+func TestTotalInstructions(t *testing.T) {
+	var s Set
+	s.Inc(FPOps, 10)
+	s.Inc(IntOps, 20)
+	s.Inc(Loads, 5)
+	s.Inc(Stores, 4)
+	s.Inc(Branches, 1)
+	s.Inc(Cycles, 999) // must not be counted
+	if got := s.TotalInstructions(); got != 40 {
+		t.Fatalf("TotalInstructions = %d, want 40", got)
+	}
+}
+
+func TestNonZero(t *testing.T) {
+	var s Set
+	if got := s.NonZero(); got != nil {
+		t.Fatalf("empty set NonZero = %v", got)
+	}
+	s.Inc(L3Misses, 1)
+	s.Inc(Cycles, 2)
+	got := s.NonZero()
+	if len(got) != 2 || got[0] != Cycles || got[1] != L3Misses {
+		t.Fatalf("NonZero = %v", got)
+	}
+}
+
+func TestMapContainsAllNames(t *testing.T) {
+	var s Set
+	s.Inc(RemoteMem, 42)
+	m := s.Map()
+	if len(m) != int(NumIDs) {
+		t.Fatalf("Map has %d entries, want %d", len(m), NumIDs)
+	}
+	if m["REMOTE_MEMORY_ACCESSES"] != 42 {
+		t.Fatalf("Map[REMOTE_MEMORY_ACCESSES] = %d", m["REMOTE_MEMORY_ACCESSES"])
+	}
+}
+
+// Property: Delta is the inverse of Add for any pair of sets (on the indices
+// where the base is the subtrahend).
+func TestQuickAddThenDelta(t *testing.T) {
+	f := func(xs, ys [8]uint32) bool {
+		var a, b Set
+		for i := 0; i < 8; i++ {
+			a.Inc(ID(i), uint64(xs[i]))
+			b.Inc(ID(i), uint64(ys[i]))
+		}
+		sum := a
+		sum.Add(&b)
+		back := sum.Delta(&b)
+		for i := 0; i < 8; i++ {
+			if back.Get(ID(i)) != a.Get(ID(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sub saturates — no value in the result ever exceeds the
+// original and never wraps around.
+func TestQuickSubSaturates(t *testing.T) {
+	f := func(xs, ys [8]uint32) bool {
+		var a, b Set
+		for i := 0; i < 8; i++ {
+			a.Inc(ID(i), uint64(xs[i]))
+			b.Inc(ID(i), uint64(ys[i]))
+		}
+		orig := a
+		a.Sub(&b)
+		for i := 0; i < 8; i++ {
+			if a.Get(ID(i)) > orig.Get(ID(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

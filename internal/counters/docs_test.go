@@ -1,0 +1,22 @@
+package counters
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMetricsDocComplete keeps docs/METRICS.md in sync with the counter
+// taxonomy: every exported counter name must be documented.
+func TestMetricsDocComplete(t *testing.T) {
+	data, err := os.ReadFile("../../docs/METRICS.md")
+	if err != nil {
+		t.Skipf("docs/METRICS.md not readable: %v", err)
+	}
+	doc := string(data)
+	for _, name := range Names() {
+		if !strings.Contains(doc, name) {
+			t.Errorf("counter %q missing from docs/METRICS.md", name)
+		}
+	}
+}

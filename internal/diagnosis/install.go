@@ -1,0 +1,162 @@
+package diagnosis
+
+import (
+	"fmt"
+
+	"perfknow/internal/core"
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/power"
+	"perfknow/internal/script"
+)
+
+// Install binds the knowledge base's fact builders into a session's script
+// interpreter and points `rulesdir` at the directory holding the .prl
+// files. Scripts additionally receive their arguments through the `args`
+// global (set per run with SetArgs).
+func Install(s *core.Session, rulesDir string) {
+	in := s.Interp
+	in.SetGlobal("rulesdir", rulesDir)
+	in.SetGlobal("args", script.NewList())
+
+	trialArg := func(fn string, v script.Value) (*perfdmf.Trial, error) {
+		to, ok := v.(*core.TrialObject)
+		if !ok {
+			return nil, fmt.Errorf("%s expects a trial, got %T", fn, v)
+		}
+		return to.Trial, nil
+	}
+
+	in.SetGlobal("InefficiencyFacts", script.NewBuiltin("InefficiencyFacts", func(args []script.Value) (script.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("InefficiencyFacts(trial) expects 1 argument")
+		}
+		t, err := trialArg("InefficiencyFacts", args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := AssertInefficiencyFacts(s.Engine, t)
+		return float64(n), err
+	}))
+
+	in.SetGlobal("StallSourceFacts", script.NewBuiltin("StallSourceFacts", func(args []script.Value) (script.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("StallSourceFacts(trial) expects 1 argument")
+		}
+		t, err := trialArg("StallSourceFacts", args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := AssertStallSourceFacts(s.Engine, t)
+		return float64(n), err
+	}))
+
+	in.SetGlobal("LocalityFacts", script.NewBuiltin("LocalityFacts", func(args []script.Value) (script.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("LocalityFacts(trial) expects 1 argument")
+		}
+		t, err := trialArg("LocalityFacts", args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := AssertLocalityFacts(s.Engine, t)
+		return float64(n), err
+	}))
+
+	in.SetGlobal("SyncFacts", script.NewBuiltin("SyncFacts", func(args []script.Value) (script.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("SyncFacts(trial) expects 1 argument")
+		}
+		t, err := trialArg("SyncFacts", args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := AssertSyncFacts(s.Engine, t)
+		return float64(n), err
+	}))
+
+	in.SetGlobal("ScalingFacts", script.NewBuiltin("ScalingFacts", func(args []script.Value) (script.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("ScalingFacts(baseTrial, scaledTrial) expects 2 arguments")
+		}
+		base, err := trialArg("ScalingFacts", args[0])
+		if err != nil {
+			return nil, err
+		}
+		scaled, err := trialArg("ScalingFacts", args[1])
+		if err != nil {
+			return nil, err
+		}
+		return float64(AssertScalingFacts(s.Engine, base, scaled)), nil
+	}))
+
+	in.SetGlobal("ClusterFacts", script.NewBuiltin("ClusterFacts", func(args []script.Value) (script.Value, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("ClusterFacts(trial, metric, k) expects 3 arguments")
+		}
+		t, err := trialArg("ClusterFacts", args[0])
+		if err != nil {
+			return nil, err
+		}
+		k, err := script.ToFloat(args[2])
+		if err != nil {
+			return nil, err
+		}
+		n, err := AssertClusterFacts(s.Engine, t, script.ToString(args[1]), int(k))
+		return float64(n), err
+	}))
+
+	in.SetGlobal("PowerEstimate", script.NewBuiltin("PowerEstimate", func(args []script.Value) (script.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("PowerEstimate(trial) expects 1 argument")
+		}
+		t, err := trialArg("PowerEstimate", args[0])
+		if err != nil {
+			return nil, err
+		}
+		rep, err := power.Itanium2().Estimate(t)
+		if err != nil {
+			return nil, err
+		}
+		m := script.NewMap()
+		m.Entries["watts"] = rep.WattsPerProc
+		m.Entries["totalWatts"] = rep.TotalWatts
+		m.Entries["joules"] = rep.Joules
+		m.Entries["flopPerJoule"] = rep.FLOPPerJoule
+		m.Entries["seconds"] = rep.Seconds
+		m.Entries["ipc"] = rep.IPC
+		return m, nil
+	}))
+
+	in.SetGlobal("PowerFacts", script.NewBuiltin("PowerFacts", func(args []script.Value) (script.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("PowerFacts(levelTrials) expects 1 argument")
+		}
+		m, ok := args[0].(*script.Map)
+		if !ok {
+			return nil, fmt.Errorf("PowerFacts expects a map of level -> trial")
+		}
+		model := power.Itanium2()
+		reports := make(map[string]*power.Report, len(m.Entries))
+		for level, v := range m.Entries {
+			t, err := trialArg("PowerFacts", v)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := model.Estimate(t)
+			if err != nil {
+				return nil, fmt.Errorf("level %s: %w", level, err)
+			}
+			reports[level] = rep
+		}
+		return float64(AssertPowerFacts(s.Engine, reports)), nil
+	}))
+}
+
+// SetArgs sets the `args` global for the next script run.
+func SetArgs(s *core.Session, args []string) {
+	l := script.NewList()
+	for _, a := range args {
+		l.Items = append(l.Items, a)
+	}
+	s.Interp.SetGlobal("args", l)
+}

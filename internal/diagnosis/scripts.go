@@ -1,0 +1,118 @@
+package diagnosis
+
+// The PerfExplorer analysis scripts that capture the paper's workflows.
+// Each script expects the host to define `rulesdir` (directory holding the
+// .prl files) and `args` (a list of script arguments, usually
+// [application, experiment, trial...]).
+
+// ScriptStallsPerCycle is the Fig. 1 sample script: derive the stall/cycle
+// metric, compare every event with main, and process the rules.
+const ScriptStallsPerCycle = `# Sample analysis script (Fig. 1 of the paper).
+harness = RuleHarness(rulesdir + "/OpenUHRules.prl")
+trial = TrialMeanResult(Utilities.getTrial(args[0], args[1], args[2]))
+derived = DeriveMetric(trial, "BACK_END_BUBBLE_ALL", "CPU_CYCLES", "/")
+metric = DeriveMetricName("BACK_END_BUBBLE_ALL", "CPU_CYCLES", "/")
+for event in derived.events {
+    MeanEventFact.compareEventToMain(derived, metric, event)
+}
+harness.processRules()
+`
+
+// ScriptInefficiency runs the first §III-B step: compute the inefficiency
+// metric for every instrumented region and flag the outliers.
+const ScriptInefficiency = `# Inefficiency = FLOPs * (stall cycles / total cycles)  (§III-B step 1)
+harness = RuleHarness(rulesdir + "/OpenUHRules.prl")
+trial = Utilities.getTrial(args[0], args[1], args[2])
+n = InefficiencyFacts(trial)
+print("asserted " + str(n) + " inefficiency facts")
+harness.processRules()
+`
+
+// ScriptStallDecomposition runs the second §III-B step: decompose total
+// stalls and test the 90% L1D+FP concentration guideline.
+const ScriptStallDecomposition = `# Total Stall Cycles decomposition (§III-B step 2, Jarp's methodology)
+harness = RuleHarness(rulesdir + "/OpenUHRules.prl")
+trial = Utilities.getTrial(args[0], args[1], args[2])
+n = StallSourceFacts(trial)
+print("asserted " + str(n) + " stall-source facts")
+harness.processRules()
+`
+
+// ScriptMemoryAnalysis runs the third §III-B step: the latency-weighted
+// memory stall model and the remote access ratio, optionally joined with
+// per-event scaling facts when a baseline trial is supplied as args[3].
+const ScriptMemoryAnalysis = `# Memory analysis metrics (§III-B step 3)
+harness = RuleHarness(rulesdir + "/OpenUHRules.prl")
+trial = Utilities.getTrial(args[0], args[1], args[2])
+n = LocalityFacts(trial)
+print("asserted " + str(n) + " locality facts")
+if len(args) > 3 {
+    base = Utilities.getTrial(args[0], args[1], args[3])
+    m = ScalingFacts(base, trial)
+    print("asserted " + str(m) + " scaling facts")
+}
+harness.processRules()
+`
+
+// ScriptLoadBalance captures the MSA tuning process (§III-A): per-event
+// imbalance, nesting and correlation facts, then the load-imbalance rule.
+const ScriptLoadBalance = `# Load balance test for OpenMP worksharing loops (§III-A)
+harness = RuleHarness(rulesdir + "/LoadBalanceRules.prl")
+trial = Utilities.getTrial(args[0], args[1], args[2])
+n = LoadBalanceFacts(trial, "TIME")
+print("asserted " + str(n) + " load-balance facts")
+harness.processRules()
+`
+
+// ScriptPowerLevels captures the power study (§III-C): estimate power and
+// energy for every trial of an experiment (one per optimization level) and
+// let the rules recommend levels.
+const ScriptPowerLevels = `# Power and energy recommendations across optimization levels (§III-C)
+harness = RuleHarness(rulesdir + "/PowerRules.prl")
+levels = {}
+for name in Utilities.trials(args[0], args[1]) {
+    levels[name] = Utilities.getTrial(args[0], args[1], name)
+}
+n = PowerFacts(levels)
+print("asserted " + str(n) + " power facts")
+harness.processRules()
+`
+
+// ScriptSynchronization surfaces critical-section and barrier overhead —
+// the overhead sources the paper's future work feeds to the parallel cost
+// model.
+const ScriptSynchronization = `# Synchronization overhead: critical sections, locks, barrier waits
+harness = RuleHarness(rulesdir + "/OpenUHRules.prl")
+trial = Utilities.getTrial(args[0], args[1], args[2])
+n = SyncFacts(trial)
+m = LoadBalanceFacts(trial, "TIME")
+print("asserted " + str(n) + " sync facts, " + str(m) + " load-balance facts")
+harness.processRules()
+`
+
+// ScriptThreadClusters groups threads by behaviour with k-means and lets
+// the outlier rule explain clusters of one — PerfExplorer's signature
+// clustering analysis applied to master/worker asymmetry.
+const ScriptThreadClusters = `# k-means over threads: find groups of threads doing different work
+harness = RuleHarness(rulesdir + "/OpenUHRules.prl")
+trial = Utilities.getTrial(args[0], args[1], args[2])
+k = 2
+if len(args) > 3 { k = num(args[3]) }
+n = ClusterFacts(trial, "TIME", k)
+print("asserted " + str(n) + " cluster facts (k=" + str(k) + ")")
+harness.processRules()
+`
+
+// ScriptFiles maps asset file names to script sources.
+func ScriptFiles() map[string]string {
+	return map[string]string{
+		"stalls_per_cycle.pes":    ScriptStallsPerCycle,
+		"inefficiency.pes":        ScriptInefficiency,
+		"stall_decomposition.pes": ScriptStallDecomposition,
+		"memory_analysis.pes":     ScriptMemoryAnalysis,
+		"load_balance.pes":        ScriptLoadBalance,
+		"power_levels.pes":        ScriptPowerLevels,
+		"synchronization.pes":     ScriptSynchronization,
+		"thread_clusters.pes":     ScriptThreadClusters,
+	}
+}

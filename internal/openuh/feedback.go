@@ -1,0 +1,88 @@
+package openuh
+
+import (
+	"fmt"
+
+	"perfknow/internal/perfdmf"
+)
+
+// This file implements the feedback-directed optimization loop that the
+// paper's Fig. 3 marks as "future": measured runtime behaviour flows back
+// into the compiler, replacing static cost-model estimates and rewriting
+// parallelization parameters. CostModel.ApplyFeedback (costmodel.go)
+// ingests stall and locality rates; TuneParallelLoops below retunes
+// worksharing schedules from observed per-thread imbalance.
+
+// ScheduleChange records one feedback-driven schedule rewrite.
+type ScheduleChange struct {
+	Loop     string
+	Old, New string
+	Ratio    float64 // measured stddev/mean of per-thread time
+}
+
+// TuneParallelLoops inspects a profile of a previous run and rewrites the
+// schedule clause of every parallel loop whose per-thread exclusive times
+// are imbalanced (stddev/mean above threshold; the paper's rule uses 0.25).
+// The new schedule is dynamic with the chunk size the parallel cost model
+// recommends for the measured variability. The program is mutated in
+// place; the returned list records what changed.
+func TuneParallelLoops(p *Program, t *perfdmf.Trial, cm *CostModel, threshold float64) []ScheduleChange {
+	if cm == nil {
+		def := DefaultCostModel()
+		cm = &def
+	}
+	if threshold <= 0 {
+		threshold = 0.25
+	}
+	var changes []ScheduleChange
+	var walk func(nodes []*Node)
+	walk = func(nodes []*Node) {
+		for _, n := range nodes {
+			switch n.Kind {
+			case KindParallelLoop:
+				if change, ok := tuneLoop(n, t, cm, threshold); ok {
+					changes = append(changes, change)
+				}
+				walk(n.Body)
+			case KindLoop, KindInstrument:
+				walk(n.Body)
+			case KindBranch:
+				walk(n.Then)
+				walk(n.Else)
+			}
+		}
+	}
+	for _, proc := range p.Procs {
+		walk(proc.Body)
+	}
+	return changes
+}
+
+func tuneLoop(n *Node, t *perfdmf.Trial, cm *CostModel, threshold float64) (ScheduleChange, bool) {
+	e := t.Event(n.Name)
+	if e == nil || n.Name == "" {
+		return ScheduleChange{}, false
+	}
+	vals := e.Exclusive[perfdmf.TimeMetric]
+	mean := perfdmf.Mean(vals)
+	if mean <= 0 {
+		return ScheduleChange{}, false
+	}
+	ratio := perfdmf.StdDev(vals) / mean
+	if ratio <= threshold {
+		return ScheduleChange{}, false
+	}
+	// Per-iteration cycle estimate for the chunk recommendation: total loop
+	// time over trips.
+	bodyCycles := perfdmf.Sum(e.Exclusive["CPU_CYCLES"]) / float64(n.Trip)
+	chunk := cm.Parallel.RecommendChunk(n.Trip, t.Threads, bodyCycles, ratio)
+	old := n.Schedule
+	if old == "" {
+		old = "static"
+	}
+	n.Schedule = fmt.Sprintf("dynamic,%d", chunk)
+	if n.Schedule == old {
+		return ScheduleChange{}, false
+	}
+	return ScheduleChange{Loop: n.Name, Old: old, New: n.Schedule, Ratio: ratio}, true
+}

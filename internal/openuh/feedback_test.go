@@ -1,0 +1,96 @@
+package openuh
+
+import (
+	"strings"
+	"testing"
+
+	"perfknow/internal/perfdmf"
+)
+
+// feedbackTrial builds a 4-thread profile where loop "rows" is imbalanced
+// and loop "cols" is balanced.
+func feedbackTrial() *perfdmf.Trial {
+	t := perfdmf.NewTrial("a", "e", "t", 4)
+	t.AddMetric(perfdmf.TimeMetric)
+	t.AddMetric("CPU_CYCLES")
+	rows := t.EnsureEvent("rows")
+	cols := t.EnsureEvent("cols")
+	for th := 0; th < 4; th++ {
+		f := float64(th + 1)
+		rows.SetValue(perfdmf.TimeMetric, th, 100*f, 100*f) // heavily imbalanced
+		rows.SetValue("CPU_CYCLES", th, 150000*f, 150000*f)
+		cols.SetValue(perfdmf.TimeMetric, th, 100, 100) // balanced
+		cols.SetValue("CPU_CYCLES", th, 150000, 150000)
+	}
+	return t
+}
+
+func feedbackProgram() *Program {
+	p := NewProgram("fb")
+	p.AddProc(&Proc{Name: "main", Body: []*Node{
+		ParallelLoop("rows", 64, "static", Compute(Work{FP: 100, DepChain: 0.2})),
+		ParallelLoop("cols", 64, "static", Compute(Work{FP: 100, DepChain: 0.2})),
+		Loop("serial", 8, Compute(Work{Int: 10, DepChain: 0.1})),
+	}})
+	return p
+}
+
+func TestTuneParallelLoopsRewritesImbalanced(t *testing.T) {
+	prog := feedbackProgram()
+	changes := TuneParallelLoops(prog, feedbackTrial(), nil, 0)
+	if len(changes) != 1 {
+		t.Fatalf("changes: %+v", changes)
+	}
+	c := changes[0]
+	if c.Loop != "rows" || c.Old != "static" || !strings.HasPrefix(c.New, "dynamic,") {
+		t.Fatalf("change: %+v", c)
+	}
+	if c.Ratio < 0.25 {
+		t.Fatalf("ratio: %g", c.Ratio)
+	}
+	// The program was mutated.
+	rows := prog.Proc("main").Body[0]
+	if !strings.HasPrefix(rows.Schedule, "dynamic,") {
+		t.Fatalf("rows schedule: %q", rows.Schedule)
+	}
+	// The balanced loop is untouched.
+	cols := prog.Proc("main").Body[1]
+	if cols.Schedule != "static" {
+		t.Fatalf("cols schedule: %q", cols.Schedule)
+	}
+}
+
+func TestTuneParallelLoopsThreshold(t *testing.T) {
+	prog := feedbackProgram()
+	// With an absurd threshold nothing changes.
+	changes := TuneParallelLoops(prog, feedbackTrial(), nil, 100)
+	if len(changes) != 0 {
+		t.Fatalf("changes at threshold 100: %+v", changes)
+	}
+}
+
+func TestTuneParallelLoopsIgnoresUnprofiledLoops(t *testing.T) {
+	prog := NewProgram("x")
+	prog.AddProc(&Proc{Name: "main", Body: []*Node{
+		ParallelLoop("ghost_loop", 64, "static", Compute(Work{FP: 10})),
+	}})
+	tr := perfdmf.NewTrial("a", "e", "t", 4)
+	tr.AddMetric(perfdmf.TimeMetric)
+	if changes := TuneParallelLoops(prog, tr, nil, 0); len(changes) != 0 {
+		t.Fatalf("changes for unprofiled loop: %+v", changes)
+	}
+}
+
+func TestTuneParallelLoopsFindsNestedLoops(t *testing.T) {
+	prog := NewProgram("n")
+	inner := ParallelLoop("rows", 64, "static", Compute(Work{FP: 100, DepChain: 0.2}))
+	prog.AddProc(&Proc{Name: "main", Body: []*Node{
+		{Kind: KindInstrument, Name: "main", Body: []*Node{
+			Loop("outer", 4, inner),
+		}},
+	}})
+	changes := TuneParallelLoops(prog, feedbackTrial(), nil, 0)
+	if len(changes) != 1 || changes[0].Loop != "rows" {
+		t.Fatalf("changes: %+v", changes)
+	}
+}

@@ -1,0 +1,316 @@
+package openuh
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the front end for the compiler driver's small source
+// language ("UH"), which describes a program's structure and essential work
+// the way a performance model sees it. Example:
+//
+//	program heat
+//	proc main() {
+//	    loop timestep 100 {
+//	        call sweep
+//	    }
+//	}
+//	proc sweep() {
+//	    parallel loop rows 128 schedule(dynamic,1) {
+//	        compute fp=2000 int=500 loads=800 stores=400 branches=64 \
+//	                region=grid off=0 len=1048576 stride=8 reuse=4 dep=0.3 firsttouch
+//	    }
+//	}
+//
+// Comments run from '#' to end of line. The '\' continuation joins lines.
+
+// ParseSource parses UH source text into an IR program.
+func ParseSource(src string) (*Program, error) {
+	lines := splitLogicalLines(src)
+	fp := &frontendParser{lines: lines}
+	return fp.parseProgram()
+}
+
+func splitLogicalLines(src string) []logLine {
+	var out []logLine
+	raw := strings.Split(src, "\n")
+	for i := 0; i < len(raw); i++ {
+		line := raw[i]
+		lineNo := i + 1
+		for strings.HasSuffix(strings.TrimRight(line, " \t"), "\\") && i+1 < len(raw) {
+			line = strings.TrimSuffix(strings.TrimRight(line, " \t"), "\\") + " " + raw[i+1]
+			i++
+		}
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Allow "}" on the same line to be split off ("} else {" is not in
+		// this grammar, so only leading/trailing braces matter).
+		out = append(out, logLine{no: lineNo, text: line})
+	}
+	return out
+}
+
+type logLine struct {
+	no   int
+	text string
+}
+
+type frontendParser struct {
+	lines []logLine
+	pos   int
+}
+
+func (fp *frontendParser) cur() (logLine, bool) {
+	if fp.pos < len(fp.lines) {
+		return fp.lines[fp.pos], true
+	}
+	return logLine{}, false
+}
+
+func (fp *frontendParser) parseProgram() (*Program, error) {
+	line, ok := fp.cur()
+	if !ok {
+		return nil, fmt.Errorf("openuh: empty source")
+	}
+	fields := strings.Fields(line.text)
+	if len(fields) != 2 || fields[0] != "program" {
+		return nil, fmt.Errorf("openuh: line %d: expected 'program <name>', got %q", line.no, line.text)
+	}
+	fp.pos++
+	prog := NewProgram(fields[1])
+	for {
+		line, ok := fp.cur()
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(line.text, "proc ") {
+			return nil, fmt.Errorf("openuh: line %d: expected 'proc', got %q", line.no, line.text)
+		}
+		proc, err := fp.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		prog.AddProc(proc)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (fp *frontendParser) parseProc() (*Proc, error) {
+	line, _ := fp.cur()
+	text := strings.TrimPrefix(line.text, "proc ")
+	text = strings.TrimSpace(text)
+	if !strings.HasSuffix(text, "{") {
+		return nil, fmt.Errorf("openuh: line %d: proc header must end with '{'", line.no)
+	}
+	header := strings.TrimSpace(strings.TrimSuffix(text, "{"))
+	name := header
+	var params []string
+	if i := strings.Index(header, "("); i >= 0 {
+		name = strings.TrimSpace(header[:i])
+		j := strings.LastIndex(header, ")")
+		if j < i {
+			return nil, fmt.Errorf("openuh: line %d: unbalanced parameter list", line.no)
+		}
+		inner := strings.TrimSpace(header[i+1 : j])
+		if inner != "" {
+			for _, p := range strings.Split(inner, ",") {
+				params = append(params, strings.TrimSpace(p))
+			}
+		}
+	}
+	if name == "" {
+		return nil, fmt.Errorf("openuh: line %d: procedure needs a name", line.no)
+	}
+	fp.pos++
+	body, err := fp.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Proc{Name: name, Params: params, Body: body}, nil
+}
+
+// parseBlock consumes statements until the matching "}".
+func (fp *frontendParser) parseBlock() ([]*Node, error) {
+	var body []*Node
+	for {
+		line, ok := fp.cur()
+		if !ok {
+			return nil, fmt.Errorf("openuh: unexpected end of source inside block")
+		}
+		if line.text == "}" {
+			fp.pos++
+			return body, nil
+		}
+		n, err := fp.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, n)
+	}
+}
+
+func (fp *frontendParser) parseStatement() (*Node, error) {
+	line, _ := fp.cur()
+	fields := strings.Fields(line.text)
+	switch fields[0] {
+	case "compute":
+		fp.pos++
+		w, err := parseWork(fields[1:], line.no)
+		if err != nil {
+			return nil, err
+		}
+		return Compute(w), nil
+	case "call":
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("openuh: line %d: call needs a target", line.no)
+		}
+		fp.pos++
+		return Call(strings.TrimSuffix(fields[1], "()")), nil
+	case "loop":
+		// loop <name> <trip> {
+		if len(fields) != 4 || fields[3] != "{" {
+			return nil, fmt.Errorf("openuh: line %d: expected 'loop <name> <trip> {'", line.no)
+		}
+		trip, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || trip <= 0 {
+			return nil, fmt.Errorf("openuh: line %d: bad trip count %q", line.no, fields[2])
+		}
+		fp.pos++
+		body, err := fp.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return Loop(fields[1], trip, body...), nil
+	case "parallel":
+		// parallel loop <name> <trip> [schedule(...)] {
+		if len(fields) < 5 || fields[1] != "loop" || fields[len(fields)-1] != "{" {
+			return nil, fmt.Errorf("openuh: line %d: expected 'parallel loop <name> <trip> [schedule(..)] {'", line.no)
+		}
+		trip, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil || trip <= 0 {
+			return nil, fmt.Errorf("openuh: line %d: bad trip count %q", line.no, fields[3])
+		}
+		sched := ""
+		for _, f := range fields[4 : len(fields)-1] {
+			if s, ok := strings.CutPrefix(f, "schedule("); ok {
+				sched = strings.TrimSuffix(s, ")")
+			} else {
+				return nil, fmt.Errorf("openuh: line %d: unexpected clause %q", line.no, f)
+			}
+		}
+		fp.pos++
+		body, err := fp.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return ParallelLoop(fields[2], trip, sched, body...), nil
+	case "branch":
+		// branch <prob> {  [ } else { ] }
+		if len(fields) != 3 || fields[2] != "{" {
+			return nil, fmt.Errorf("openuh: line %d: expected 'branch <prob> {'", line.no)
+		}
+		prob, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("openuh: line %d: bad branch probability %q", line.no, fields[1])
+		}
+		fp.pos++
+		then, err := fp.parseBlockUntilElseOrEnd()
+		if err != nil {
+			return nil, err
+		}
+		var els []*Node
+		if line, ok := fp.cur(); ok && line.text == "else {" {
+			fp.pos++
+			els, err = fp.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return Branch(prob, then, els), nil
+	}
+	return nil, fmt.Errorf("openuh: line %d: unknown statement %q", line.no, fields[0])
+}
+
+// parseBlockUntilElseOrEnd consumes a block closed by "}" that may be
+// followed by "else {".
+func (fp *frontendParser) parseBlockUntilElseOrEnd() ([]*Node, error) {
+	return fp.parseBlock()
+}
+
+func parseWork(fields []string, lineNo int) (Work, error) {
+	var w Work
+	for _, f := range fields {
+		key, val, hasVal := strings.Cut(f, "=")
+		if !hasVal {
+			switch key {
+			case "firsttouch":
+				w.FirstTouch = true
+				continue
+			default:
+				return w, fmt.Errorf("openuh: line %d: unknown compute flag %q", lineNo, key)
+			}
+		}
+		num := func() (float64, error) {
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return 0, fmt.Errorf("openuh: line %d: bad numeric value %q for %s", lineNo, val, key)
+			}
+			return v, nil
+		}
+		switch key {
+		case "fp", "int", "loads", "stores", "branches", "off", "len", "stride":
+			v, err := num()
+			if err != nil {
+				return w, err
+			}
+			if v < 0 {
+				return w, fmt.Errorf("openuh: line %d: %s must be non-negative", lineNo, key)
+			}
+			switch key {
+			case "fp":
+				w.FP = uint64(v)
+			case "int":
+				w.Int = uint64(v)
+			case "loads":
+				w.Loads = uint64(v)
+			case "stores":
+				w.Stores = uint64(v)
+			case "branches":
+				w.Branches = uint64(v)
+			case "off":
+				w.Off = int64(v)
+			case "len":
+				w.Len = int64(v)
+			case "stride":
+				w.Stride = int64(v)
+			}
+		case "reuse", "dep":
+			v, err := num()
+			if err != nil {
+				return w, err
+			}
+			if key == "reuse" {
+				w.Reuse = v
+			} else {
+				w.DepChain = v
+			}
+		case "region":
+			w.Region = val
+		default:
+			return w, fmt.Errorf("openuh: line %d: unknown compute attribute %q", lineNo, key)
+		}
+	}
+	if w.Ops() == 0 {
+		return w, fmt.Errorf("openuh: line %d: compute statement with no work", lineNo)
+	}
+	return w, nil
+}

@@ -1,0 +1,158 @@
+package openuh
+
+import (
+	"perfknow/internal/perfdmf"
+)
+
+// This file implements the IPA inlining phase and its feedback-directed
+// variant. The paper's compiler "supports feedback for branch, loop, and
+// control flow optimizations, and callsite counts to improve inlining";
+// here, static inlining folds small callees into their call sites at the
+// High WHIRL level, and TuneInlining uses measured call counts from a
+// profile to inline exactly the procedures whose call overhead was observed
+// to matter.
+
+// cloneNodes deep-copies an IR subtree so inlined bodies do not alias the
+// callee's nodes.
+func cloneNodes(nodes []*Node) []*Node {
+	if nodes == nil {
+		return nil
+	}
+	out := make([]*Node, len(nodes))
+	for i, n := range nodes {
+		c := *n
+		c.Body = cloneNodes(n.Body)
+		c.Then = cloneNodes(n.Then)
+		c.Else = cloneNodes(n.Else)
+		out[i] = &c
+	}
+	return out
+}
+
+// ProcWeight returns a procedure's essential operation count per
+// invocation (loops expanded by trip count, call chains followed with
+// cycle protection).
+func ProcWeight(p *Program, name string) uint64 {
+	ins := &instrumenter{prog: p}
+	return ins.procWeight(name)
+}
+
+// InlineCalls replaces every call site whose callee's essential weight is
+// at most maxWeight with a copy of the callee's body, repeating until no
+// such site remains (bounded passes). Directly and mutually recursive
+// procedures are never inlined. It returns the number of call sites
+// inlined.
+func InlineCalls(p *Program, maxWeight uint64) int {
+	return inlineWhere(p, func(callee string) bool {
+		return ProcWeight(p, callee) <= maxWeight
+	})
+}
+
+// TuneInlining inlines using runtime feedback: a call site is folded when
+// the callee's measured call count in the trial is at least minCalls and
+// its essential weight is at most maxWeight — hot, small procedures whose
+// call overhead the profile exposed. Procedures without profile data are
+// left alone.
+func TuneInlining(p *Program, t *perfdmf.Trial, minCalls float64, maxWeight uint64) int {
+	return inlineWhere(p, func(callee string) bool {
+		e := t.Event(callee)
+		if e == nil {
+			return false
+		}
+		if perfdmf.Sum(e.Calls) < minCalls {
+			return false
+		}
+		return ProcWeight(p, callee) <= maxWeight
+	})
+}
+
+func inlineWhere(p *Program, should func(callee string) bool) int {
+	recursive := recursiveProcs(p)
+	total := 0
+	for pass := 0; pass < 10; pass++ {
+		changed := 0
+		for _, proc := range p.Procs {
+			changed += inlineInNodes(p, &proc.Body, proc.Name, should, recursive)
+		}
+		total += changed
+		if changed == 0 {
+			break
+		}
+	}
+	return total
+}
+
+func inlineInNodes(p *Program, nodes *[]*Node, owner string, should func(string) bool, recursive map[string]bool) int {
+	changed := 0
+	var out []*Node
+	for _, n := range *nodes {
+		switch n.Kind {
+		case KindCall:
+			callee := p.Proc(n.Name)
+			if callee != nil && n.Name != owner && !recursive[n.Name] && should(n.Name) {
+				out = append(out, cloneNodes(callee.Body)...)
+				changed++
+				continue
+			}
+			out = append(out, n)
+		case KindLoop, KindParallelLoop, KindInstrument:
+			changed += inlineInNodes(p, &n.Body, owner, should, recursive)
+			out = append(out, n)
+		case KindBranch:
+			changed += inlineInNodes(p, &n.Then, owner, should, recursive)
+			changed += inlineInNodes(p, &n.Else, owner, should, recursive)
+			out = append(out, n)
+		default:
+			out = append(out, n)
+		}
+	}
+	*nodes = out
+	return changed
+}
+
+// recursiveProcs returns the procedures that can (transitively) reach
+// themselves through the call graph.
+func recursiveProcs(p *Program) map[string]bool {
+	edges := map[string][]string{}
+	var collect func(nodes []*Node, from string)
+	collect = func(nodes []*Node, from string) {
+		for _, n := range nodes {
+			switch n.Kind {
+			case KindCall:
+				edges[from] = append(edges[from], n.Name)
+			case KindLoop, KindParallelLoop, KindInstrument:
+				collect(n.Body, from)
+			case KindBranch:
+				collect(n.Then, from)
+				collect(n.Else, from)
+			}
+		}
+	}
+	for _, proc := range p.Procs {
+		collect(proc.Body, proc.Name)
+	}
+	reaches := func(from, target string) bool {
+		seen := map[string]bool{}
+		stack := append([]string(nil), edges[from]...)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur == target {
+				return true
+			}
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			stack = append(stack, edges[cur]...)
+		}
+		return false
+	}
+	out := map[string]bool{}
+	for _, proc := range p.Procs {
+		if reaches(proc.Name, proc.Name) {
+			out[proc.Name] = true
+		}
+	}
+	return out
+}

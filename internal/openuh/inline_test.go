@@ -1,0 +1,192 @@
+package openuh
+
+import (
+	"strings"
+	"testing"
+
+	"perfknow/internal/machine"
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/sim"
+)
+
+func inlineProgram() *Program {
+	p := NewProgram("inl")
+	p.AddProc(&Proc{Name: "main", Body: []*Node{
+		Loop("steps", 100, Call("tiny")),
+		Call("big"),
+	}})
+	p.AddProc(&Proc{Name: "tiny", Body: []*Node{
+		Compute(Work{Int: 20, DepChain: 0.1}),
+	}})
+	p.AddProc(&Proc{Name: "big", Body: []*Node{
+		Compute(Work{FP: 1000000, DepChain: 0.3}),
+		Call("tiny"),
+	}})
+	return p
+}
+
+func countCallsTo(p *Program, name string) int {
+	total := 0
+	var walk func(nodes []*Node)
+	walk = func(nodes []*Node) {
+		for _, n := range nodes {
+			switch n.Kind {
+			case KindCall:
+				if n.Name == name {
+					total++
+				}
+			case KindLoop, KindParallelLoop, KindInstrument:
+				walk(n.Body)
+			case KindBranch:
+				walk(n.Then)
+				walk(n.Else)
+			}
+		}
+	}
+	for _, proc := range p.Procs {
+		walk(proc.Body)
+	}
+	return total
+}
+
+func TestProcWeight(t *testing.T) {
+	p := inlineProgram()
+	if w := ProcWeight(p, "tiny"); w != 20 {
+		t.Fatalf("tiny weight = %d, want 20", w)
+	}
+	// big = 1e6 FP + tiny(20).
+	if w := ProcWeight(p, "big"); w != 1000020 {
+		t.Fatalf("big weight = %d", w)
+	}
+	// main = 100*tiny + big.
+	if w := ProcWeight(p, "main"); w != 100*20+1000020 {
+		t.Fatalf("main weight = %d", w)
+	}
+	if w := ProcWeight(p, "ghost"); w != 0 {
+		t.Fatalf("ghost weight = %d", w)
+	}
+}
+
+func TestInlineCallsSmallOnly(t *testing.T) {
+	p := inlineProgram()
+	n := InlineCalls(p, 100)
+	// Both call sites to tiny fold; big stays.
+	if n != 2 {
+		t.Fatalf("inlined %d sites, want 2", n)
+	}
+	if countCallsTo(p, "tiny") != 0 {
+		t.Fatal("tiny call sites remain")
+	}
+	if countCallsTo(p, "big") != 1 {
+		t.Fatal("big was inlined despite its weight")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The loop body is now the tiny compute directly.
+	loop := p.Proc("main").Body[0]
+	if loop.Body[0].Kind != KindCompute {
+		t.Fatalf("loop body: %+v", loop.Body[0])
+	}
+}
+
+// Inlining must preserve execution cost exactly (same essential work).
+func TestInliningPreservesBehaviour(t *testing.T) {
+	run := func(p *Program) uint64 {
+		ex, _, err := Compile(p, O2, InstrumentOptions{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Disable loop collapsing so both variants execute iteration by
+		// iteration (collapse rounds per-invocation overheads differently).
+		ex.LoopCollapse = false
+		m := machine.New(machine.Altix(2, 2))
+		eng := sim.NewEngine(m, sim.Options{Threads: 1})
+		if _, err := ex.Run(eng, "a", "e", "t"); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Master().Clock
+	}
+	before := run(inlineProgram())
+	inlined := inlineProgram()
+	InlineCalls(inlined, 100)
+	after := run(inlined)
+	if before != after {
+		t.Fatalf("inlining changed cost: %d vs %d", before, after)
+	}
+}
+
+func TestRecursiveProceduresNotInlined(t *testing.T) {
+	p := NewProgram("rec")
+	p.AddProc(&Proc{Name: "main", Body: []*Node{Call("ping")}})
+	p.AddProc(&Proc{Name: "ping", Body: []*Node{
+		Compute(Work{Int: 1}),
+		Branch(0.4, []*Node{Call("pong")}, nil),
+	}})
+	p.AddProc(&Proc{Name: "pong", Body: []*Node{
+		Compute(Work{Int: 1}),
+		Branch(0.4, []*Node{Call("ping")}, nil),
+	}})
+	if n := InlineCalls(p, 1<<20); n != 0 {
+		t.Fatalf("inlined %d sites of a mutually recursive pair", n)
+	}
+	if countCallsTo(p, "ping") != 2 || countCallsTo(p, "pong") != 1 {
+		t.Fatal("recursive call graph was rewritten")
+	}
+}
+
+func TestTuneInliningUsesCallCounts(t *testing.T) {
+	p := inlineProgram()
+	tr := perfdmf.NewTrial("a", "e", "t", 1)
+	tr.AddMetric(perfdmf.TimeMetric)
+	hot := tr.EnsureEvent("tiny")
+	hot.Calls[0] = 10000 // measured hot
+	hot.SetValue(perfdmf.TimeMetric, 0, 5, 5)
+	cold := tr.EnsureEvent("big")
+	cold.Calls[0] = 1
+	cold.SetValue(perfdmf.TimeMetric, 0, 100, 100)
+
+	n := TuneInlining(p, tr, 1000, 100)
+	if n != 2 {
+		t.Fatalf("inlined %d, want 2 (both tiny sites)", n)
+	}
+	// A procedure below the call-count threshold is untouched even if small.
+	p2 := inlineProgram()
+	tr2 := perfdmf.NewTrial("a", "e", "t", 1)
+	tr2.AddMetric(perfdmf.TimeMetric)
+	rare := tr2.EnsureEvent("tiny")
+	rare.Calls[0] = 3
+	rare.SetValue(perfdmf.TimeMetric, 0, 1, 1)
+	if n := TuneInlining(p2, tr2, 1000, 100); n != 0 {
+		t.Fatalf("inlined %d cold sites", n)
+	}
+	// Procedures without profile data are untouched.
+	p3 := inlineProgram()
+	if n := TuneInlining(p3, perfdmf.NewTrial("a", "e", "t", 1), 0, 1<<20); n != 0 {
+		t.Fatalf("inlined %d unprofiled sites", n)
+	}
+}
+
+func TestInlineDeepCopies(t *testing.T) {
+	p := NewProgram("dc")
+	p.AddProc(&Proc{Name: "main", Body: []*Node{Call("leaf"), Call("leaf")}})
+	p.AddProc(&Proc{Name: "leaf", Body: []*Node{Compute(Work{Int: 5})}})
+	InlineCalls(p, 100)
+	body := p.Proc("main").Body
+	if len(body) != 2 {
+		t.Fatalf("body: %d nodes", len(body))
+	}
+	if body[0] == body[1] {
+		t.Fatal("inlined bodies alias each other")
+	}
+	body[0].Work.Int = 99
+	if body[1].Work.Int != 5 {
+		t.Fatal("mutation leaked between inlined copies")
+	}
+	if p.Proc("leaf").Body[0].Work.Int != 5 {
+		t.Fatal("mutation leaked into the callee")
+	}
+	if !strings.Contains(p.Dump(), "compute") {
+		t.Fatal("dump lost compute nodes")
+	}
+}

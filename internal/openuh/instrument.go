@@ -1,0 +1,220 @@
+package openuh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InstrumentOptions control the compile-time instrumentation module. The
+// revised OpenUH module covers procedures, loops, branches and callsites and
+// can be driven by compiler flags; the selective method scores regions of
+// interest so that small, frequently invoked regions are skipped — the
+// overhead-control technique of Hernandez et al. cited in §III-B.
+type InstrumentOptions struct {
+	Procedures bool
+	Loops      bool
+	Callsites  bool
+
+	// Selective instrumentation: skip a region whose static weight (essential
+	// ops per invocation) is below MinWeight while its estimated invocation
+	// count exceeds MaxInvocations.
+	Selective      bool
+	MinWeight      uint64
+	MaxInvocations int64
+}
+
+// DefaultInstrumentation instruments procedures and loops with selective
+// scoring enabled.
+func DefaultInstrumentation() InstrumentOptions {
+	return InstrumentOptions{
+		Procedures:     true,
+		Loops:          true,
+		Callsites:      false,
+		Selective:      true,
+		MinWeight:      2000,
+		MaxInvocations: 10000,
+	}
+}
+
+// RegionScore is the report entry for one instrumentable region.
+type RegionScore struct {
+	Name        string
+	Kind        string // "proc", "loop", "callsite"
+	Weight      uint64 // essential ops per invocation
+	Invocations int64  // static invocation estimate
+	Selected    bool
+}
+
+// Instrument inserts instrumentation nodes into the program (mutating it)
+// and returns the scoring report. It is idempotent per region: calling it
+// twice does not double-wrap.
+func Instrument(p *Program, opts InstrumentOptions) []RegionScore {
+	ins := &instrumenter{prog: p, opts: opts, scores: map[string]*RegionScore{}}
+	// Pre-compute per-procedure weights for callsite and procedure scoring.
+	for _, proc := range p.Procs {
+		ins.procWeight(proc.Name)
+	}
+	for _, proc := range p.Procs {
+		invocations := int64(1)
+		if proc.Name != "main" {
+			invocations = ins.callCount(proc.Name)
+		}
+		if opts.Procedures && !alreadyWrapped(proc.Body, proc.Name) {
+			score := ins.score(proc.Name, "proc", ins.procWeight(proc.Name), invocations)
+			if score.Selected {
+				proc.Body = []*Node{{Kind: KindInstrument, Name: proc.Name, Body: proc.Body}}
+			}
+		}
+		ins.walk(proc.Body, invocations, "")
+	}
+	var out []RegionScore
+	for _, s := range ins.scores {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+type instrumenter struct {
+	prog    *Program
+	opts    InstrumentOptions
+	scores  map[string]*RegionScore
+	weights map[string]uint64
+}
+
+// score records and decides selection for a region.
+func (ins *instrumenter) score(name, kind string, weight uint64, invocations int64) *RegionScore {
+	if s, ok := ins.scores[name]; ok {
+		return s
+	}
+	s := &RegionScore{Name: name, Kind: kind, Weight: weight, Invocations: invocations, Selected: true}
+	if ins.opts.Selective && weight < ins.opts.MinWeight && invocations > ins.opts.MaxInvocations {
+		s.Selected = false
+	}
+	ins.scores[name] = s
+	return s
+}
+
+// walk wraps loops and callsites beneath nodes, with enclosing invocation
+// estimate outer. wrappedAs names the Instrument node these nodes are the
+// direct children of ("" when none), which keeps Instrument idempotent.
+func (ins *instrumenter) walk(nodes []*Node, outer int64, wrappedAs string) {
+	for i, n := range nodes {
+		switch n.Kind {
+		case KindLoop, KindParallelLoop:
+			ins.walk(n.Body, outer*n.Trip, "")
+			if ins.opts.Loops && n.Name != "" && n.Name != wrappedAs {
+				score := ins.score(n.Name, "loop", nodesWeight(ins, n.Body), outer)
+				if score.Selected {
+					// Wrap the loop in place.
+					wrapped := *n
+					nodes[i] = &Node{Kind: KindInstrument, Name: n.Name, Body: []*Node{&wrapped}}
+				}
+			}
+		case KindBranch:
+			ins.walk(n.Then, outer, "")
+			ins.walk(n.Else, outer, "")
+		case KindCall:
+			if ins.opts.Callsites && "call:"+n.Name != wrappedAs {
+				name := "call:" + n.Name
+				score := ins.score(name, "callsite", ins.procWeight(n.Name), outer)
+				if score.Selected {
+					call := *n
+					nodes[i] = &Node{Kind: KindInstrument, Name: name, Body: []*Node{&call}}
+				}
+			}
+		case KindInstrument:
+			ins.walk(n.Body, outer, n.Name)
+		}
+	}
+}
+
+func alreadyWrapped(body []*Node, name string) bool {
+	return len(body) == 1 && body[0].Kind == KindInstrument && body[0].Name == name
+}
+
+// procWeight computes (and caches) a procedure's essential ops per single
+// invocation, loops expanded by trip count, calls followed one level deep
+// with cycle protection.
+func (ins *instrumenter) procWeight(name string) uint64 {
+	if ins.weights == nil {
+		ins.weights = map[string]uint64{}
+	}
+	if w, ok := ins.weights[name]; ok {
+		return w
+	}
+	ins.weights[name] = 0 // cycle guard
+	proc := ins.prog.Proc(name)
+	if proc == nil {
+		return 0
+	}
+	w := nodesWeight(ins, proc.Body)
+	ins.weights[name] = w
+	return w
+}
+
+func nodesWeight(ins *instrumenter, nodes []*Node) uint64 {
+	var w uint64
+	for _, n := range nodes {
+		switch n.Kind {
+		case KindCompute:
+			w += n.Work.Ops()
+		case KindLoop, KindParallelLoop:
+			w += nodesWeight(ins, n.Body) * uint64(n.Trip)
+		case KindBranch:
+			w += uint64(float64(nodesWeight(ins, n.Then))*n.Prob +
+				float64(nodesWeight(ins, n.Else))*(1-n.Prob))
+		case KindCall:
+			w += ins.procWeight(n.Name)
+		case KindInstrument:
+			w += nodesWeight(ins, n.Body)
+		}
+	}
+	return w
+}
+
+// callCount statically estimates how many times a procedure is invoked per
+// program run (calls inside loops multiply by trip counts).
+func (ins *instrumenter) callCount(name string) int64 {
+	total := int64(0)
+	for _, proc := range ins.prog.Procs {
+		total += countCalls(proc.Body, name, 1)
+	}
+	if total == 0 {
+		total = 1
+	}
+	return total
+}
+
+func countCalls(nodes []*Node, name string, mult int64) int64 {
+	var total int64
+	for _, n := range nodes {
+		switch n.Kind {
+		case KindCall:
+			if n.Name == name {
+				total += mult
+			}
+		case KindLoop, KindParallelLoop:
+			total += countCalls(n.Body, name, mult*n.Trip)
+		case KindBranch:
+			total += countCalls(n.Then, name, mult) + countCalls(n.Else, name, mult)
+		case KindInstrument:
+			total += countCalls(n.Body, name, mult)
+		}
+	}
+	return total
+}
+
+// Summary renders the scoring report.
+func SummarizeScores(scores []RegionScore) string {
+	out := ""
+	for _, s := range scores {
+		sel := "instrumented"
+		if !s.Selected {
+			sel = "skipped (selective)"
+		}
+		out += fmt.Sprintf("%-10s %-30s weight=%-10d invocations=%-10d %s\n",
+			s.Kind, s.Name, s.Weight, s.Invocations, sel)
+	}
+	return out
+}

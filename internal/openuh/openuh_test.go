@@ -1,0 +1,529 @@
+package openuh
+
+import (
+	"strings"
+	"testing"
+
+	"perfknow/internal/machine"
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/sim"
+)
+
+const heatSrc = `
+program heat
+# a tiny structured-grid workload
+proc main() {
+    loop timestep 10 {
+        call sweep
+    }
+    compute int=100 dep=0.1
+}
+proc sweep() {
+    parallel loop rows 64 schedule(dynamic,1) {
+        compute fp=2000 int=500 loads=800 stores=400 branches=64 \
+                region=grid off=0 len=1048576 stride=8 reuse=4 dep=0.3 firsttouch
+    }
+}
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := ParseSource(src)
+	if err != nil {
+		t.Fatalf("ParseSource: %v", err)
+	}
+	return p
+}
+
+func TestParseSourceStructure(t *testing.T) {
+	p := mustParse(t, heatSrc)
+	if p.Name != "heat" || len(p.Procs) != 2 {
+		t.Fatalf("program: %s with %d procs", p.Name, len(p.Procs))
+	}
+	main := p.Proc("main")
+	if main == nil || len(main.Body) != 2 {
+		t.Fatalf("main body: %+v", main)
+	}
+	loop := main.Body[0]
+	if loop.Kind != KindLoop || loop.Trip != 10 || loop.Name != "timestep" {
+		t.Fatalf("loop: %+v", loop)
+	}
+	sweep := p.Proc("sweep")
+	pl := sweep.Body[0]
+	if pl.Kind != KindParallelLoop || pl.Schedule != "dynamic,1" || pl.Trip != 64 {
+		t.Fatalf("parallel loop: %+v", pl)
+	}
+	w := pl.Body[0].Work
+	if w.FP != 2000 || w.Region != "grid" || !w.FirstTouch || w.DepChain != 0.3 {
+		t.Fatalf("work: %+v", w)
+	}
+	dump := p.Dump()
+	if !strings.Contains(dump, "parallel loop rows") || !strings.Contains(dump, "proc main") {
+		t.Fatalf("dump: %s", dump)
+	}
+}
+
+func TestParseSourceErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"no program":      "proc main() {\n}\n",
+		"bad loop":        "program x\nproc main() {\nloop a b {\n}\n}\n",
+		"bad trip":        "program x\nproc main() {\nloop a -5 {\n}\n}\n",
+		"unknown stmt":    "program x\nproc main() {\nfrobnicate\n}\n",
+		"unclosed block":  "program x\nproc main() {\ncompute int=1\n",
+		"empty compute":   "program x\nproc main() {\ncompute region=r\n}\n",
+		"bad attr":        "program x\nproc main() {\ncompute int=1 wat=2\n}\n",
+		"bad flag":        "program x\nproc main() {\ncompute int=1 turbo\n}\n",
+		"undefined call":  "program x\nproc main() {\ncall ghost\n}\n",
+		"no main":         "program x\nproc other() {\ncompute int=1\n}\n",
+		"bad sched field": "program x\nproc main() {\nparallel loop a 4 nosched {\ncompute int=1\n}\n}\n",
+		"dup proc":        "", // covered separately (panic)
+	}
+	delete(cases, "dup proc")
+	for name, src := range cases {
+		if _, err := ParseSource(src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestParseBranchElse(t *testing.T) {
+	src := `
+program b
+proc main() {
+    branch 0.8 {
+        compute int=100 dep=0.1
+    }
+    else {
+        compute int=5 dep=0.1
+        call helper
+    }
+    branch 0.2 {
+        compute int=7 dep=0.1
+    }
+}
+proc helper() {
+    compute fp=3
+}
+`
+	p := mustParse(t, src)
+	b1 := p.Proc("main").Body[0]
+	if b1.Kind != KindBranch || b1.Prob != 0.8 {
+		t.Fatalf("branch 1: %+v", b1)
+	}
+	if len(b1.Then) != 1 || len(b1.Else) != 2 {
+		t.Fatalf("branch arms: then=%d else=%d", len(b1.Then), len(b1.Else))
+	}
+	if b1.Else[1].Kind != KindCall || b1.Else[1].Name != "helper" {
+		t.Fatalf("else body: %+v", b1.Else[1])
+	}
+	// Branch without else.
+	b2 := p.Proc("main").Body[1]
+	if b2.Kind != KindBranch || len(b2.Else) != 0 {
+		t.Fatalf("branch 2: %+v", b2)
+	}
+	// Bad probability rejected.
+	if _, err := ParseSource("program x\nproc main() {\nbranch 1.5 {\ncompute int=1\n}\n}\n"); err == nil {
+		t.Fatal("branch prob > 1 accepted")
+	}
+}
+
+func TestParseLineContinuation(t *testing.T) {
+	src := "program c\nproc main() {\ncompute fp=10 \\\n int=20 dep=0.1\n}\n"
+	p := mustParse(t, src)
+	w := p.Proc("main").Body[0].Work
+	if w.FP != 10 || w.Int != 20 {
+		t.Fatalf("continued compute: %+v", w)
+	}
+}
+
+func TestDuplicateProcPanics(t *testing.T) {
+	p := NewProgram("x")
+	p.AddProc(&Proc{Name: "a"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate proc did not panic")
+		}
+	}()
+	p.AddProc(&Proc{Name: "a"})
+}
+
+func TestValidateCatchesBadNodes(t *testing.T) {
+	mk := func(body ...*Node) *Program {
+		p := NewProgram("x")
+		p.AddProc(&Proc{Name: "main", Body: body})
+		return p
+	}
+	bad := []*Program{
+		mk(Compute(Work{})),                                  // empty compute
+		mk(Compute(Work{Int: 1, DepChain: 2})),               // bad depchain
+		mk(Loop("l", 0, Compute(Work{Int: 1}))),              // zero trip
+		mk(Call("ghost")),                                    // undefined callee
+		mk(Branch(1.5, []*Node{Compute(Work{Int: 1})}, nil)), // bad prob
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid program accepted", i)
+		}
+	}
+}
+
+func TestLevelsAndLower(t *testing.T) {
+	p := NewProgram("x")
+	if p.Level != VeryHigh {
+		t.Fatal("programs start at VH")
+	}
+	for _, want := range []Level{High, Mid, Low, VeryLow, VeryLow} {
+		p.Lower()
+		if p.Level != want {
+			t.Fatalf("level = %v, want %v", p.Level, want)
+		}
+	}
+	names := []string{VeryHigh.String(), High.String(), Mid.String(), Low.String(), VeryLow.String()}
+	if strings.Join(names, ",") != "VH,H,M,L,VL" {
+		t.Fatalf("level names: %v", names)
+	}
+}
+
+func TestInstrumentationWrapsProceduresAndLoops(t *testing.T) {
+	p := mustParse(t, heatSrc)
+	scores := Instrument(p, InstrumentOptions{Procedures: true, Loops: true})
+	main := p.Proc("main")
+	if main.Body[0].Kind != KindInstrument || main.Body[0].Name != "main" {
+		t.Fatalf("main not wrapped: %+v", main.Body[0])
+	}
+	// The timestep loop inside main's wrapper should itself be wrapped.
+	inner := main.Body[0].Body[0]
+	if inner.Kind != KindInstrument || inner.Name != "timestep" {
+		t.Fatalf("loop not wrapped: %+v", inner)
+	}
+	var names []string
+	for _, s := range scores {
+		names = append(names, s.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"main", "sweep", "timestep", "rows"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("scores missing %q: %v", want, names)
+		}
+	}
+	// Idempotent.
+	Instrument(p, InstrumentOptions{Procedures: true, Loops: true})
+	if main.Body[0].Body[0].Kind != KindInstrument || main.Body[0].Body[0].Body[0].Kind == KindInstrument {
+		t.Fatal("double instrumentation")
+	}
+}
+
+func TestSelectiveInstrumentationSkipsSmallHotRegions(t *testing.T) {
+	src := `
+program tiny
+proc main() {
+    loop big 100000 {
+        call small
+    }
+}
+proc small() {
+    compute int=10
+}
+`
+	p := mustParse(t, src)
+	scores := Instrument(p, InstrumentOptions{
+		Procedures: true, Loops: true, Selective: true,
+		MinWeight: 1000, MaxInvocations: 1000,
+	})
+	var small, big *RegionScore
+	for i := range scores {
+		switch scores[i].Name {
+		case "small":
+			small = &scores[i]
+		case "big":
+			big = &scores[i]
+		}
+	}
+	if small == nil || small.Selected {
+		t.Fatalf("small hot proc should be skipped: %+v", small)
+	}
+	if big == nil || !big.Selected {
+		t.Fatalf("outer loop should be instrumented: %+v", big)
+	}
+	// The small proc body must not carry an instrument wrapper.
+	if p.Proc("small").Body[0].Kind == KindInstrument {
+		t.Fatal("skipped region was wrapped anyway")
+	}
+	report := SummarizeScores(scores)
+	if !strings.Contains(report, "skipped (selective)") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestOptimizeLevelsProgression(t *testing.T) {
+	p := mustParse(t, heatSrc)
+	cgs := map[OptLevel]CodeGen{}
+	for _, lvl := range []OptLevel{O0, O1, O2, O3} {
+		cgs[lvl] = Optimize(p, lvl, nil)
+	}
+	if len(cgs[O0].Applied) != 0 {
+		t.Fatalf("O0 applied passes: %v", cgs[O0].Applied)
+	}
+	if len(cgs[O1].Applied) >= len(cgs[O2].Applied) || len(cgs[O2].Applied) >= len(cgs[O3].Applied) {
+		t.Fatal("pass pipelines should be cumulative")
+	}
+	// Instruction expansion decreases monotonically with level.
+	instr := func(cg CodeGen) float64 {
+		w := Work{FP: 35, Int: 25, Loads: 25, Stores: 10, Branches: 5}
+		return float64(w.FP)*cg.FPExpand + float64(w.Int)*cg.IntExpand +
+			float64(w.Loads)*cg.LoadExpand + float64(w.Stores)*cg.StoreExpand +
+			float64(w.Branches)*cg.BranchExpand
+	}
+	i0, i1, i2, i3 := instr(cgs[O0]), instr(cgs[O1]), instr(cgs[O2]), instr(cgs[O3])
+	if !(i0 > i1 && i1 > i2 && i2 >= i3) {
+		t.Fatalf("instruction counts not decreasing: %g %g %g %g", i0, i1, i2, i3)
+	}
+	// Table I shape: O1 cuts roughly half the instructions, O2 most of them.
+	if r := i1 / i0; r < 0.3 || r > 0.65 {
+		t.Fatalf("O1/O0 instruction ratio %g outside Table-I band", r)
+	}
+	if r := i2 / i0; r < 0.02 || r > 0.15 {
+		t.Fatalf("O2/O0 instruction ratio %g outside Table-I band", r)
+	}
+	// ILP: O1 above O0, O2 below O1, O3 above O2 (Table I IPC shape).
+	b0, b1, b2, b3 := cgs[O0].ILPBoost, cgs[O1].ILPBoost, cgs[O2].ILPBoost, cgs[O3].ILPBoost
+	if !(b1 > b0 && b2 < b1 && b3 > b2) {
+		t.Fatalf("ILP boosts wrong shape: %g %g %g %g", b0, b1, b2, b3)
+	}
+}
+
+func TestParseOptLevel(t *testing.T) {
+	for s, want := range map[string]OptLevel{"O0": O0, "-O2": O2, "3": O3, "O1": O1} {
+		got, err := ParseOptLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseOptLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseOptLevel("O9"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if O2.String() != "-O2" {
+		t.Fatalf("String: %q", O2.String())
+	}
+}
+
+func compileAndRun(t *testing.T, src string, level OptLevel, threads int) *perfdmf.Trial {
+	t.Helper()
+	p := mustParse(t, src)
+	ex, _, err := Compile(p, level, DefaultInstrumentation(), nil)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := machine.New(machine.Altix(8, 2))
+	eng := sim.NewEngine(m, sim.Options{Threads: threads})
+	tr, err := ex.Run(eng, "heat", "test", level.String())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return tr
+}
+
+func TestCompileRunEndToEnd(t *testing.T) {
+	tr := compileAndRun(t, heatSrc, O2, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	main := tr.Event("main")
+	if main == nil || main.Calls[0] != 1 {
+		t.Fatalf("main event: %+v", main)
+	}
+	rows := tr.Event("rows")
+	if rows == nil {
+		t.Fatal("parallel loop event missing")
+	}
+	// All 4 threads took part in the parallel loop.
+	for th := 0; th < 4; th++ {
+		if rows.Inclusive[perfdmf.TimeMetric][th] <= 0 {
+			t.Fatalf("thread %d absent from parallel loop", th)
+		}
+	}
+	if tr.Metadata["compiler:opt_level"] != "-O2" {
+		t.Fatalf("metadata: %v", tr.Metadata)
+	}
+	if !tr.HasMetric("CPU_CYCLES") || !tr.HasMetric("BACK_END_BUBBLE_ALL") {
+		t.Fatalf("metrics: %v", tr.Metrics)
+	}
+}
+
+func TestOptLevelsChangeRuntime(t *testing.T) {
+	t0 := compileAndRun(t, heatSrc, O0, 4)
+	t2 := compileAndRun(t, heatSrc, O2, 4)
+	get := func(tr *perfdmf.Trial, metric string) float64 {
+		return perfdmf.Mean(tr.Event("main").Inclusive[metric])
+	}
+	if get(t2, perfdmf.TimeMetric) >= get(t0, perfdmf.TimeMetric) {
+		t.Fatal("O2 not faster than O0")
+	}
+	if get(t2, "INSTRUCTIONS_COMPLETED") >= get(t0, "INSTRUCTIONS_COMPLETED")/5 {
+		t.Fatalf("O2 instruction reduction too small: %g vs %g",
+			get(t2, "INSTRUCTIONS_COMPLETED"), get(t0, "INSTRUCTIONS_COMPLETED"))
+	}
+}
+
+func TestCostModelPredictAndRecommend(t *testing.T) {
+	cm := DefaultCostModel()
+	w := Work{Loads: 100000, Stores: 20000, Len: 32 << 20, Reuse: 3}
+	pred := cm.Cache.Predict(w)
+	if pred.L3 <= 0 || pred.MemStallCyc <= 0 {
+		t.Fatalf("prediction: %+v", pred)
+	}
+	small := cm.Cache.Predict(Work{Loads: 100000, Len: 8 << 10, Reuse: 10})
+	if small.L3 >= pred.L3 {
+		t.Fatal("small footprint should predict fewer L3 misses")
+	}
+	if cm.Cache.Predict(Work{}).MemStallCyc != 0 {
+		t.Fatal("no accesses should predict zero stalls")
+	}
+
+	ilpSerial := cm.Processor.EstimateILP(Work{DepChain: 1})
+	ilpParallel := cm.Processor.EstimateILP(Work{DepChain: 0})
+	if ilpSerial >= ilpParallel {
+		t.Fatal("dependent code should have lower ILP")
+	}
+
+	if !cm.Parallel.ShouldParallelize(1e6, 100, 8) {
+		t.Fatal("large loop should parallelize")
+	}
+	if cm.Parallel.ShouldParallelize(10, 2, 8) {
+		t.Fatal("tiny loop should not parallelize")
+	}
+	// Highly variable iterations want small chunks.
+	c := cm.Parallel.RecommendChunk(400, 16, 5e5, 0.8)
+	if c > 2 {
+		t.Fatalf("recommended chunk %d for highly variable loop, want small", c)
+	}
+	// Uniform iterations tolerate larger chunks.
+	cu := cm.Parallel.RecommendChunk(400, 16, 5e5, 0.0)
+	if cu < c {
+		t.Fatalf("uniform loop should allow chunk >= variable loop (%d vs %d)", cu, c)
+	}
+}
+
+func TestCostModelFeedback(t *testing.T) {
+	tr := perfdmf.NewTrial("a", "e", "t", 2)
+	tr.AddMetric("BACK_END_BUBBLE_ALL")
+	tr.AddMetric("CPU_CYCLES")
+	tr.AddMetric("REMOTE_MEMORY_ACCESSES")
+	tr.AddMetric("L3_MISSES")
+	e := tr.EnsureEvent("bicgstab")
+	for th := 0; th < 2; th++ {
+		e.SetValue("BACK_END_BUBBLE_ALL", th, 0, 600)
+		e.SetValue("CPU_CYCLES", th, 0, 1000)
+		e.SetValue("REMOTE_MEMORY_ACCESSES", th, 0, 80)
+		e.SetValue("L3_MISSES", th, 0, 100)
+	}
+	cm := DefaultCostModel()
+	if err := cm.ApplyFeedback(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.StallRate("bicgstab", 0); got != 0.6 {
+		t.Fatalf("stall rate = %g", got)
+	}
+	if got := cm.RemoteRatio("bicgstab", 0); got != 0.8 {
+		t.Fatalf("remote ratio = %g", got)
+	}
+	if got := cm.StallRate("unknown", 0.11); got != 0.11 {
+		t.Fatal("default not used for unmeasured event")
+	}
+	bad := perfdmf.NewTrial("a", "e", "t", 1)
+	if err := cm.ApplyFeedback(bad); err == nil {
+		t.Fatal("feedback without metrics accepted")
+	}
+}
+
+func TestExpandUsesRegions(t *testing.T) {
+	m := machine.New(machine.Altix(2, 2))
+	r := m.AllocRegion("grid", 1<<20)
+	cg := UnoptimizedCodeGen()
+	w := Work{Loads: 100, Stores: 50, Region: "grid", Off: 0, Len: 4096, Reuse: 2, FirstTouch: true}
+	k := cg.Expand(w, func(name string) *machine.Region { return m.Region(name) })
+	if len(k.Refs) != 2 || k.Refs[0].Region != r {
+		t.Fatalf("kernel refs: %+v", k.Refs)
+	}
+	// Essential traffic stays on the region; spill traffic (expansion - 1)
+	// is stack-resident with no region.
+	if k.Refs[0].Loads != 100 {
+		t.Fatalf("essential loads: %d", k.Refs[0].Loads)
+	}
+	if k.Refs[1].Region != nil || k.Refs[1].Loads != 100*29 {
+		t.Fatalf("spill ref: %+v", k.Refs[1])
+	}
+	// Unknown region: kernel still carries the op counts.
+	k2 := cg.Expand(w, func(string) *machine.Region { return nil })
+	if k2.Refs[0].Region != nil || k2.Refs[0].Loads == 0 {
+		t.Fatalf("fallback ref: %+v", k2.Refs[0])
+	}
+}
+
+func TestBranchTakesLikelySide(t *testing.T) {
+	src := `
+program b
+proc main() {
+    branch 0.9 {
+        compute int=1000000 dep=0.1
+    }
+    else {
+        compute int=10 dep=0.1
+    }
+}
+`
+	tr := compileAndRun(t, src, O0, 1)
+	instr := perfdmf.Mean(tr.Event("main").Inclusive["INSTRUCTIONS_COMPLETED"])
+	if instr < 1e6 {
+		t.Fatalf("likely side not taken: %g instructions", instr)
+	}
+}
+
+func TestRecursionGuard(t *testing.T) {
+	p := NewProgram("r")
+	p.AddProc(&Proc{Name: "main", Body: []*Node{Call("main")}})
+	ex, _, err := Compile(p, O0, InstrumentOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Altix(2, 2))
+	eng := sim.NewEngine(m, sim.Options{Threads: 1})
+	if _, err := ex.Run(eng, "a", "e", "t"); err == nil {
+		t.Fatal("unbounded recursion not detected")
+	}
+}
+
+func TestLoopCollapseMatchesIteration(t *testing.T) {
+	// A compute-only loop must cost the same collapsed or iterated.
+	src := `
+program c
+proc main() {
+    loop l 1000 {
+        compute fp=100 int=50 dep=0.2
+    }
+}
+`
+	run := func(collapse bool) uint64 {
+		p := mustParse(t, src)
+		ex, _, err := Compile(p, O2, InstrumentOptions{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.LoopCollapse = collapse
+		m := machine.New(machine.Altix(2, 2))
+		eng := sim.NewEngine(m, sim.Options{Threads: 1})
+		if _, err := ex.Run(eng, "a", "e", "t"); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Master().Clock
+	}
+	collapsed, iterated := run(true), run(false)
+	diff := float64(collapsed) - float64(iterated)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff/float64(iterated) > 0.04 {
+		t.Fatalf("collapse changed cost: %d vs %d", collapsed, iterated)
+	}
+}

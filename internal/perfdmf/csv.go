@@ -1,0 +1,89 @@
+package perfdmf
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV exports the trial as a long-form CSV table with one row per
+// (event, metric, thread) triple — the layout spreadsheet-side analyses and
+// external data-mining toolkits expect.
+func WriteCSV(w io.Writer, t *Trial) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"application", "experiment", "trial", "event", "metric", "thread", "calls", "exclusive", "inclusive"}); err != nil {
+		return fmt.Errorf("perfdmf: write CSV: %w", err)
+	}
+	metrics := append([]string(nil), t.Metrics...)
+	sort.Strings(metrics)
+	for _, e := range t.Events {
+		for _, m := range metrics {
+			inc, exc := e.Inclusive[m], e.Exclusive[m]
+			for th := 0; th < t.Threads; th++ {
+				row := []string{
+					t.App, t.Experiment, t.Name, e.Name, m,
+					strconv.Itoa(th),
+					strconv.FormatFloat(e.Calls[th], 'g', -1, 64),
+					strconv.FormatFloat(valueAt(exc, th), 'g', -1, 64),
+					strconv.FormatFloat(valueAt(inc, th), 'g', -1, 64),
+				}
+				if err := cw.Write(row); err != nil {
+					return fmt.Errorf("perfdmf: write CSV: %w", err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a long-form CSV table written by WriteCSV back into a
+// Trial. Thread count is inferred from the largest thread index seen.
+func ReadCSV(r io.Reader) (*Trial, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("perfdmf: read CSV: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("perfdmf: read CSV: no data rows")
+	}
+	type sample struct {
+		event, metric     string
+		thread            int
+		calls, excl, incl float64
+	}
+	var samples []sample
+	app, experiment, name := "", "", ""
+	maxThread := 0
+	for i, row := range rows[1:] {
+		if len(row) != 9 {
+			return nil, fmt.Errorf("perfdmf: read CSV: row %d has %d columns, want 9", i+2, len(row))
+		}
+		th, err1 := strconv.Atoi(row[5])
+		calls, err2 := strconv.ParseFloat(row[6], 64)
+		excl, err3 := strconv.ParseFloat(row[7], 64)
+		incl, err4 := strconv.ParseFloat(row[8], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("perfdmf: read CSV: row %d has malformed numeric fields", i+2)
+		}
+		app, experiment, name = row[0], row[1], row[2]
+		if th > maxThread {
+			maxThread = th
+		}
+		samples = append(samples, sample{row[3], row[4], th, calls, excl, incl})
+	}
+	t := NewTrial(app, experiment, name, maxThread+1)
+	for _, s := range samples {
+		t.AddMetric(s.metric)
+		e := t.EnsureEvent(s.event)
+		e.Calls[s.thread] = s.calls
+		e.SetValue(s.metric, s.thread, s.incl, s.excl)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,115 @@
+package perfdmf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseGprof imports a gprof flat profile ("gprof -p" output) as a
+// single-thread trial — one of the external formats PerfDMF accepts beside
+// its native ones. The parser reads the standard columns:
+//
+//	 %   cumulative   self              self     total
+//	time   seconds   seconds    calls  ms/call  ms/call  name
+//	33.3       0.02      0.02     7208     0.00     0.01  compute_flux
+//
+// Self seconds become the event's exclusive TIME (microseconds); inclusive
+// TIME is total-ms/call × calls when both are present, otherwise the
+// exclusive value. Lines before the header and the trailing explanation
+// block are ignored.
+func ParseGprof(r io.Reader, app, experiment, name string) (*Trial, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+
+	// Find the column header.
+	inTable := false
+	type row struct {
+		name              string
+		selfSec           float64
+		calls             float64
+		selfMs, totalMs   float64
+		hasCalls, hasRate bool
+	}
+	var rows []row
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if !inTable {
+			if strings.HasPrefix(trimmed, "time") && strings.Contains(trimmed, "seconds") {
+				inTable = true
+			}
+			continue
+		}
+		if trimmed == "" {
+			break // end of the flat table
+		}
+		fields := strings.Fields(trimmed)
+		if len(fields) < 4 {
+			continue
+		}
+		// Columns: %time cumulative self [calls [self-ms [total-ms]]] name...
+		pct, err1 := strconv.ParseFloat(fields[0], 64)
+		_, err2 := strconv.ParseFloat(fields[1], 64)
+		selfSec, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil || pct < 0 {
+			continue // explanation text or malformed line
+		}
+		rw := row{selfSec: selfSec}
+		idx := 3
+		if idx < len(fields) {
+			if calls, err := strconv.ParseFloat(fields[idx], 64); err == nil && !strings.Contains(fields[idx], ".") {
+				rw.calls = calls
+				rw.hasCalls = true
+				idx++
+				if idx+1 < len(fields) {
+					selfMs, e1 := strconv.ParseFloat(fields[idx], 64)
+					totalMs, e2 := strconv.ParseFloat(fields[idx+1], 64)
+					if e1 == nil && e2 == nil {
+						rw.selfMs, rw.totalMs = selfMs, totalMs
+						rw.hasRate = true
+						idx += 2
+					}
+				}
+			}
+		}
+		if idx >= len(fields) {
+			continue
+		}
+		rw.name = strings.Join(fields[idx:], " ")
+		rows = append(rows, rw)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perfdmf: parse gprof: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("perfdmf: parse gprof: no flat profile table found")
+	}
+
+	t := NewTrial(app, experiment, name, 1)
+	t.AddMetric(TimeMetric)
+	t.Metadata["source_format"] = "gprof flat profile"
+	for _, rw := range rows {
+		e := t.EnsureEvent(rw.name)
+		if rw.hasCalls {
+			e.Calls[0] = rw.calls
+		} else {
+			e.Calls[0] = 1
+		}
+		exclUsec := rw.selfSec * 1e6
+		inclUsec := exclUsec
+		if rw.hasRate && rw.hasCalls {
+			inclUsec = rw.totalMs * rw.calls * 1e3
+			if inclUsec < exclUsec {
+				inclUsec = exclUsec
+			}
+		}
+		e.SetValue(TimeMetric, 0, inclUsec, exclUsec)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

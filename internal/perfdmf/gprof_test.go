@@ -1,0 +1,107 @@
+package perfdmf
+
+import (
+	"strings"
+	"testing"
+)
+
+const gprofSample = `Flat profile:
+
+Each sample counts as 0.01 seconds.
+  %   cumulative   self              self     total
+ time   seconds   seconds    calls  ms/call  ms/call  name
+ 60.00      0.60     0.60     1200     0.50     0.75  compute_flux
+ 30.00      0.90     0.30      400     0.75     0.80  apply_bc
+ 10.00      1.00     0.10                             main_loop
+
+ %         the percentage of the total running time of the
+time       program used by this function.
+`
+
+func TestParseGprof(t *testing.T) {
+	tr, err := ParseGprof(strings.NewReader(gprofSample), "app", "gprof", "run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Threads != 1 {
+		t.Fatalf("threads = %d", tr.Threads)
+	}
+	if !tr.HasMetric(TimeMetric) {
+		t.Fatalf("metrics: %v", tr.Metrics)
+	}
+	if len(tr.Events) != 3 {
+		t.Fatalf("events: %d", len(tr.Events))
+	}
+
+	cf := tr.Event("compute_flux")
+	if cf == nil {
+		t.Fatal("compute_flux missing")
+	}
+	if cf.Calls[0] != 1200 {
+		t.Fatalf("calls = %g", cf.Calls[0])
+	}
+	// self 0.60 s = 600000 usec exclusive.
+	if cf.Exclusive[TimeMetric][0] != 600000 {
+		t.Fatalf("exclusive = %g", cf.Exclusive[TimeMetric][0])
+	}
+	// inclusive = total ms/call * calls = 0.75 * 1200 * 1000 usec = 900000.
+	if cf.Inclusive[TimeMetric][0] != 900000 {
+		t.Fatalf("inclusive = %g", cf.Inclusive[TimeMetric][0])
+	}
+
+	// Event without call counts: calls default to 1, inclusive == exclusive.
+	ml := tr.Event("main_loop")
+	if ml == nil || ml.Calls[0] != 1 {
+		t.Fatalf("main_loop: %+v", ml)
+	}
+	if ml.Inclusive[TimeMetric][0] != ml.Exclusive[TimeMetric][0] {
+		t.Fatal("main_loop inclusive should equal exclusive")
+	}
+	if tr.Metadata["source_format"] != "gprof flat profile" {
+		t.Fatalf("metadata: %v", tr.Metadata)
+	}
+}
+
+func TestParseGprofInclusiveFloor(t *testing.T) {
+	// Inclusive must never be below exclusive even when total ms/call is
+	// inconsistent.
+	src := `
+ time   seconds   seconds    calls  ms/call  ms/call  name
+ 50.00      0.50     0.50      100     5.00     0.01  weird
+`
+	tr, err := ParseGprof(strings.NewReader(src), "a", "e", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tr.Event("weird")
+	if e.Inclusive[TimeMetric][0] < e.Exclusive[TimeMetric][0] {
+		t.Fatal("inclusive floored below exclusive")
+	}
+}
+
+func TestParseGprofErrors(t *testing.T) {
+	if _, err := ParseGprof(strings.NewReader("no table here\n"), "a", "e", "t"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+	if _, err := ParseGprof(strings.NewReader(""), "a", "e", "t"); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestParseGprofNamesWithSpaces(t *testing.T) {
+	src := `
+ time   seconds   seconds    calls  ms/call  ms/call  name
+ 50.00      0.50     0.50      100     5.00     5.00  std::vector<int>::push_back(int const&)
+ 50.00      1.00     0.50                             spontaneous frame
+`
+	tr, err := ParseGprof(strings.NewReader(src), "a", "e", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Event("std::vector<int>::push_back(int const&)") == nil {
+		t.Fatalf("templated name lost: %v", tr.EventNames())
+	}
+	if tr.Event("spontaneous frame") == nil {
+		t.Fatalf("multi-word name lost: %v", tr.EventNames())
+	}
+}

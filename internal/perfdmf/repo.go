@@ -1,0 +1,214 @@
+package perfdmf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Repository stores trials in the Application → Experiment → Trial
+// hierarchy. A repository may be purely in-memory (root == "") or backed by
+// a directory tree root/app/experiment/trial.json; file-backed repositories
+// keep an in-memory cache of everything loaded or saved.
+//
+// Repository is safe for concurrent use.
+type Repository struct {
+	mu    sync.RWMutex
+	root  string
+	cache map[string]*Trial // key: app/experiment/trial
+}
+
+// NewRepository returns an in-memory repository.
+func NewRepository() *Repository {
+	return &Repository{cache: make(map[string]*Trial)}
+}
+
+// OpenRepository returns a repository backed by the directory root,
+// creating it if needed.
+func OpenRepository(root string) (*Repository, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("perfdmf: open repository: %w", err)
+	}
+	return &Repository{root: root, cache: make(map[string]*Trial)}, nil
+}
+
+func key(app, experiment, trial string) string {
+	return app + "\x00" + experiment + "\x00" + trial
+}
+
+// safe makes a name usable as a path component.
+func safe(name string) string {
+	r := strings.NewReplacer("/", "_", "\\", "_", ":", "_", " ", "_")
+	return r.Replace(name)
+}
+
+func (r *Repository) path(app, experiment, trial string) string {
+	return filepath.Join(r.root, safe(app), safe(experiment), safe(trial)+".json")
+}
+
+// Save stores the trial (validating first) and persists it when the
+// repository is file-backed.
+func (r *Repository) Save(t *Trial) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache[key(t.App, t.Experiment, t.Name)] = t
+	if r.root == "" {
+		return nil
+	}
+	p := r.path(t.App, t.Experiment, t.Name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("perfdmf: save trial: %w", err)
+	}
+	data, err := json.MarshalIndent(t, "", " ")
+	if err != nil {
+		return fmt.Errorf("perfdmf: encode trial: %w", err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("perfdmf: write trial: %w", err)
+	}
+	return os.Rename(tmp, p)
+}
+
+// GetTrial loads a trial by its (application, experiment, name) coordinates.
+func (r *Repository) GetTrial(app, experiment, trial string) (*Trial, error) {
+	r.mu.RLock()
+	t, ok := r.cache[key(app, experiment, trial)]
+	r.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	if r.root == "" {
+		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q not found", app, experiment, trial)
+	}
+	data, err := os.ReadFile(r.path(app, experiment, trial))
+	if err != nil {
+		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w", app, experiment, trial, err)
+	}
+	t = &Trial{}
+	if err := json.Unmarshal(data, t); err != nil {
+		return nil, fmt.Errorf("perfdmf: decode trial %q/%q/%q: %w", app, experiment, trial, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.cache[key(app, experiment, trial)] = t
+	r.mu.Unlock()
+	return t, nil
+}
+
+// Delete removes a trial from the cache and, when file-backed, from disk.
+func (r *Repository) Delete(app, experiment, trial string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.cache, key(app, experiment, trial))
+	if r.root == "" {
+		return nil
+	}
+	err := os.Remove(r.path(app, experiment, trial))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Applications lists application names known to the repository, sorted.
+func (r *Repository) Applications() []string {
+	set := make(map[string]bool)
+	r.mu.RLock()
+	for k := range r.cache {
+		set[strings.SplitN(k, "\x00", 2)[0]] = true
+	}
+	r.mu.RUnlock()
+	if r.root != "" {
+		if entries, err := os.ReadDir(r.root); err == nil {
+			for _, e := range entries {
+				if e.IsDir() {
+					set[e.Name()] = true
+				}
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Experiments lists experiment names for an application, sorted.
+func (r *Repository) Experiments(app string) []string {
+	set := make(map[string]bool)
+	r.mu.RLock()
+	for k := range r.cache {
+		parts := strings.SplitN(k, "\x00", 3)
+		if parts[0] == app {
+			set[parts[1]] = true
+		}
+	}
+	r.mu.RUnlock()
+	if r.root != "" {
+		if entries, err := os.ReadDir(filepath.Join(r.root, safe(app))); err == nil {
+			for _, e := range entries {
+				if e.IsDir() {
+					set[e.Name()] = true
+				}
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Trials lists trial names for an (application, experiment) pair, sorted.
+func (r *Repository) Trials(app, experiment string) []string {
+	set := make(map[string]bool)
+	r.mu.RLock()
+	for k := range r.cache {
+		parts := strings.SplitN(k, "\x00", 3)
+		if parts[0] == app && parts[1] == experiment {
+			set[parts[2]] = true
+		}
+	}
+	r.mu.RUnlock()
+	if r.root != "" {
+		dir := filepath.Join(r.root, safe(app), safe(experiment))
+		if entries, err := os.ReadDir(dir); err == nil {
+			for _, e := range entries {
+				if name, ok := strings.CutSuffix(e.Name(), ".json"); ok {
+					set[name] = true
+				}
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// ReadTrialFile loads a single trial from a native JSON snapshot (the file
+// format Save writes), without needing a repository.
+func ReadTrialFile(path string) (*Trial, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perfdmf: read trial: %w", err)
+	}
+	t := &Trial{}
+	if err := json.Unmarshal(data, t); err != nil {
+		return nil, fmt.Errorf("perfdmf: decode trial %s: %w", path, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

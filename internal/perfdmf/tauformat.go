@@ -1,0 +1,264 @@
+package perfdmf
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the classic TAU text profile format: one directory
+// per metric (MULTI__<METRIC>) containing one "profile.<node>.<context>.<thread>"
+// file per thread. Each file lists every instrumented function with call
+// counts and exclusive/inclusive totals, and node 0 carries the trial
+// metadata as an XML fragment on its header comment line, which is how TAU
+// transports performance context into PerfDMF.
+
+// WriteTAU writes the trial in TAU text format under dir, one subdirectory
+// per metric.
+func WriteTAU(dir string, t *Trial) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	for _, metric := range t.Metrics {
+		mdir := filepath.Join(dir, "MULTI__"+safe(metric))
+		if err := os.MkdirAll(mdir, 0o755); err != nil {
+			return fmt.Errorf("perfdmf: write TAU: %w", err)
+		}
+		for thread := 0; thread < t.Threads; thread++ {
+			if err := writeTAUFile(mdir, t, metric, thread); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeTAUFile(mdir string, t *Trial, metric string, thread int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d templated_functions_MULTI_%s\n", len(t.Events), safe(metric))
+	b.WriteString("# Name Calls Subrs Excl Incl ProfileCalls")
+	if thread == 0 && len(t.Metadata) > 0 {
+		b.WriteString(" # <metadata>")
+		for _, k := range sortedMetaKeys(t.Metadata) {
+			fmt.Fprintf(&b, "<attribute><name>%s</name><value>%s</value></attribute>",
+				xmlEscape(k), xmlEscape(t.Metadata[k]))
+		}
+		b.WriteString("</metadata>")
+	}
+	b.WriteByte('\n')
+	for _, e := range t.Events {
+		excl := valueAt(e.Exclusive[metric], thread)
+		incl := valueAt(e.Inclusive[metric], thread)
+		group := "TAU_DEFAULT"
+		if len(e.Groups) > 0 {
+			group = strings.Join(e.Groups, "|")
+		}
+		fmt.Fprintf(&b, "%q %g %g %g %g 0 GROUP=%q\n", e.Name, e.Calls[thread], 0.0, excl, incl, group)
+	}
+	b.WriteString("0 aggregates\n")
+	name := filepath.Join(mdir, fmt.Sprintf("profile.%d.0.0", thread))
+	return os.WriteFile(name, []byte(b.String()), 0o644)
+}
+
+func valueAt(xs []float64, i int) float64 {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return 0
+}
+
+func sortedMetaKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func xmlUnescape(s string) string {
+	r := strings.NewReplacer("&lt;", "<", "&gt;", ">", "&quot;", `"`, "&amp;", "&")
+	return r.Replace(s)
+}
+
+// ParseTAU reads a TAU-format profile tree written by WriteTAU (or by TAU
+// itself, for the single node/context layout) and reconstructs a Trial with
+// the given identity. Metric names are recovered from the MULTI__
+// directory names.
+func ParseTAU(dir, app, experiment, name string) (*Trial, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("perfdmf: parse TAU: %w", err)
+	}
+	var metricDirs []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "MULTI__") {
+			metricDirs = append(metricDirs, e.Name())
+		}
+	}
+	sort.Strings(metricDirs)
+	if len(metricDirs) == 0 {
+		return nil, fmt.Errorf("perfdmf: parse TAU: no MULTI__ metric directories under %s", dir)
+	}
+
+	// Thread count from the first metric directory.
+	first, err := os.ReadDir(filepath.Join(dir, metricDirs[0]))
+	if err != nil {
+		return nil, fmt.Errorf("perfdmf: parse TAU: %w", err)
+	}
+	threads := 0
+	for _, f := range first {
+		if strings.HasPrefix(f.Name(), "profile.") {
+			threads++
+		}
+	}
+	if threads == 0 {
+		return nil, fmt.Errorf("perfdmf: parse TAU: no profile files in %s", metricDirs[0])
+	}
+
+	t := NewTrial(app, experiment, name, threads)
+	for _, mdir := range metricDirs {
+		metric := strings.TrimPrefix(mdir, "MULTI__")
+		t.AddMetric(metric)
+		for thread := 0; thread < threads; thread++ {
+			path := filepath.Join(dir, mdir, fmt.Sprintf("profile.%d.0.0", thread))
+			if err := parseTAUFile(path, t, metric, thread); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseTAUFile(path string, t *Trial, metric string, thread int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("perfdmf: parse TAU: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+
+	if !sc.Scan() {
+		return fmt.Errorf("perfdmf: %s: empty profile", path)
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) < 2 {
+		return fmt.Errorf("perfdmf: %s: malformed header %q", path, sc.Text())
+	}
+	nfuncs, err := strconv.Atoi(header[0])
+	if err != nil {
+		return fmt.Errorf("perfdmf: %s: malformed function count: %w", path, err)
+	}
+
+	if !sc.Scan() {
+		return fmt.Errorf("perfdmf: %s: missing column header", path)
+	}
+	if meta := sc.Text(); strings.Contains(meta, "<metadata>") {
+		parseTAUMetadata(meta, t)
+	}
+
+	for i := 0; i < nfuncs; i++ {
+		if !sc.Scan() {
+			return fmt.Errorf("perfdmf: %s: expected %d functions, got %d", path, nfuncs, i)
+		}
+		line := sc.Text()
+		name, rest, err := splitQuoted(line)
+		if err != nil {
+			return fmt.Errorf("perfdmf: %s line %d: %w", path, i+3, err)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 5 {
+			return fmt.Errorf("perfdmf: %s line %d: want 5+ numeric fields, got %d", path, i+3, len(fields))
+		}
+		calls, err1 := strconv.ParseFloat(fields[0], 64)
+		excl, err2 := strconv.ParseFloat(fields[2], 64)
+		incl, err3 := strconv.ParseFloat(fields[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("perfdmf: %s line %d: malformed numeric fields", path, i+3)
+		}
+		e := t.EnsureEvent(name)
+		e.Calls[thread] = calls
+		e.SetValue(metric, thread, incl, excl)
+		for _, fld := range fields[4:] {
+			if g, ok := strings.CutPrefix(fld, "GROUP=\""); ok {
+				g = strings.TrimSuffix(g, "\"")
+				if g != "TAU_DEFAULT" && len(e.Groups) == 0 {
+					e.Groups = strings.Split(g, "|")
+				}
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// splitQuoted splits a line of the form `"event name" rest...` into the
+// quoted name and the remainder.
+func splitQuoted(line string) (name, rest string, err error) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, `"`) {
+		return "", "", fmt.Errorf("event line does not start with a quoted name: %q", line)
+	}
+	// Event names may contain escaped quotes via strconv-style quoting.
+	name, err = strconv.Unquote(firstQuoted(line))
+	if err != nil {
+		return "", "", fmt.Errorf("malformed quoted event name in %q: %w", line, err)
+	}
+	return name, line[len(firstQuoted(line)):], nil
+}
+
+func firstQuoted(line string) string {
+	for i := 1; i < len(line); i++ {
+		if line[i] == '"' && line[i-1] != '\\' {
+			return line[:i+1]
+		}
+	}
+	return line
+}
+
+func parseTAUMetadata(line string, t *Trial) {
+	rest := line
+	for {
+		start := strings.Index(rest, "<attribute>")
+		if start < 0 {
+			return
+		}
+		end := strings.Index(rest[start:], "</attribute>")
+		if end < 0 {
+			return
+		}
+		attr := rest[start : start+end]
+		k := between(attr, "<name>", "</name>")
+		v := between(attr, "<value>", "</value>")
+		if k != "" {
+			t.Metadata[xmlUnescape(k)] = xmlUnescape(v)
+		}
+		rest = rest[start+end+len("</attribute>"):]
+	}
+}
+
+func between(s, open, close string) string {
+	i := strings.Index(s, open)
+	if i < 0 {
+		return ""
+	}
+	s = s[i+len(open):]
+	j := strings.Index(s, close)
+	if j < 0 {
+		return ""
+	}
+	return s[:j]
+}

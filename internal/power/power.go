@@ -1,0 +1,194 @@
+// Package power implements the component-based processor power and energy
+// model of §III-C (Eq. 1 and Eq. 2): the power drawn by each on-die
+// component is its access rate times an architectural scaling factor times
+// the published thermal design power, and total processor power is the sum
+// over components plus idle power. For multiprocessor runs, total system
+// power sums the per-processor estimate over all processing elements.
+//
+// Access rates come straight from the hardware counter metrics recorded in
+// a trial, so the model composes with PerfExplorer scripts: derive the
+// rates, estimate power and energy, and let inference rules recommend
+// optimization levels for low power, low energy, or both.
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"perfknow/internal/perfdmf"
+)
+
+// Component is one on-die block tracked by the model.
+type Component struct {
+	Name        string
+	Metric      string  // counter metric whose per-cycle rate drives the block
+	ArchScaling float64 // architectural scaling factor (Eq. 1)
+}
+
+// Model carries the processor parameters.
+type Model struct {
+	TDPWatts   float64
+	IdleWatts  float64
+	ClockHz    float64
+	Components []Component
+}
+
+// Itanium2 returns the model instantiated for the Madison processors of the
+// paper's Altix systems: 130 W TDP with a high idle fraction, which is why
+// Table I's total power moves only a few percent across optimization levels
+// while energy moves by 20x.
+func Itanium2() Model {
+	return Model{
+		TDPWatts:  130,
+		IdleWatts: 98,
+		ClockHz:   1.5e9,
+		Components: []Component{
+			{Name: "frontend", Metric: "INSTRUCTIONS_ISSUED", ArchScaling: 0.055},
+			{Name: "fpu", Metric: "FP_OPS_RETIRED", ArchScaling: 0.110},
+			{Name: "alu", Metric: "INT_OPS_RETIRED", ArchScaling: 0.050},
+			{Name: "l1d", Metric: "L1D_REFERENCES", ArchScaling: 0.060},
+			{Name: "l2", Metric: "L2_DATA_REFERENCES_L2_ALL", ArchScaling: 0.200},
+			{Name: "l3", Metric: "L3_REFERENCES", ArchScaling: 0.400},
+			{Name: "mem_interface", Metric: "LOCAL_MEMORY_ACCESSES", ArchScaling: 0.600},
+			{Name: "numalink", Metric: "REMOTE_MEMORY_ACCESSES", ArchScaling: 0.800},
+		},
+	}
+}
+
+// Report is the model's output for one trial.
+type Report struct {
+	Trial        string
+	Processors   int
+	Seconds      float64 // wall-clock of the dominant (main) event
+	WattsPerProc float64 // Eq. 2 per processor
+	TotalWatts   float64 // summed over processors
+	Joules       float64 // TotalWatts * Seconds
+	FLOP         float64 // total floating point operations
+	FLOPPerJoule float64
+	IPC          float64            // completed instructions per cycle (diagnostic)
+	Breakdown    map[string]float64 // component → watts per processor
+}
+
+// Estimate computes the power report for a trial. It uses the main event's
+// inclusive values: cycles and counter totals summed over threads give the
+// machine-wide activity, while per-processor rates divide each thread's
+// activity by its own cycles (threads map 1:1 to processors here).
+func (m Model) Estimate(t *perfdmf.Trial) (*Report, error) {
+	const cyclesMetric = "CPU_CYCLES"
+	if !t.HasMetric(cyclesMetric) {
+		return nil, fmt.Errorf("power: trial %q lacks %s", t.Name, cyclesMetric)
+	}
+	main := t.MainEvent(perfdmf.TimeMetric)
+	if main == nil {
+		main = t.MainEvent(cyclesMetric)
+	}
+	if main == nil {
+		return nil, fmt.Errorf("power: trial %q has no events", t.Name)
+	}
+
+	rep := &Report{
+		Trial:      t.Name,
+		Processors: t.Threads,
+		Breakdown:  make(map[string]float64, len(m.Components)),
+	}
+	cycles := main.Inclusive[cyclesMetric]
+	meanCycles := perfdmf.Mean(cycles)
+	if meanCycles <= 0 {
+		return nil, fmt.Errorf("power: trial %q has zero cycles in %q", t.Name, main.Name)
+	}
+	rep.Seconds = meanCycles / m.ClockHz
+	if t.HasMetric(perfdmf.TimeMetric) {
+		rep.Seconds = perfdmf.Mean(main.Inclusive[perfdmf.TimeMetric]) / 1e6
+	}
+
+	// Per-processor watts: average of per-thread component power (Eq. 1
+	// applied thread by thread so heterogeneous threads are represented).
+	var watts float64
+	for th := 0; th < t.Threads; th++ {
+		cyc := valueOr(cycles, th, meanCycles)
+		if cyc <= 0 {
+			continue
+		}
+		perThread := m.IdleWatts
+		for _, c := range m.Components {
+			vals, ok := main.Inclusive[c.Metric]
+			if !ok {
+				continue
+			}
+			rate := valueOr(vals, th, 0) / cyc // accesses per cycle
+			p := rate * c.ArchScaling * m.TDPWatts
+			perThread += p
+			rep.Breakdown[c.Name] += p / float64(t.Threads)
+		}
+		watts += perThread
+	}
+	rep.WattsPerProc = watts / float64(t.Threads)
+	rep.TotalWatts = rep.WattsPerProc * float64(rep.Processors)
+	rep.Joules = rep.TotalWatts * rep.Seconds
+
+	if vals, ok := main.Inclusive["FP_OPS_RETIRED"]; ok {
+		rep.FLOP = perfdmf.Sum(vals)
+	}
+	if rep.Joules > 0 {
+		rep.FLOPPerJoule = rep.FLOP / rep.Joules
+	}
+	if vals, ok := main.Inclusive["INSTRUCTIONS_COMPLETED"]; ok {
+		rep.IPC = perfdmf.Sum(vals) / perfdmf.Sum(cycles)
+	}
+	return rep, nil
+}
+
+// PerEvent estimates the power each flat event dissipates while it runs,
+// using exclusive values — how "optimizing various functions affects the
+// power consumption in the hardware" (§III-C). Events with fewer than
+// minCycles mean exclusive cycles are skipped as noise.
+func (m Model) PerEvent(t *perfdmf.Trial, minCycles float64) ([]EventPower, error) {
+	const cyclesMetric = "CPU_CYCLES"
+	if !t.HasMetric(cyclesMetric) {
+		return nil, fmt.Errorf("power: trial %q lacks %s", t.Name, cyclesMetric)
+	}
+	var out []EventPower
+	for _, e := range t.Events {
+		if e.IsCallpath() {
+			continue
+		}
+		cyc := perfdmf.Mean(e.Exclusive[cyclesMetric])
+		if cyc < minCycles {
+			continue
+		}
+		ep := EventPower{Event: e.Name, Watts: m.IdleWatts}
+		for _, c := range m.Components {
+			vals, ok := e.Exclusive[c.Metric]
+			if !ok {
+				continue
+			}
+			rate := perfdmf.Mean(vals) / cyc
+			ep.Watts += rate * c.ArchScaling * m.TDPWatts
+		}
+		ep.Seconds = cyc / m.ClockHz
+		ep.Joules = ep.Watts * ep.Seconds
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Joules != out[j].Joules {
+			return out[i].Joules > out[j].Joules
+		}
+		return out[i].Event < out[j].Event
+	})
+	return out, nil
+}
+
+// EventPower is the per-event power/energy estimate.
+type EventPower struct {
+	Event   string
+	Watts   float64 // per processor while the event runs
+	Seconds float64
+	Joules  float64
+}
+
+func valueOr(xs []float64, i int, def float64) float64 {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return def
+}

@@ -1,0 +1,156 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"perfknow/internal/perfdmf"
+)
+
+// mkTrial builds a 2-thread trial whose main event runs `cycles` cycles
+// with the given per-thread activity rates (events per cycle).
+func mkTrial(cycles float64, fpRate, issueRate float64) *perfdmf.Trial {
+	t := perfdmf.NewTrial("app", "power", "t", 2)
+	for _, m := range []string{perfdmf.TimeMetric, "CPU_CYCLES", "FP_OPS_RETIRED",
+		"INSTRUCTIONS_ISSUED", "INSTRUCTIONS_COMPLETED", "INT_OPS_RETIRED", "L1D_REFERENCES"} {
+		t.AddMetric(m)
+	}
+	main := t.EnsureEvent("main")
+	busy := t.EnsureEvent("busy")
+	for th := 0; th < 2; th++ {
+		usec := cycles / 1.5e9 * 1e6
+		main.SetValue(perfdmf.TimeMetric, th, usec, usec*0.1)
+		main.SetValue("CPU_CYCLES", th, cycles, cycles*0.1)
+		main.SetValue("FP_OPS_RETIRED", th, fpRate*cycles, fpRate*cycles*0.1)
+		main.SetValue("INSTRUCTIONS_ISSUED", th, issueRate*cycles, issueRate*cycles*0.1)
+		main.SetValue("INSTRUCTIONS_COMPLETED", th, issueRate*cycles*0.95, issueRate*cycles*0.1)
+		main.SetValue("INT_OPS_RETIRED", th, 0.2*cycles, 0.02*cycles)
+		main.SetValue("L1D_REFERENCES", th, 0.25*cycles, 0.025*cycles)
+		busy.SetValue(perfdmf.TimeMetric, th, usec*0.9, usec*0.9)
+		busy.SetValue("CPU_CYCLES", th, cycles*0.9, cycles*0.9)
+		busy.SetValue("FP_OPS_RETIRED", th, fpRate*cycles*0.9, fpRate*cycles*0.9)
+		busy.SetValue("INSTRUCTIONS_ISSUED", th, issueRate*cycles*0.9, issueRate*cycles*0.9)
+		busy.SetValue("INSTRUCTIONS_COMPLETED", th, issueRate*cycles*0.9, issueRate*cycles*0.9)
+		busy.SetValue("INT_OPS_RETIRED", th, 0.18*cycles, 0.18*cycles)
+		busy.SetValue("L1D_REFERENCES", th, 0.22*cycles, 0.22*cycles)
+	}
+	return t
+}
+
+func TestEstimateBasics(t *testing.T) {
+	m := Itanium2()
+	tr := mkTrial(1.5e9, 0.3, 1.2) // one second of work
+	rep, err := m.Estimate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Seconds-1.0) > 1e-9 {
+		t.Fatalf("seconds = %g", rep.Seconds)
+	}
+	if rep.WattsPerProc <= m.IdleWatts {
+		t.Fatal("active processor should draw more than idle")
+	}
+	if rep.WattsPerProc > m.TDPWatts {
+		t.Fatalf("watts %g exceeds TDP", rep.WattsPerProc)
+	}
+	if rep.TotalWatts != rep.WattsPerProc*2 {
+		t.Fatal("total watts should sum over processors")
+	}
+	if math.Abs(rep.Joules-rep.TotalWatts*rep.Seconds) > 1e-9 {
+		t.Fatal("joules != watts * seconds")
+	}
+	wantFLOP := 0.3 * 1.5e9 * 2
+	if math.Abs(rep.FLOP-wantFLOP) > 1 {
+		t.Fatalf("FLOP = %g, want %g", rep.FLOP, wantFLOP)
+	}
+	if rep.FLOPPerJoule <= 0 {
+		t.Fatal("FLOP/Joule should be positive")
+	}
+	if rep.Breakdown["fpu"] <= 0 || rep.Breakdown["frontend"] <= 0 {
+		t.Fatalf("breakdown: %v", rep.Breakdown)
+	}
+	if math.Abs(rep.IPC-1.14) > 0.01 {
+		t.Fatalf("IPC = %g", rep.IPC)
+	}
+}
+
+func TestHigherOverlapMeansHigherPowerLowerEnergy(t *testing.T) {
+	// The Valluri & John relationship the paper confirms: more instruction
+	// overlap (higher IPC at same work) raises power but cuts energy.
+	m := Itanium2()
+	slow := mkTrial(3e9, 0.15, 0.6) // same total work over 2x cycles
+	fast := mkTrial(1.5e9, 0.3, 1.2)
+	rs, err := m.Estimate(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := m.Estimate(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.WattsPerProc <= rs.WattsPerProc {
+		t.Fatalf("higher IPC should draw more power: %g vs %g", rf.WattsPerProc, rs.WattsPerProc)
+	}
+	if rf.Joules >= rs.Joules {
+		t.Fatalf("faster run should use less energy: %g vs %g", rf.Joules, rs.Joules)
+	}
+	if rf.FLOPPerJoule <= rs.FLOPPerJoule {
+		t.Fatal("faster run should be more energy efficient")
+	}
+	// Power moves by percents, energy by the full speed factor — Table I's
+	// signature (idle-dominated package power).
+	powerRatio := rf.WattsPerProc / rs.WattsPerProc
+	energyRatio := rs.Joules / rf.Joules
+	if powerRatio > 1.3 {
+		t.Fatalf("power ratio %g too large — idle should dominate", powerRatio)
+	}
+	if energyRatio < 1.5 {
+		t.Fatalf("energy ratio %g too small", energyRatio)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	m := Itanium2()
+	empty := perfdmf.NewTrial("a", "e", "t", 1)
+	if _, err := m.Estimate(empty); err == nil {
+		t.Fatal("trial without cycles accepted")
+	}
+	noEvents := perfdmf.NewTrial("a", "e", "t", 1)
+	noEvents.AddMetric("CPU_CYCLES")
+	if _, err := m.Estimate(noEvents); err == nil {
+		t.Fatal("trial without events accepted")
+	}
+	zero := perfdmf.NewTrial("a", "e", "t", 1)
+	zero.AddMetric("CPU_CYCLES")
+	zero.EnsureEvent("main")
+	if _, err := m.Estimate(zero); err == nil {
+		t.Fatal("zero-cycle trial accepted")
+	}
+}
+
+func TestPerEvent(t *testing.T) {
+	m := Itanium2()
+	tr := mkTrial(1.5e9, 0.3, 1.2)
+	evs, err := m.PerEvent(tr, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("events: %+v", evs)
+	}
+	// busy has 90% of exclusive cycles: it should top the energy ranking.
+	if evs[0].Event != "busy" {
+		t.Fatalf("ranking: %+v", evs)
+	}
+	if evs[0].Watts <= m.IdleWatts || evs[0].Joules <= 0 {
+		t.Fatalf("busy power: %+v", evs[0])
+	}
+	// Raising the floor filters everything.
+	evs, err = m.PerEvent(tr, 1e18)
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("filter failed: %v %v", evs, err)
+	}
+	if _, err := m.PerEvent(perfdmf.NewTrial("a", "e", "t", 1), 0); err == nil {
+		t.Fatal("missing metric accepted")
+	}
+}

@@ -1,0 +1,426 @@
+// Package rules is a forward-chaining inference engine in the style of the
+// JBoss Rules (Drools) system the paper embeds in PerfExplorer: facts with
+// named fields live in a working memory, rules declare "when" patterns over
+// fact types with field constraints and variable bindings (joins across
+// facts included), and "then" consequences that print explanations, assert
+// or retract facts, and emit recommendations. Rules may be constructed
+// programmatically or parsed from .prl files whose syntax mirrors the .drl
+// fragment in Fig. 2 of the paper.
+package rules
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fact is one working-memory element: a type name plus named fields.
+// Field values are float64, string or bool (integers are coerced to
+// float64 at assertion time).
+type Fact struct {
+	Type   string
+	Fields map[string]any
+
+	id int64 // assigned by the engine at assertion
+}
+
+// NewFact builds a fact, copying and normalizing the field map.
+func NewFact(factType string, fields map[string]any) *Fact {
+	f := &Fact{Type: factType, Fields: make(map[string]any, len(fields))}
+	for k, v := range fields {
+		f.Fields[k] = normalize(v)
+	}
+	return f
+}
+
+func normalize(v any) any {
+	switch x := v.(type) {
+	case int:
+		return float64(x)
+	case int32:
+		return float64(x)
+	case int64:
+		return float64(x)
+	case uint64:
+		return float64(x)
+	case float32:
+		return float64(x)
+	case float64, string, bool, nil:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// Get returns a field value.
+func (f *Fact) Get(field string) (any, bool) {
+	v, ok := f.Fields[field]
+	return v, ok
+}
+
+// String renders the fact for explanations and debugging.
+func (f *Fact) String() string {
+	var parts []string
+	for k, v := range f.Fields {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+	}
+	return f.Type + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Bindings is the variable environment accumulated while matching a rule's
+// patterns; consequences evaluate under it.
+type Bindings map[string]any
+
+func (b Bindings) clone() Bindings {
+	out := make(Bindings, len(b)+2)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Expr is an expression usable as a constraint right-hand side or inside a
+// consequence: literals, variable references, field access on bound facts,
+// and arithmetic / concatenation.
+type Expr interface {
+	Eval(b Bindings) (any, error)
+}
+
+// Lit is a literal value.
+type Lit struct{ V any }
+
+// Eval returns the literal.
+func (l Lit) Eval(Bindings) (any, error) { return normalize(l.V), nil }
+
+// VarRef references a bound variable. An unbound identifier evaluates to
+// its own name as a string, which is how bare enum-like constants (HIGHER,
+// LOWER) work in rule files.
+type VarRef struct{ Name string }
+
+// Eval resolves the variable.
+func (v VarRef) Eval(b Bindings) (any, error) {
+	if val, ok := b[v.Name]; ok {
+		if f, isFact := val.(*Fact); isFact {
+			return f, nil
+		}
+		return val, nil
+	}
+	return v.Name, nil
+}
+
+// FieldRef accesses binding.field where binding names a matched fact.
+type FieldRef struct{ Binding, Field string }
+
+// Eval resolves the field on the bound fact.
+func (fr FieldRef) Eval(b Bindings) (any, error) {
+	v, ok := b[fr.Binding]
+	if !ok {
+		return nil, fmt.Errorf("rules: unbound fact variable %q", fr.Binding)
+	}
+	f, ok := v.(*Fact)
+	if !ok {
+		return nil, fmt.Errorf("rules: %q is not a fact binding", fr.Binding)
+	}
+	val, ok := f.Get(fr.Field)
+	if !ok {
+		return nil, fmt.Errorf("rules: fact %s has no field %q", f.Type, fr.Field)
+	}
+	return val, nil
+}
+
+// Binary applies an arithmetic operator; "+" concatenates when either side
+// is a string.
+type Binary struct {
+	Op   string // + - * /
+	L, R Expr
+}
+
+// Eval computes the binary operation.
+func (bin Binary) Eval(b Bindings) (any, error) {
+	l, err := bin.L.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	r, err := bin.R.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if bin.Op == "+" {
+		if ls, ok := l.(string); ok {
+			return ls + toString(r), nil
+		}
+		if rs, ok := r.(string); ok {
+			return toString(l) + rs, nil
+		}
+	}
+	lf, lok := toNumber(l)
+	rf, rok := toNumber(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("rules: operator %q needs numeric operands, got %T and %T", bin.Op, l, r)
+	}
+	switch bin.Op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return 0.0, nil
+		}
+		return lf / rf, nil
+	}
+	return nil, fmt.Errorf("rules: unknown operator %q", bin.Op)
+}
+
+func toNumber(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+func toString(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return trimFloat(x)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case *Fact:
+		return x.String()
+	case nil:
+		return "nil"
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.6g", f)
+	return s
+}
+
+// compare applies a comparison operator to two normalized values. Numbers
+// compare numerically, strings lexically, booleans by equality only.
+func compare(op string, l, r any) (bool, error) {
+	if lf, lok := toNumber(l); lok {
+		if rf, rok := toNumber(r); rok {
+			switch op {
+			case "==":
+				return lf == rf, nil
+			case "!=":
+				return lf != rf, nil
+			case ">":
+				return lf > rf, nil
+			case "<":
+				return lf < rf, nil
+			case ">=":
+				return lf >= rf, nil
+			case "<=":
+				return lf <= rf, nil
+			}
+			return false, fmt.Errorf("rules: unknown comparison %q", op)
+		}
+	}
+	ls, rs := toString(l), toString(r)
+	switch op {
+	case "==":
+		return ls == rs, nil
+	case "!=":
+		return ls != rs, nil
+	case ">":
+		return ls > rs, nil
+	case "<":
+		return ls < rs, nil
+	case ">=":
+		return ls >= rs, nil
+	case "<=":
+		return ls <= rs, nil
+	case "contains":
+		return strings.Contains(ls, rs), nil
+	}
+	return false, fmt.Errorf("rules: unknown comparison %q", op)
+}
+
+// Constraint is one clause inside a pattern:
+//
+//	field == expr          (test)
+//	v : field              (pure binding)
+//	v : field > expr       (binding + test)
+type Constraint struct {
+	Field   string
+	BindVar string // "" when no binding
+	Op      string // "" for pure bindings
+	RHS     Expr   // nil for pure bindings
+}
+
+// Pattern matches one fact of a given type, optionally binding it to a
+// variable, under a conjunction of constraints. Negated patterns match when
+// no such fact exists; Exists patterns match when at least one does but
+// contribute no bindings (and the rule fires once regardless of how many
+// facts satisfy them).
+type Pattern struct {
+	Binding     string // fact-level binding ("f : MeanEventFact(...)"), may be ""
+	Type        string
+	Constraints []Constraint
+	Negated     bool
+	Exists      bool
+}
+
+// match tests the pattern against one fact under env, returning the
+// extended bindings on success.
+func (p *Pattern) match(f *Fact, env Bindings) (Bindings, bool, error) {
+	if f.Type != p.Type {
+		return nil, false, nil
+	}
+	out := env.clone()
+	if p.Binding != "" {
+		if prev, ok := out[p.Binding]; ok {
+			if prevFact, isFact := prev.(*Fact); !isFact || prevFact != f {
+				return nil, false, nil
+			}
+		}
+		out[p.Binding] = f
+	}
+	for _, c := range p.Constraints {
+		val, ok := f.Get(c.Field)
+		if !ok {
+			return nil, false, nil // missing field: pattern does not match
+		}
+		if c.Op != "" {
+			rhs, err := c.RHS.Eval(out)
+			if err != nil {
+				return nil, false, err
+			}
+			pass, err := compare(c.Op, val, rhs)
+			if err != nil {
+				return nil, false, err
+			}
+			if !pass {
+				return nil, false, nil
+			}
+		}
+		if c.BindVar != "" {
+			if prev, bound := out[c.BindVar]; bound {
+				eq, err := compare("==", prev, val)
+				if err != nil || !eq {
+					return nil, false, err
+				}
+			} else {
+				out[c.BindVar] = val
+			}
+		}
+	}
+	return out, true, nil
+}
+
+// Consequence is one statement in a rule's then-block.
+type Consequence interface {
+	Execute(ctx *Context) error
+}
+
+// Println prints an explanation line to the engine output.
+type Println struct{ Arg Expr }
+
+// Execute appends the evaluated line to the run output.
+func (p Println) Execute(ctx *Context) error {
+	v, err := p.Arg.Eval(ctx.Bindings)
+	if err != nil {
+		return err
+	}
+	ctx.Engine.output = append(ctx.Engine.output, toString(v))
+	return nil
+}
+
+// AssertFact asserts a new fact built from field expressions.
+type AssertFact struct {
+	Type   string
+	Fields map[string]Expr
+}
+
+// Execute asserts the constructed fact into working memory.
+func (a AssertFact) Execute(ctx *Context) error {
+	fields := make(map[string]any, len(a.Fields))
+	for k, e := range a.Fields {
+		v, err := e.Eval(ctx.Bindings)
+		if err != nil {
+			return err
+		}
+		fields[k] = v
+	}
+	ctx.Engine.Assert(NewFact(a.Type, fields))
+	return nil
+}
+
+// RetractFact retracts the fact bound to a variable.
+type RetractFact struct{ Binding string }
+
+// Execute removes the bound fact from working memory.
+func (r RetractFact) Execute(ctx *Context) error {
+	v, ok := ctx.Bindings[r.Binding]
+	if !ok {
+		return fmt.Errorf("rules: retract of unbound variable %q", r.Binding)
+	}
+	f, ok := v.(*Fact)
+	if !ok {
+		return fmt.Errorf("rules: retract of non-fact %q", r.Binding)
+	}
+	ctx.Engine.Retract(f)
+	return nil
+}
+
+// Recommend emits a structured recommendation (category, text).
+type Recommend struct{ Category, Text Expr }
+
+// Execute appends the recommendation to the run result.
+func (r Recommend) Execute(ctx *Context) error {
+	cat, err := r.Category.Eval(ctx.Bindings)
+	if err != nil {
+		return err
+	}
+	text, err := r.Text.Eval(ctx.Bindings)
+	if err != nil {
+		return err
+	}
+	ctx.Engine.recommendations = append(ctx.Engine.recommendations, Recommendation{
+		Rule:     ctx.Rule.Name,
+		Category: toString(cat),
+		Text:     toString(text),
+	})
+	return nil
+}
+
+// Rule couples a pattern conjunction with consequences. Action, when
+// non-nil, runs instead of Consequences (programmatic rules).
+type Rule struct {
+	Name         string
+	Salience     int
+	Patterns     []Pattern
+	Consequences []Consequence
+	Action       func(ctx *Context) error
+}
+
+// Context is passed to firing consequences.
+type Context struct {
+	Engine   *Engine
+	Rule     *Rule
+	Bindings Bindings
+}
+
+// Recommendation is a structured suggestion produced by a fired rule,
+// the "user recommendations" output of Fig. 3.
+type Recommendation struct {
+	Rule     string
+	Category string
+	Text     string
+}

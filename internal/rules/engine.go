@@ -1,0 +1,243 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Engine is the working memory plus rule base. Typical use:
+//
+//	eng := rules.NewEngine()
+//	eng.LoadString(src)            // or AddRule for programmatic rules
+//	eng.Assert(rules.NewFact(...)) // repeat
+//	res, err := eng.Run()
+type Engine struct {
+	rules           []*Rule
+	facts           []*Fact
+	nextID          int64
+	output          []string
+	recommendations []Recommendation
+	fired           map[string]bool // refraction memory: rule + fact tuple ids
+	firedLog        []string
+
+	// MaxCycles bounds the match-fire loop to guard against rules that
+	// assert endlessly. The default (1000) is far above any real knowledge
+	// base in this repository.
+	MaxCycles int
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{fired: make(map[string]bool), MaxCycles: 1000}
+}
+
+// AddRule appends a rule to the rule base.
+func (e *Engine) AddRule(r Rule) {
+	rc := r
+	e.rules = append(e.rules, &rc)
+}
+
+// Rules returns the rule names in load order.
+func (e *Engine) Rules() []string {
+	out := make([]string, len(e.rules))
+	for i, r := range e.rules {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// Assert adds a fact to working memory and returns it.
+func (e *Engine) Assert(f *Fact) *Fact {
+	e.nextID++
+	f.id = e.nextID
+	e.facts = append(e.facts, f)
+	return f
+}
+
+// Retract removes a fact from working memory.
+func (e *Engine) Retract(f *Fact) {
+	for i, x := range e.facts {
+		if x == f {
+			e.facts = append(e.facts[:i], e.facts[i+1:]...)
+			return
+		}
+	}
+}
+
+// Facts returns the current working memory (live slice copy).
+func (e *Engine) Facts() []*Fact {
+	return append([]*Fact(nil), e.facts...)
+}
+
+// FactsOfType returns the working-memory facts of one type.
+func (e *Engine) FactsOfType(t string) []*Fact {
+	var out []*Fact
+	for _, f := range e.facts {
+		if f.Type == t {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Result is the outcome of a Run: explanation lines from println
+// consequences, structured recommendations, and the fired-activation log.
+type Result struct {
+	Output          []string
+	Recommendations []Recommendation
+	Fired           []string // rule names in firing order
+}
+
+// activation is one fully matched rule instance waiting on the agenda.
+type activation struct {
+	rule     *Rule
+	bindings Bindings
+	key      string
+	order    int // rule index, for deterministic tie-breaks
+}
+
+// Run executes the match-resolve-act loop until quiescence: on each cycle
+// the engine computes all activations not yet fired, picks the one with the
+// highest salience (ties broken by rule load order, then matched-tuple
+// order), fires it, and repeats — so consequences that assert or retract
+// facts influence subsequent matching exactly as in a production system.
+func (e *Engine) Run() (*Result, error) {
+	for cycle := 0; ; cycle++ {
+		if cycle >= e.MaxCycles {
+			return nil, fmt.Errorf("rules: no quiescence after %d cycles (rule loop?)", e.MaxCycles)
+		}
+		acts, err := e.matchAll()
+		if err != nil {
+			return nil, err
+		}
+		var next *activation
+		for i := range acts {
+			a := &acts[i]
+			if e.fired[a.key] {
+				continue
+			}
+			if next == nil || better(a, next) {
+				next = a
+			}
+		}
+		if next == nil {
+			break
+		}
+		e.fired[next.key] = true
+		e.firedLog = append(e.firedLog, next.rule.Name)
+		ctx := &Context{Engine: e, Rule: next.rule, Bindings: next.bindings}
+		if next.rule.Action != nil {
+			if err := next.rule.Action(ctx); err != nil {
+				return nil, fmt.Errorf("rules: rule %q action: %w", next.rule.Name, err)
+			}
+		} else {
+			for _, c := range next.rule.Consequences {
+				if err := c.Execute(ctx); err != nil {
+					return nil, fmt.Errorf("rules: rule %q consequence: %w", next.rule.Name, err)
+				}
+			}
+		}
+	}
+	return &Result{
+		Output:          append([]string(nil), e.output...),
+		Recommendations: append([]Recommendation(nil), e.recommendations...),
+		Fired:           append([]string(nil), e.firedLog...),
+	}, nil
+}
+
+func better(a, b *activation) bool {
+	if a.rule.Salience != b.rule.Salience {
+		return a.rule.Salience > b.rule.Salience
+	}
+	if a.order != b.order {
+		return a.order < b.order
+	}
+	return a.key < b.key
+}
+
+// matchAll enumerates every (rule, fact-tuple) activation in the current
+// working memory.
+func (e *Engine) matchAll() ([]activation, error) {
+	var acts []activation
+	for ri, r := range e.rules {
+		envs := []Bindings{{}}
+		ids := [][]int64{nil}
+		for pi := range r.Patterns {
+			p := &r.Patterns[pi]
+			var nextEnvs []Bindings
+			var nextIDs [][]int64
+			for ei, env := range envs {
+				if p.Negated || p.Exists {
+					found := false
+					for _, f := range e.facts {
+						_, ok, err := p.match(f, env)
+						if err != nil {
+							return nil, fmt.Errorf("rules: rule %q: %w", r.Name, err)
+						}
+						if ok {
+							found = true
+							break
+						}
+					}
+					// Negated keeps the env when nothing matched; Exists
+					// keeps it when something did. Neither contributes
+					// bindings or tuple identity.
+					if found == p.Exists {
+						nextEnvs = append(nextEnvs, env)
+						nextIDs = append(nextIDs, ids[ei])
+					}
+					continue
+				}
+				for _, f := range e.facts {
+					newEnv, ok, err := p.match(f, env)
+					if err != nil {
+						return nil, fmt.Errorf("rules: rule %q: %w", r.Name, err)
+					}
+					if ok {
+						nextEnvs = append(nextEnvs, newEnv)
+						nextIDs = append(nextIDs, append(append([]int64(nil), ids[ei]...), f.id))
+					}
+				}
+			}
+			envs, ids = nextEnvs, nextIDs
+			if len(envs) == 0 {
+				break
+			}
+		}
+		if len(r.Patterns) == 0 {
+			continue // a rule with no patterns never fires
+		}
+		for i, env := range envs {
+			key := r.Name + "|" + tupleKey(ids[i])
+			acts = append(acts, activation{rule: r, bindings: env, key: key, order: ri})
+		}
+	}
+	return acts, nil
+}
+
+func tupleKey(ids []int64) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Reset clears working memory, output and refraction state but keeps the
+// rule base, so one loaded knowledge base can process many trials.
+func (e *Engine) Reset() {
+	e.facts = nil
+	e.output = nil
+	e.recommendations = nil
+	e.fired = make(map[string]bool)
+	e.firedLog = nil
+}
+
+// SortedOutput returns the output lines sorted (useful in tests where
+// firing order between equal-salience rules is irrelevant).
+func (r *Result) SortedOutput() []string {
+	out := append([]string(nil), r.Output...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,149 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestFiringCountMatchesQualifyingFacts: for a single-pattern rule, the
+// number of firings equals exactly the number of facts satisfying the
+// constraint, regardless of assertion order, and re-running fires nothing
+// new (refraction).
+func TestFiringCountMatchesQualifyingFacts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 25; round++ {
+		e := NewEngine()
+		if err := e.LoadString(`
+rule "hot"
+when f : Sample ( v : value > 50 )
+then println("hot " + v) end
+`); err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(40)
+		want := 0
+		for i := 0; i < n; i++ {
+			v := float64(rng.Intn(100))
+			if v > 50 {
+				want++
+			}
+			e.Assert(NewFact("Sample", map[string]any{"value": v, "id": float64(i)}))
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Fired) != want {
+			t.Fatalf("round %d: fired %d, want %d", round, len(res.Fired), want)
+		}
+		res2, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res2.Fired) != want {
+			t.Fatalf("round %d: refiring occurred (%d vs %d)", round, len(res2.Fired), want)
+		}
+	}
+}
+
+// TestJoinCardinality: a two-pattern join over randomly generated facts
+// fires once per matching pair.
+func TestJoinCardinality(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 20; round++ {
+		e := NewEngine()
+		if err := e.LoadString(`
+rule "pair"
+when
+    a : Left ( k : key )
+    b : Right ( key == k )
+then println("pair " + k) end
+`); err != nil {
+			t.Fatal(err)
+		}
+		leftCount := map[int]int{}
+		rightCount := map[int]int{}
+		for i := 0; i < 15; i++ {
+			k := rng.Intn(5)
+			leftCount[k]++
+			e.Assert(NewFact("Left", map[string]any{"key": float64(k), "n": float64(i)}))
+		}
+		for i := 0; i < 15; i++ {
+			k := rng.Intn(5)
+			rightCount[k]++
+			e.Assert(NewFact("Right", map[string]any{"key": float64(k), "n": float64(i)}))
+		}
+		want := 0
+		for k, lc := range leftCount {
+			want += lc * rightCount[k]
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Fired) != want {
+			t.Fatalf("round %d: fired %d, want %d", round, len(res.Fired), want)
+		}
+	}
+}
+
+// TestRetractionStopsFutureMatches: retracting a fact in one rule prevents
+// a lower-salience rule from seeing it.
+func TestRetractionStopsFutureMatches(t *testing.T) {
+	e := NewEngine()
+	if err := e.LoadString(`
+rule "eat" salience 10
+when f : Token ( value > 0 )
+then retract f end
+
+rule "starve"
+when f : Token ( value > 0 )
+then println("leaked") end
+`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e.Assert(NewFact("Token", map[string]any{"value": float64(i + 1)}))
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range res.Output {
+		if line == "leaked" {
+			t.Fatal("low-salience rule saw a retracted fact")
+		}
+	}
+	if len(e.FactsOfType("Token")) != 0 {
+		t.Fatalf("tokens remain: %d", len(e.FactsOfType("Token")))
+	}
+}
+
+// TestDeterministicFiringOrder: identical inputs produce identical firing
+// logs across runs (agenda ordering is fully deterministic).
+func TestDeterministicFiringOrder(t *testing.T) {
+	build := func() []string {
+		e := NewEngine()
+		if err := e.LoadString(`
+rule "r1" salience 5
+when f : T ( v : value ) then println("r1 " + v) end
+rule "r2" salience 5
+when f : T ( v : value ) then println("r2 " + v) end
+`); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			e.Assert(NewFact("T", map[string]any{"value": float64(i)}))
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Output
+	}
+	a, b := build(), build()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("nondeterministic firing:\n%v\n%v", a, b)
+	}
+}

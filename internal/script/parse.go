@@ -1,0 +1,670 @@
+package script
+
+import "fmt"
+
+// AST node types. Every node carries the source line for error reporting.
+
+type node struct{ Line int }
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type assignStmt struct {
+	node
+	Target expr // identExpr or indexExpr
+	Value  expr
+}
+
+type exprStmt struct {
+	node
+	X expr
+}
+
+type ifStmt struct {
+	node
+	Cond expr
+	Then []stmt
+	Else []stmt // may hold a single nested ifStmt for elif chains
+}
+
+type forStmt struct {
+	node
+	Var  string
+	Key  string // optional second variable: `for k, v in map`
+	Iter expr
+	Body []stmt
+}
+
+type whileStmt struct {
+	node
+	Cond expr
+	Body []stmt
+}
+
+type funcStmt struct {
+	node
+	Name   string
+	Params []string
+	Body   []stmt
+}
+
+type returnStmt struct {
+	node
+	Value expr // may be nil
+}
+
+type breakStmt struct{ node }
+type continueStmt struct{ node }
+
+func (assignStmt) stmtNode()   {}
+func (exprStmt) stmtNode()     {}
+func (ifStmt) stmtNode()       {}
+func (forStmt) stmtNode()      {}
+func (whileStmt) stmtNode()    {}
+func (funcStmt) stmtNode()     {}
+func (returnStmt) stmtNode()   {}
+func (breakStmt) stmtNode()    {}
+func (continueStmt) stmtNode() {}
+
+// Expressions.
+
+type expr interface{ exprNode() }
+
+type numLit struct {
+	node
+	V float64
+}
+type strLit struct {
+	node
+	V string
+}
+type boolLit struct {
+	node
+	V bool
+}
+type nilLit struct{ node }
+
+type listLit struct {
+	node
+	Items []expr
+}
+
+type mapLit struct {
+	node
+	Keys, Vals []expr
+}
+
+type identExpr struct {
+	node
+	Name string
+}
+
+type indexExpr struct {
+	node
+	X, I expr
+}
+
+type attrExpr struct {
+	node
+	X    expr
+	Name string
+}
+
+type callExpr struct {
+	node
+	Fn   expr
+	Args []expr
+}
+
+type unaryExpr struct {
+	node
+	Op string // "-", "not"
+	X  expr
+}
+
+type binExpr struct {
+	node
+	Op   string
+	L, R expr
+}
+
+func (numLit) exprNode()    {}
+func (strLit) exprNode()    {}
+func (boolLit) exprNode()   {}
+func (nilLit) exprNode()    {}
+func (listLit) exprNode()   {}
+func (mapLit) exprNode()    {}
+func (identExpr) exprNode() {}
+func (indexExpr) exprNode() {}
+func (attrExpr) exprNode()  {}
+func (callExpr) exprNode()  {}
+func (unaryExpr) exprNode() {}
+func (binExpr) exprNode()   {}
+
+type scriptParser struct {
+	toks []token
+	pos  int
+}
+
+// parse turns source into a statement list.
+func parse(src string) ([]stmt, error) {
+	toks, err := lexScript(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &scriptParser{toks: toks}
+	var stmts []stmt
+	p.skipNewlines()
+	for p.cur().kind != tEOF {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		p.skipNewlines()
+	}
+	return stmts, nil
+}
+
+func (p *scriptParser) cur() token { return p.toks[p.pos] }
+func (p *scriptParser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *scriptParser) advance() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *scriptParser) skipNewlines() {
+	for p.cur().kind == tNewline || (p.cur().kind == tOp && p.cur().text == ";") {
+		p.pos++
+	}
+}
+
+func (p *scriptParser) errf(format string, args ...any) error {
+	return fmt.Errorf("script: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *scriptParser) expectOp(text string) error {
+	t := p.cur()
+	if t.kind != tOp || t.text != text {
+		return p.errf("expected %q, got %s", text, t)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *scriptParser) atOp(text string) bool {
+	return p.cur().kind == tOp && p.cur().text == text
+}
+
+func (p *scriptParser) atKeyword(text string) bool {
+	return p.cur().kind == tKeyword && p.cur().text == text
+}
+
+func (p *scriptParser) endStmt() error {
+	t := p.cur()
+	if t.kind == tNewline || t.kind == tEOF || (t.kind == tOp && t.text == ";") || (t.kind == tOp && t.text == "}") {
+		if t.kind == tNewline || (t.kind == tOp && t.text == ";") {
+			p.pos++
+		}
+		return nil
+	}
+	return p.errf("expected end of statement, got %s", t)
+}
+
+func (p *scriptParser) parseStmt() (stmt, error) {
+	line := p.cur().line
+	switch {
+	case p.atKeyword("if"):
+		return p.parseIf()
+	case p.atKeyword("for"):
+		return p.parseFor()
+	case p.atKeyword("while"):
+		return p.parseWhile()
+	case p.atKeyword("func"):
+		return p.parseFunc()
+	case p.atKeyword("return"):
+		p.advance()
+		var v expr
+		if p.cur().kind != tNewline && p.cur().kind != tEOF && !p.atOp("}") && !p.atOp(";") {
+			var err error
+			v, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.endStmt(); err != nil {
+			return nil, err
+		}
+		return &returnStmt{node{line}, v}, nil
+	case p.atKeyword("break"):
+		p.advance()
+		if err := p.endStmt(); err != nil {
+			return nil, err
+		}
+		return &breakStmt{node{line}}, nil
+	case p.atKeyword("continue"):
+		p.advance()
+		if err := p.endStmt(); err != nil {
+			return nil, err
+		}
+		return &continueStmt{node{line}}, nil
+	}
+	// Expression or assignment.
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.atOp("=") {
+		p.advance()
+		switch x.(type) {
+		case *identExpr, *indexExpr:
+		default:
+			return nil, fmt.Errorf("script: line %d: cannot assign to this expression", line)
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.endStmt(); err != nil {
+			return nil, err
+		}
+		return &assignStmt{node{line}, x, v}, nil
+	}
+	if err := p.endStmt(); err != nil {
+		return nil, err
+	}
+	return &exprStmt{node{line}, x}, nil
+}
+
+func (p *scriptParser) parseBlock() ([]stmt, error) {
+	if err := p.expectOp("{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	p.skipNewlines()
+	for !p.atOp("}") {
+		if p.cur().kind == tEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		p.skipNewlines()
+	}
+	p.advance() // }
+	return stmts, nil
+}
+
+func (p *scriptParser) parseIf() (stmt, error) {
+	line := p.cur().line
+	p.advance() // if / elif
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	out := &ifStmt{node{line}, cond, then, nil}
+	p.skipNewlinesBeforeElse()
+	if p.atKeyword("elif") {
+		nested, err := p.parseIf()
+		if err != nil {
+			return nil, err
+		}
+		out.Else = []stmt{nested}
+	} else if p.atKeyword("else") {
+		p.advance()
+		els, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		out.Else = els
+	}
+	return out, nil
+}
+
+// skipNewlinesBeforeElse allows `}` newline `else {` formatting.
+func (p *scriptParser) skipNewlinesBeforeElse() {
+	save := p.pos
+	for p.cur().kind == tNewline {
+		p.pos++
+	}
+	if !p.atKeyword("else") && !p.atKeyword("elif") {
+		p.pos = save
+	}
+}
+
+func (p *scriptParser) parseFor() (stmt, error) {
+	line := p.cur().line
+	p.advance() // for
+	v1 := p.cur()
+	if v1.kind != tIdent {
+		return nil, p.errf("expected loop variable, got %s", v1)
+	}
+	p.advance()
+	key, varName := "", v1.text
+	if p.atOp(",") {
+		p.advance()
+		v2 := p.cur()
+		if v2.kind != tIdent {
+			return nil, p.errf("expected second loop variable, got %s", v2)
+		}
+		p.advance()
+		key, varName = v1.text, v2.text
+	}
+	if !p.atKeyword("in") {
+		return nil, p.errf("expected 'in', got %s", p.cur())
+	}
+	p.advance()
+	iter, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &forStmt{node{line}, varName, key, iter, body}, nil
+}
+
+func (p *scriptParser) parseWhile() (stmt, error) {
+	line := p.cur().line
+	p.advance()
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &whileStmt{node{line}, cond, body}, nil
+}
+
+func (p *scriptParser) parseFunc() (stmt, error) {
+	line := p.cur().line
+	p.advance()
+	name := p.cur()
+	if name.kind != tIdent {
+		return nil, p.errf("expected function name, got %s", name)
+	}
+	p.advance()
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.atOp(")") {
+		t := p.cur()
+		if t.kind != tIdent {
+			return nil, p.errf("expected parameter name, got %s", t)
+		}
+		params = append(params, t.text)
+		p.advance()
+		if p.atOp(",") {
+			p.advance()
+		}
+	}
+	p.advance() // )
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &funcStmt{node{line}, name.text, params, body}, nil
+}
+
+// Expression grammar: or → and → not → comparison → additive →
+// multiplicative → unary → postfix → primary.
+
+func (p *scriptParser) parseExpr() (expr, error) { return p.parseOr() }
+
+func (p *scriptParser) parseOr() (expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		line := p.cur().line
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{node{line}, "or", left, right}
+	}
+	return left, nil
+}
+
+func (p *scriptParser) parseAnd() (expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		line := p.cur().line
+		p.advance()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{node{line}, "and", left, right}
+	}
+	return left, nil
+}
+
+func (p *scriptParser) parseNot() (expr, error) {
+	if p.atKeyword("not") {
+		line := p.cur().line
+		p.advance()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{node{line}, "not", x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *scriptParser) parseComparison() (expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tOp {
+		op := p.cur().text
+		switch op {
+		case "==", "!=", "<", ">", "<=", ">=":
+		default:
+			return left, nil
+		}
+		line := p.cur().line
+		p.advance()
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{node{line}, op, left, right}
+	}
+	return left, nil
+}
+
+func (p *scriptParser) parseAdditive() (expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := p.cur().text
+		line := p.cur().line
+		p.advance()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{node{line}, op, left, right}
+	}
+	return left, nil
+}
+
+func (p *scriptParser) parseMultiplicative() (expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") || p.atOp("%") {
+		op := p.cur().text
+		line := p.cur().line
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &binExpr{node{line}, op, left, right}
+	}
+	return left, nil
+}
+
+func (p *scriptParser) parseUnary() (expr, error) {
+	if p.atOp("-") {
+		line := p.cur().line
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{node{line}, "-", x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *scriptParser) parsePostfix() (expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atOp("."):
+			line := p.cur().line
+			p.advance()
+			name := p.cur()
+			if name.kind != tIdent && name.kind != tKeyword {
+				return nil, p.errf("expected attribute name, got %s", name)
+			}
+			p.advance()
+			x = &attrExpr{node{line}, x, name.text}
+		case p.atOp("("):
+			line := p.cur().line
+			p.advance()
+			var args []expr
+			for !p.atOp(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.atOp(",") {
+					p.advance()
+				} else if !p.atOp(")") {
+					return nil, p.errf("expected ',' or ')' in call, got %s", p.cur())
+				}
+			}
+			p.advance() // )
+			x = &callExpr{node{line}, x, args}
+		case p.atOp("["):
+			line := p.cur().line
+			p.advance()
+			i, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			x = &indexExpr{node{line}, x, i}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *scriptParser) parsePrimary() (expr, error) {
+	t := p.cur()
+	line := t.line
+	switch {
+	case t.kind == tNumber:
+		p.advance()
+		return &numLit{node{line}, t.num}, nil
+	case t.kind == tString:
+		p.advance()
+		return &strLit{node{line}, t.text}, nil
+	case t.kind == tKeyword && (t.text == "true" || t.text == "false"):
+		p.advance()
+		return &boolLit{node{line}, t.text == "true"}, nil
+	case t.kind == tKeyword && t.text == "nil":
+		p.advance()
+		return &nilLit{node{line}}, nil
+	case t.kind == tIdent:
+		p.advance()
+		return &identExpr{node{line}, t.text}, nil
+	case t.kind == tOp && t.text == "(":
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tOp && t.text == "[":
+		p.advance()
+		var items []expr
+		for !p.atOp("]") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, x)
+			if p.atOp(",") {
+				p.advance()
+			} else if !p.atOp("]") {
+				return nil, p.errf("expected ',' or ']' in list, got %s", p.cur())
+			}
+		}
+		p.advance()
+		return &listLit{node{line}, items}, nil
+	case t.kind == tOp && t.text == "{":
+		p.advance()
+		var keys, vals []expr
+		p.skipNewlines()
+		for !p.atOp("}") {
+			k, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(":"); err != nil {
+				return nil, err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k)
+			vals = append(vals, v)
+			if p.atOp(",") {
+				p.advance()
+				p.skipNewlines()
+			}
+		}
+		p.advance()
+		return &mapLit{node{line}, keys, vals}, nil
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}

@@ -1,0 +1,312 @@
+// Package sim is the execution engine: it runs workload models on the
+// ccNUMA machine model under OpenMP- and MPI-style parallel runtimes,
+// advancing a virtual clock per thread and accumulating hardware counters,
+// with TAU-style instrumentation around every region of interest.
+//
+// The engine is a virtual-time simulator. Logical threads execute one at a
+// time in the host process, each carrying its own cycle clock and counter
+// set; synchronization points (OpenMP barriers, MPI waits) reconcile the
+// clocks exactly the way the real constructs serialize real threads. The
+// OpenMP loop scheduler reproduces static/dynamic(chunk)/guided semantics
+// by always dispatching the next chunk to the logical thread with the
+// smallest clock — precisely what a central work queue does in real time.
+package sim
+
+import (
+	"fmt"
+
+	"perfknow/internal/counters"
+	"perfknow/internal/machine"
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/tau"
+)
+
+// Overheads holds the runtime-system cost constants, in cycles. The
+// defaults model a lightweight OpenMP runtime and a NUMAlink MPI stack.
+type Overheads struct {
+	ForkJoin    uint64  // per-thread cost of entering+leaving a parallel region
+	Dispatch    uint64  // per-chunk cost of a dynamic schedule dispatch
+	BarrierBase uint64  // per-thread cost of a barrier even when perfectly balanced
+	MPILatency  uint64  // per-message latency (alpha)
+	MPIByteCyc  float64 // per-byte transfer cost (1/beta)
+	CopyByteCyc float64 // per-byte cost floor of an on-processor memory copy
+}
+
+// DefaultOverheads returns the standard runtime cost constants.
+func DefaultOverheads() Overheads {
+	return Overheads{
+		ForkJoin:    4000,
+		Dispatch:    250,
+		BarrierBase: 800,
+		MPILatency:  6000,
+		MPIByteCyc:  0.75,
+		CopyByteCyc: 0.18,
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	Threads       int // logical OpenMP threads or MPI ranks
+	CallpathDepth int // forwarded to the measurement runtime
+	Overheads     *Overheads
+}
+
+// Engine couples a machine, a set of logical threads and a profiler.
+type Engine struct {
+	mach    *machine.Machine
+	prof    *tau.Profiler
+	threads []*Thread
+	ovh     Overheads
+}
+
+// NewEngine builds an engine with opts.Threads logical threads pinned
+// round-robin to the machine's CPUs (thread i on CPU i mod CPUs).
+func NewEngine(m *machine.Machine, opts Options) *Engine {
+	if opts.Threads <= 0 {
+		panic(fmt.Sprintf("sim: Threads must be positive, got %d", opts.Threads))
+	}
+	ovh := DefaultOverheads()
+	if opts.Overheads != nil {
+		ovh = *opts.Overheads
+	}
+	e := &Engine{
+		mach: m,
+		prof: tau.NewProfiler(tau.Options{
+			Threads:       opts.Threads,
+			ClockHz:       m.Config().ClockHz,
+			CallpathDepth: opts.CallpathDepth,
+		}),
+		ovh: ovh,
+	}
+	for i := 0; i < opts.Threads; i++ {
+		e.threads = append(e.threads, &Thread{
+			ID:  i,
+			CPU: i % m.CPUs(),
+			eng: e,
+		})
+	}
+	return e
+}
+
+// Machine returns the underlying machine model.
+func (e *Engine) Machine() *machine.Machine { return e.mach }
+
+// Overheads returns the runtime cost constants in effect.
+func (e *Engine) Overheads() Overheads { return e.ovh }
+
+// Threads returns the logical thread count.
+func (e *Engine) Threads() int { return len(e.threads) }
+
+// Thread returns logical thread id.
+func (e *Engine) Thread(id int) *Thread { return e.threads[id] }
+
+// Master returns thread 0.
+func (e *Engine) Master() *Thread { return e.threads[0] }
+
+// Snapshot produces the trial recorded so far. All timers must be closed.
+func (e *Engine) Snapshot(app, experiment, name string) (*Trial, error) {
+	t, err := e.prof.Trial(app, experiment, name)
+	if err != nil {
+		return nil, err
+	}
+	t.Metadata["threads"] = fmt.Sprintf("%d", len(e.threads))
+	t.Metadata["machine:nodes"] = fmt.Sprintf("%d", e.mach.Config().Nodes)
+	t.Metadata["machine:cpus_per_node"] = fmt.Sprintf("%d", e.mach.Config().CPUsPerNode)
+	t.Metadata["machine:clock_hz"] = fmt.Sprintf("%g", e.mach.Config().ClockHz)
+	return t, nil
+}
+
+// Trial aliases perfdmf.Trial so app packages can name the snapshot result
+// without importing perfdmf directly.
+type Trial = perfdmf.Trial
+
+// Thread is one logical thread (or MPI rank) of execution.
+type Thread struct {
+	ID    int
+	CPU   int
+	Clock uint64
+	CS    counters.Set
+	eng   *Engine
+}
+
+// Node returns the NUMA node the thread's CPU belongs to.
+func (t *Thread) Node() int { return t.eng.mach.NodeOf(t.CPU) }
+
+// Enter opens an instrumented region on this thread.
+func (t *Thread) Enter(event string) {
+	t.eng.prof.Thread(t.ID).Enter(event, t.Clock, t.CS)
+}
+
+// Leave closes the current region, which must be event.
+func (t *Thread) Leave(event string) {
+	t.eng.prof.Thread(t.ID).Leave(event, t.Clock, t.CS)
+}
+
+// Advance moves the thread's clock forward by cyc cycles and merges delta
+// into its counters, keeping the Cycles counter in step with the clock.
+func (t *Thread) Advance(cyc uint64, delta *counters.Set) {
+	t.Clock += cyc
+	if delta != nil {
+		t.CS.Add(delta)
+	}
+	t.CS.Inc(counters.Cycles, cyc)
+}
+
+// MemRef describes one data region touched by a kernel.
+type MemRef struct {
+	Region     *machine.Region
+	Off, Len   int64
+	Loads      uint64
+	Stores     uint64
+	Stride     int64
+	Reuse      float64
+	FirstTouch bool    // apply first-touch placement for this thread's node before costing
+	Contenders int     // concurrent threads hitting the range's home node (queueing model)
+	Hot        float64 // fraction of the working set L3-resident from recent use
+}
+
+// Kernel describes a unit of computation in the terms the processor and
+// memory models need. Zero values are safe: a zero kernel costs nothing.
+type Kernel struct {
+	FPOps, IntOps, Branches uint64
+	MispredictRate          float64 // fraction of branches mispredicted
+	ILP                     float64 // achieved fraction of issue width absent stalls (0 → default 0.5)
+	FPStallPerOp            float64 // dependency-chain stall cycles per FP op
+	RegDepFrac              float64 // register-dependency bubble as a fraction of base cycles
+	IssuedOverhead          float64 // extra issued-but-not-retired instruction fraction
+	Refs                    []MemRef
+}
+
+// Compute executes the kernel on the thread: first-touch placement, the
+// analytic cache cascade for each memory reference, the processor model for
+// base issue cycles and the stall decomposition, then a single Advance.
+func (t *Thread) Compute(k Kernel) {
+	cfg := t.eng.mach.Config()
+	var delta counters.Set
+
+	var loads, stores uint64
+	var memStall, rawLatency uint64
+	for _, ref := range k.Refs {
+		if ref.Region == nil || ref.Loads+ref.Stores == 0 {
+			loads += ref.Loads
+			stores += ref.Stores
+			continue
+		}
+		if ref.FirstTouch {
+			ref.Region.Touch(ref.Off, ref.Len, t.Node())
+		}
+		c := t.eng.mach.AccessCost(t.CPU, ref.Region, ref.Off, ref.Len, machine.MemProfile{
+			Loads:      ref.Loads,
+			Stores:     ref.Stores,
+			WorkingSet: ref.Len,
+			StrideB:    ref.Stride,
+			Reuse:      ref.Reuse,
+			Contenders: ref.Contenders,
+			Hot:        ref.Hot,
+		})
+		loads += ref.Loads
+		stores += ref.Stores
+		memStall += c.StallCycles
+		rawLatency += c.RawLatency
+		delta.Inc(counters.L1DRefs, c.L1DRefs)
+		delta.Inc(counters.L1DMisses, c.L1DMiss)
+		delta.Inc(counters.L2Refs, c.L2Refs)
+		delta.Inc(counters.L2Misses, c.L2Miss)
+		delta.Inc(counters.L3Refs, c.L3Refs)
+		delta.Inc(counters.L3Misses, c.L3Miss)
+		delta.Inc(counters.TLBMisses, c.TLBMiss)
+		delta.Inc(counters.LocalMem, c.Local)
+		delta.Inc(counters.RemoteMem, c.Remote)
+	}
+
+	instr := k.FPOps + k.IntOps + k.Branches + loads + stores
+	if instr == 0 && memStall == 0 {
+		return
+	}
+	ilp := k.ILP
+	if ilp <= 0 {
+		ilp = 0.5
+	}
+	if ilp > 1 {
+		ilp = 1
+	}
+	base := uint64(float64(instr) / (cfg.IssueWidth * ilp))
+	if base == 0 && instr > 0 {
+		base = 1
+	}
+
+	fpStall := uint64(float64(k.FPOps) * k.FPStallPerOp)
+	brStall := uint64(float64(k.Branches) * k.MispredictRate * float64(cfg.BranchPenalty))
+	regDep := uint64(float64(base) * k.RegDepFrac)
+	// Small fixed front-end costs proportional to instruction volume.
+	iMiss := instr / 4000
+	stack := instr / 8000
+	feFlush := uint64(float64(k.Branches) * k.MispredictRate / 2)
+
+	stallAll := memStall + fpStall + brStall + regDep + iMiss + stack + feFlush
+
+	delta.Inc(counters.FPOps, k.FPOps)
+	delta.Inc(counters.IntOps, k.IntOps)
+	delta.Inc(counters.Branches, k.Branches)
+	delta.Inc(counters.Loads, loads)
+	delta.Inc(counters.Stores, stores)
+	delta.Inc(counters.InstrCompleted, instr)
+	issued := uint64(float64(instr) * (1 + k.IssuedOverhead + k.MispredictRate*0.05))
+	if issued < instr {
+		issued = instr
+	}
+	delta.Inc(counters.InstrIssued, issued)
+	delta.Inc(counters.BranchMispredic, uint64(float64(k.Branches)*k.MispredictRate))
+
+	delta.Inc(counters.StallAll, stallAll)
+	delta.Inc(counters.StallL1D, memStall)
+	delta.Inc(counters.StallFP, fpStall)
+	delta.Inc(counters.StallBranch, brStall)
+	delta.Inc(counters.StallRegDep, regDep)
+	delta.Inc(counters.StallIMiss, iMiss)
+	delta.Inc(counters.StallStack, stack)
+	delta.Inc(counters.StallFEFlush, feFlush)
+	delta.Inc(counters.MemLatency, rawLatency)
+
+	t.Advance(base+stallAll, &delta)
+}
+
+// Copy models an on-processor memory copy of n bytes from src to dst
+// (either may be nil for a synthetic buffer). The cost combines a
+// byte-bandwidth floor with the cache/NUMA cost of streaming both operands.
+func (t *Thread) Copy(dst, src *machine.Region, dstOff, srcOff, n int64) {
+	t.CopyHot(dst, src, dstOff, srcOff, n, 0, 0)
+}
+
+// CopyHot is Copy with explicit L3-residency hints for the source and
+// destination ranges (see machine.MemProfile.Hot) — intermediate exchange
+// buffers that were just written are hot, field arrays streamed once per
+// sweep are not.
+func (t *Thread) CopyHot(dst, src *machine.Region, dstOff, srcOff, n int64, srcHot, dstHot float64) {
+	if n <= 0 {
+		return
+	}
+	words := uint64(n / 8)
+	if words == 0 {
+		words = 1
+	}
+	k := Kernel{
+		IntOps: words / 4, // address arithmetic
+		ILP:    0.8,
+	}
+	// Unit-stride copies touch 8 words per cache line: line-level reuse 7.
+	if src != nil {
+		k.Refs = append(k.Refs, MemRef{Region: src, Off: srcOff, Len: n, Loads: words, Reuse: 7, Hot: srcHot})
+	} else {
+		k.Refs = append(k.Refs, MemRef{Loads: words})
+	}
+	if dst != nil {
+		k.Refs = append(k.Refs, MemRef{Region: dst, Off: dstOff, Len: n, Stores: words, Reuse: 7, FirstTouch: true, Hot: dstHot})
+	} else {
+		k.Refs = append(k.Refs, MemRef{Stores: words})
+	}
+	t.Compute(k)
+	// Bandwidth floor for the copy engine.
+	floor := uint64(float64(n) * t.eng.ovh.CopyByteCyc)
+	t.Advance(floor, nil)
+}

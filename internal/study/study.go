@@ -1,0 +1,176 @@
+// Package study drives parametric studies: the multi-experiment data
+// collection the paper's introduction motivates ("parametric studies,
+// modeling, and optimization strategies require large amounts of data to be
+// collected and processed"). A Study sweeps a workload over a parameter
+// grid, stamps every resulting trial with its parameter point as metadata,
+// stores everything in a PerfDMF repository, and extracts series for
+// scalability and sensitivity analysis.
+package study
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"perfknow/internal/perfdmf"
+)
+
+// Point is one assignment of parameter values.
+type Point map[string]string
+
+// clone copies a point.
+func (p Point) clone() Point {
+	out := make(Point, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Name renders the point as a stable trial-name suffix (sorted key=value).
+func (p Point) Name() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ","
+		}
+		out += k + "=" + p[k]
+	}
+	return out
+}
+
+// Grid builds the cartesian product of the parameter values, in
+// deterministic order (parameters sorted by name, values in given order).
+func Grid(params map[string][]string) []Point {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	points := []Point{{}}
+	for _, k := range keys {
+		var next []Point
+		for _, p := range points {
+			for _, v := range params[k] {
+				np := p.clone()
+				np[k] = v
+				next = append(next, np)
+			}
+		}
+		points = next
+	}
+	return points
+}
+
+// Runner produces a trial for one parameter point.
+type Runner func(p Point) (*perfdmf.Trial, error)
+
+// Study names the experiment and owns the repository trials land in.
+type Study struct {
+	Repo       *perfdmf.Repository
+	App        string
+	Experiment string
+}
+
+// Run executes the runner over every point, stamps parameters into trial
+// metadata (prefixed "param:"), renames each trial after its point, saves
+// it, and returns the trials in grid order. The first error aborts the
+// sweep.
+func (s *Study) Run(points []Point, run Runner) ([]*perfdmf.Trial, error) {
+	if s.Repo == nil {
+		s.Repo = perfdmf.NewRepository()
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("study: no points to run")
+	}
+	var out []*perfdmf.Trial
+	for _, pt := range points {
+		t, err := run(pt)
+		if err != nil {
+			return out, fmt.Errorf("study: point %s: %w", pt.Name(), err)
+		}
+		t.App = s.App
+		t.Experiment = s.Experiment
+		t.Name = pt.Name()
+		for k, v := range pt {
+			t.Metadata["param:"+k] = v
+		}
+		if err := s.Repo.Save(t); err != nil {
+			return out, fmt.Errorf("study: point %s: %w", pt.Name(), err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// SeriesPoint is one (x, y) pair of an extracted series.
+type SeriesPoint struct {
+	X     float64
+	Label string // the grouping point's name (without the x parameter)
+	Y     float64
+}
+
+// Series extracts, for each combination of the non-x parameters, the series
+// of (xParam value → total runtime): the largest per-thread inclusive value
+// of `metric` over all flat events, which is the top-level region's
+// duration regardless of which thread hosts it. X values must parse as
+// numbers. Results are grouped by Label and sorted by X.
+func Series(trials []*perfdmf.Trial, xParam, metric string) (map[string][]SeriesPoint, error) {
+	out := make(map[string][]SeriesPoint)
+	for _, t := range trials {
+		xs, ok := t.Metadata["param:"+xParam]
+		if !ok {
+			return nil, fmt.Errorf("study: trial %q lacks parameter %q", t.Name, xParam)
+		}
+		x, err := strconv.ParseFloat(xs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("study: parameter %q=%q is not numeric", xParam, xs)
+		}
+		y := 0.0
+		for _, e := range t.Events {
+			if e.IsCallpath() {
+				continue
+			}
+			for _, v := range e.Inclusive[metric] {
+				if v > y {
+					y = v
+				}
+			}
+		}
+		if y == 0 {
+			return nil, fmt.Errorf("study: trial %q has no %q data", t.Name, metric)
+		}
+		label := groupLabel(t, xParam)
+		out[label] = append(out[label], SeriesPoint{X: x, Label: label, Y: y})
+	}
+	for _, pts := range out {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	}
+	return out, nil
+}
+
+func groupLabel(t *perfdmf.Trial, exclude string) string {
+	var keys []string
+	for k := range t.Metadata {
+		if len(k) > 6 && k[:6] == "param:" && k[6:] != exclude {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	label := ""
+	for i, k := range keys {
+		if i > 0 {
+			label += ","
+		}
+		label += k[6:] + "=" + t.Metadata[k]
+	}
+	if label == "" {
+		label = "all"
+	}
+	return label
+}

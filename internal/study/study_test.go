@@ -1,0 +1,129 @@
+package study
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"perfknow/internal/apps/msa"
+	"perfknow/internal/machine"
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/sim"
+)
+
+func TestGrid(t *testing.T) {
+	pts := Grid(map[string][]string{
+		"threads":  {"1", "2", "4"},
+		"schedule": {"static", "dynamic,1"},
+	})
+	if len(pts) != 6 {
+		t.Fatalf("grid size = %d, want 6", len(pts))
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		seen[p.Name()] = true
+	}
+	if !seen["schedule=static,threads=4"] || !seen["schedule=dynamic,1,threads=1"] {
+		t.Fatalf("grid points: %v", seen)
+	}
+	// Deterministic order.
+	pts2 := Grid(map[string][]string{
+		"threads":  {"1", "2", "4"},
+		"schedule": {"static", "dynamic,1"},
+	})
+	for i := range pts {
+		if pts[i].Name() != pts2[i].Name() {
+			t.Fatal("grid order not deterministic")
+		}
+	}
+	if len(Grid(nil)) != 1 {
+		t.Fatal("empty grid should be the single empty point")
+	}
+}
+
+func TestStudyRunAndSeries(t *testing.T) {
+	st := &Study{App: "MSAP", Experiment: "schedule sweep"}
+	points := Grid(map[string][]string{
+		"threads":  {"1", "2", "4"},
+		"schedule": {"static", "dynamic,1"},
+	})
+	trials, err := st.Run(points, func(p Point) (*perfdmf.Trial, error) {
+		threads, err := strconv.Atoi(p["threads"])
+		if err != nil {
+			return nil, err
+		}
+		sched, err := sim.ParseSchedule(p["schedule"])
+		if err != nil {
+			return nil, err
+		}
+		return msa.Run(machine.Altix(4, 2), msa.Params{
+			Sequences: 32, MeanLen: 80, LenJitter: 40, Seed: 42,
+			Threads: threads, Schedule: sched,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 6 {
+		t.Fatalf("trials: %d", len(trials))
+	}
+	// Everything landed in the repository under the study's names.
+	names := st.Repo.Trials("MSAP", "schedule sweep")
+	if len(names) != 6 {
+		t.Fatalf("stored trials: %v", names)
+	}
+	got, err := st.Repo.GetTrial("MSAP", "schedule sweep", "schedule=static,threads=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metadata["param:schedule"] != "static" || got.Metadata["param:threads"] != "2" {
+		t.Fatalf("metadata: %v", got.Metadata)
+	}
+
+	// Series by thread count, one per schedule.
+	series, err := Series(trials, "threads", perfdmf.TimeMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series groups: %v", series)
+	}
+	dyn := series["schedule=dynamic,1"]
+	if len(dyn) != 3 || dyn[0].X != 1 || dyn[2].X != 4 {
+		t.Fatalf("dynamic series: %+v", dyn)
+	}
+	// Time decreases with threads for the balanced schedule.
+	if !(dyn[0].Y > dyn[1].Y && dyn[1].Y > dyn[2].Y) {
+		t.Fatalf("dynamic series not decreasing: %+v", dyn)
+	}
+	// At 4 threads, dynamic beats static.
+	stat := series["schedule=static"]
+	if stat[2].Y <= dyn[2].Y {
+		t.Fatalf("static (%g) should be slower than dynamic (%g) at 4 threads", stat[2].Y, dyn[2].Y)
+	}
+}
+
+func TestStudyErrors(t *testing.T) {
+	st := &Study{App: "a", Experiment: "e"}
+	if _, err := st.Run(nil, nil); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	_, err := st.Run([]Point{{"x": "1"}}, func(Point) (*perfdmf.Trial, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Fatal("runner error swallowed")
+	}
+
+	// Series errors.
+	tr := perfdmf.NewTrial("a", "e", "t", 1)
+	tr.AddMetric(perfdmf.TimeMetric)
+	tr.EnsureEvent("main").SetValue(perfdmf.TimeMetric, 0, 1, 1)
+	if _, err := Series([]*perfdmf.Trial{tr}, "threads", perfdmf.TimeMetric); err == nil {
+		t.Fatal("missing parameter accepted")
+	}
+	tr.Metadata["param:threads"] = "abc"
+	if _, err := Series([]*perfdmf.Trial{tr}, "threads", perfdmf.TimeMetric); err == nil {
+		t.Fatal("non-numeric parameter accepted")
+	}
+}

@@ -1,0 +1,298 @@
+// Package perfknow is a Go reproduction of "Capturing Performance Knowledge
+// for Automated Analysis" (Huck et al., SC 2008): the integration of the
+// PerfExplorer performance data-mining framework with the OpenUH compiler
+// infrastructure, rebuilt from scratch on a simulated SGI Altix ccNUMA
+// platform.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - a ccNUMA machine model with first-touch page placement, an analytic
+//     cache cascade and memory-controller queueing (internal/machine);
+//   - a virtual-time execution engine with OpenMP (schedules, barriers) and
+//     MPI (Isend/Irecv, collectives) runtimes (internal/sim);
+//   - a TAU-style measurement runtime producing parallel profiles
+//     (internal/tau) stored in a PerfDMF-style repository with TAU-text,
+//     JSON and CSV formats (internal/perfdmf);
+//   - the PerfExplorer analysis operation library (internal/analysis),
+//     scripting language (internal/script) and forward-chaining inference
+//     engine with a Drools-like rule language (internal/rules);
+//   - an OpenUH-style compiler: multi-level IR, front end, selective
+//     instrumentation, cost models, O0..O3 pass pipelines and feedback
+//     (internal/openuh), plus the component power model of Eq. 1-2
+//     (internal/power);
+//   - the paper's two applications as workload models — ClustalW-style
+//     multiple sequence alignment and the GenIDLEST fluid-dynamics solver
+//     (internal/apps) — and the captured diagnosis knowledge base
+//     (internal/diagnosis).
+//
+// Quick start:
+//
+//	repo := perfknow.NewRepository()
+//	trial, _ := perfknow.RunMSA(perfknow.AltixConfig(8, 2), perfknow.MSAParams{
+//	    Sequences: 400, MeanLen: 450, LenJitter: 220, Seed: 42,
+//	    Threads: 16, Schedule: perfknow.MustSchedule("static"),
+//	})
+//	repo.Save(trial)
+//	s := perfknow.NewSession(repo)
+//	perfknow.InstallKnowledgeBase(s, "assets/rules")
+//	perfknow.SetScriptArgs(s, []string{trial.App, trial.Experiment, trial.Name})
+//	s.RunScript(perfknow.ScriptLoadBalance) // fires the load-imbalance rule
+package perfknow
+
+import (
+	"perfknow/internal/analysis"
+	"perfknow/internal/apps/genidlest"
+	"perfknow/internal/apps/msa"
+	"perfknow/internal/core"
+	"perfknow/internal/diagnosis"
+	"perfknow/internal/machine"
+	"perfknow/internal/openuh"
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/power"
+	"perfknow/internal/rules"
+	"perfknow/internal/sim"
+	"perfknow/internal/study"
+)
+
+// Profile data management (PerfDMF).
+type (
+	// Trial is one parallel profile: per-thread inclusive/exclusive values
+	// for every instrumented event and metric, plus metadata.
+	Trial = perfdmf.Trial
+	// Event is one instrumented code region within a trial.
+	Event = perfdmf.Event
+	// Repository stores trials in the Application→Experiment→Trial hierarchy.
+	Repository = perfdmf.Repository
+)
+
+// TimeMetric is the canonical wall-clock metric name (microseconds).
+const TimeMetric = perfdmf.TimeMetric
+
+// NewRepository returns an in-memory profile repository.
+func NewRepository() *Repository { return perfdmf.NewRepository() }
+
+// OpenRepository returns a file-backed repository rooted at dir.
+func OpenRepository(dir string) (*Repository, error) { return perfdmf.OpenRepository(dir) }
+
+// NewTrial creates an empty trial.
+func NewTrial(app, experiment, name string, threads int) *Trial {
+	return perfdmf.NewTrial(app, experiment, name, threads)
+}
+
+// WriteTAU / ParseTAU expose the TAU text profile format.
+var (
+	WriteTAU = perfdmf.WriteTAU
+	ParseTAU = perfdmf.ParseTAU
+	WriteCSV = perfdmf.WriteCSV
+	ReadCSV  = perfdmf.ReadCSV
+)
+
+// PerfExplorer session (scripting + inference).
+type (
+	// Session is a PerfExplorer 2.0 session: repository + rule engine +
+	// script interpreter with the object API bound in.
+	Session = core.Session
+	// TrialObject wraps a Trial for the scripting interface.
+	TrialObject = core.TrialObject
+	// RuleEngine is the forward-chaining inference engine.
+	RuleEngine = rules.Engine
+	// Fact is a working-memory element.
+	Fact = rules.Fact
+	// Recommendation is a structured suggestion from a fired rule.
+	Recommendation = rules.Recommendation
+)
+
+// NewSession builds a session over repo (nil → fresh in-memory repository).
+func NewSession(repo *Repository) *Session { return core.NewSession(repo) }
+
+// NewRuleEngine returns an empty inference engine.
+func NewRuleEngine() *RuleEngine { return rules.NewEngine() }
+
+// NewFact builds a fact for assertion into a rule engine.
+func NewFact(factType string, fields map[string]any) *Fact { return rules.NewFact(factType, fields) }
+
+// InstallKnowledgeBase binds the diagnosis fact builders into a session and
+// points scripts at the directory holding the .prl rule files.
+func InstallKnowledgeBase(s *Session, rulesDir string) { diagnosis.Install(s, rulesDir) }
+
+// SetScriptArgs sets the `args` global for the next script run.
+func SetScriptArgs(s *Session, args []string) { diagnosis.SetArgs(s, args) }
+
+// WriteAssets materializes the knowledge base (rules/ and scripts/) under dir.
+func WriteAssets(dir string) error { return diagnosis.WriteAssets(dir) }
+
+// The captured analysis scripts (see internal/diagnosis).
+const (
+	ScriptStallsPerCycle     = diagnosis.ScriptStallsPerCycle
+	ScriptInefficiency       = diagnosis.ScriptInefficiency
+	ScriptStallDecomposition = diagnosis.ScriptStallDecomposition
+	ScriptMemoryAnalysis     = diagnosis.ScriptMemoryAnalysis
+	ScriptLoadBalance        = diagnosis.ScriptLoadBalance
+	ScriptPowerLevels        = diagnosis.ScriptPowerLevels
+	ScriptSynchronization    = diagnosis.ScriptSynchronization
+	ScriptThreadClusters     = diagnosis.ScriptThreadClusters
+)
+
+// Machine and execution.
+type (
+	// MachineConfig parameterizes the ccNUMA machine model.
+	MachineConfig = machine.Config
+	// Machine is an instantiated platform with page placement state.
+	Machine = machine.Machine
+	// Schedule is an OpenMP loop schedule clause.
+	Schedule = sim.Schedule
+	// Engine is the virtual-time execution engine.
+	Engine = sim.Engine
+)
+
+// AltixConfig returns the SGI Altix configuration used throughout the paper
+// (nodes × cpusPerNode processors).
+func AltixConfig(nodes, cpusPerNode int) MachineConfig { return machine.Altix(nodes, cpusPerNode) }
+
+// NewMachine instantiates a machine.
+func NewMachine(cfg MachineConfig) *Machine { return machine.New(cfg) }
+
+// NewEngine builds an execution engine over a machine.
+func NewEngine(m *Machine, threads int) *Engine {
+	return sim.NewEngine(m, sim.Options{Threads: threads, CallpathDepth: 3})
+}
+
+// ParseSchedule parses OpenMP schedule clause syntax ("dynamic,1").
+func ParseSchedule(s string) (Schedule, error) { return sim.ParseSchedule(s) }
+
+// MustSchedule is ParseSchedule that panics on error (for literals).
+func MustSchedule(s string) Schedule {
+	sched, err := sim.ParseSchedule(s)
+	if err != nil {
+		panic(err)
+	}
+	return sched
+}
+
+// Compiler (OpenUH).
+type (
+	// Program is the compiler's multi-level tree IR.
+	Program = openuh.Program
+	// OptLevel is -O0..-O3.
+	OptLevel = openuh.OptLevel
+	// InstrumentOptions control compile-time instrumentation.
+	InstrumentOptions = openuh.InstrumentOptions
+	// Executable is a compiled, instrumented program.
+	Executable = openuh.Executable
+	// CostModel bundles the processor/cache/parallel models plus feedback.
+	CostModel = openuh.CostModel
+)
+
+// Optimization levels.
+const (
+	O0 = openuh.O0
+	O1 = openuh.O1
+	O2 = openuh.O2
+	O3 = openuh.O3
+)
+
+// Compiler entry points.
+var (
+	ParseSource            = openuh.ParseSource
+	Compile                = openuh.Compile
+	ParseOptLevel          = openuh.ParseOptLevel
+	DefaultInstrumentation = openuh.DefaultInstrumentation
+	DefaultCostModel       = openuh.DefaultCostModel
+)
+
+// Power model (Eq. 1 and Eq. 2).
+type (
+	// PowerModel estimates processor power from counter access rates.
+	PowerModel = power.Model
+	// PowerReport is the model's output for one trial.
+	PowerReport = power.Report
+)
+
+// Itanium2Power returns the Madison processor power model.
+func Itanium2Power() PowerModel { return power.Itanium2() }
+
+// Applications (the case-study workloads).
+type (
+	// MSAParams configures the multiple-sequence-alignment workload (§III-A).
+	MSAParams = msa.Params
+	// GenIDLESTConfig configures the fluid-dynamics workload (§III-B/C).
+	GenIDLESTConfig = genidlest.Config
+	// GenIDLESTProblem selects 45rib or 90rib.
+	GenIDLESTProblem = genidlest.Problem
+	// MSAScore holds Smith-Waterman scoring constants.
+	MSAScore = msa.ScoreParams
+)
+
+// DefaultMSAScore returns the classic +2/-1/-1 Smith-Waterman scoring.
+func DefaultMSAScore() MSAScore { return msa.DefaultScore() }
+
+// GenIDLEST modes.
+const (
+	ModeOpenMP = genidlest.OpenMP
+	ModeMPI    = genidlest.MPI
+	ModeHybrid = genidlest.Hybrid
+)
+
+// Workload entry points.
+var (
+	RunMSA             = msa.Run
+	MSAEfficiencySweep = msa.EfficiencySweep
+	RunGenIDLEST       = genidlest.Run
+	Rib45              = genidlest.Rib45
+	Rib90              = genidlest.Rib90
+	GenIDLESTDefaults  = genidlest.DefaultConfig
+	SmithWaterman      = msa.Align
+	GenerateSequences  = msa.GenerateSequences
+)
+
+// Analysis operations.
+var (
+	DeriveMetric         = analysis.DeriveMetric
+	ReduceTrial          = analysis.Reduce
+	LoadBalanceAnalysis  = analysis.LoadBalanceAnalysis
+	ScalingSeries        = analysis.ScalingSeries
+	PerEventSpeedup      = analysis.PerEventSpeedup
+	TopNEvents           = analysis.TopN
+	KMeansThreadClusters = analysis.KMeans
+	DiffTrials           = analysis.DiffTrials
+	MergeTrials          = analysis.MergeTrials
+	RelativeChange       = analysis.RelativeChange
+)
+
+// ParseGprof imports a gprof flat profile as a single-thread trial.
+var ParseGprof = perfdmf.ParseGprof
+
+// TuneParallelLoops rewrites worksharing schedules from measured per-thread
+// imbalance — the feedback-directed recompilation loop of Fig. 3.
+var TuneParallelLoops = openuh.TuneParallelLoops
+
+// Inlining: static (by callee weight) and feedback-directed (by measured
+// call counts — "callsite counts to improve inlining").
+var (
+	InlineCalls  = openuh.InlineCalls
+	TuneInlining = openuh.TuneInlining
+	ProcWeight   = openuh.ProcWeight
+)
+
+// Parametric studies (multi-experiment sweeps with metadata-stamped trials).
+type (
+	// Study sweeps a workload over a parameter grid into a repository.
+	Study = study.Study
+	// StudyPoint is one assignment of parameter values.
+	StudyPoint = study.Point
+)
+
+// Study helpers.
+var (
+	StudyGrid   = study.Grid
+	StudySeries = study.Series
+)
+
+// Reductions for ReduceTrial.
+const (
+	ReduceMean   = analysis.ReduceMean
+	ReduceTotal  = analysis.ReduceTotal
+	ReduceMax    = analysis.ReduceMax
+	ReduceMin    = analysis.ReduceMin
+	ReduceStdDev = analysis.ReduceStdDev
+)

@@ -1,0 +1,241 @@
+// Tests of the public facade: everything a downstream user reaches goes
+// through package perfknow, so this file doubles as executable
+// documentation of the API surface.
+package perfknow_test
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"perfknow"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	// Compile a small program through the public compiler API.
+	prog, err := perfknow.ParseSource(`
+program api
+proc main() {
+    parallel loop work 64 schedule(dynamic,1) {
+        compute fp=2000 int=400 loads=800 stores=200 dep=0.3 \
+                region=grid off=0 len=1048576 reuse=8 firsttouch
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, scores, err := perfknow.Compile(prog, perfknow.O2, perfknow.DefaultInstrumentation(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) == 0 {
+		t.Fatal("no instrumentation scores")
+	}
+	m := perfknow.NewMachine(perfknow.AltixConfig(8, 2))
+	eng := perfknow.NewEngine(m, 8)
+	trial, err := ex.Run(eng, "api", "facade", "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trial.MainEvent(perfknow.TimeMetric) == nil {
+		t.Fatal("no main event")
+	}
+
+	// Store it, analyze it with the knowledge base.
+	repo := perfknow.NewRepository()
+	if err := repo.Save(trial); err != nil {
+		t.Fatal(err)
+	}
+	assets := t.TempDir()
+	if err := perfknow.WriteAssets(assets); err != nil {
+		t.Fatal(err)
+	}
+	s := perfknow.NewSession(repo)
+	var out bytes.Buffer
+	s.SetOutput(&out)
+	perfknow.InstallKnowledgeBase(s, assets+"/rules")
+	perfknow.SetScriptArgs(s, []string{trial.App, trial.Experiment, trial.Name})
+	if err := s.RunScript(perfknow.ScriptStallsPerCycle); err != nil {
+		t.Fatal(err)
+	}
+	// The script ran; output may or may not contain firings for this tiny
+	// kernel, but the session must have a result.
+	if s.LastResult() == nil {
+		t.Fatal("no rule-processing result")
+	}
+}
+
+func TestPublicWorkloadsAndAnalysis(t *testing.T) {
+	cfg := perfknow.AltixConfig(8, 2)
+	static, err := perfknow.RunMSA(cfg, perfknow.MSAParams{
+		Sequences: 48, MeanLen: 100, LenJitter: 50, Seed: 1,
+		Threads: 8, Schedule: perfknow.MustSchedule("static"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbs := perfknow.LoadBalanceAnalysis(static, perfknow.TimeMetric)
+	if len(lbs) == 0 {
+		t.Fatal("no load balance rows")
+	}
+	dynamic, err := perfknow.RunMSA(cfg, perfknow.MSAParams{
+		Sequences: 48, MeanLen: 100, LenJitter: 50, Seed: 1,
+		Threads: 8, Schedule: perfknow.MustSchedule("dynamic,1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Trial algebra across the two runs.
+	diff, err := perfknow.DiffTrials(static, dynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Event("pairwise_inner") == nil {
+		t.Fatal("diff lost events")
+	}
+	changes := perfknow.RelativeChange(dynamic, static, perfknow.TimeMetric, 0)
+	if len(changes) == 0 {
+		t.Fatal("no relative changes")
+	}
+	merged, err := perfknow.MergeTrials([]*perfknow.Trial{static, dynamic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Event("pairwise_inner") == nil {
+		t.Fatal("merge lost events")
+	}
+}
+
+func TestPublicGenIDLESTAndPower(t *testing.T) {
+	cfg := perfknow.AltixConfig(8, 2)
+	c := perfknow.GenIDLESTDefaults(perfknow.Rib45(), perfknow.ModeMPI, 8)
+	c.Timesteps, c.InnerIters = 1, 2
+	trial, err := perfknow.RunGenIDLEST(cfg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := perfknow.Itanium2Power().Estimate(trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WattsPerProc <= 0 || rep.Joules <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestPublicFormats(t *testing.T) {
+	tr := perfknow.NewTrial("fmt", "exp", "t", 2)
+	tr.AddMetric(perfknow.TimeMetric)
+	e := tr.EnsureEvent("f")
+	e.SetValue(perfknow.TimeMetric, 0, 10, 10)
+	e.SetValue(perfknow.TimeMetric, 1, 20, 20)
+
+	dir := t.TempDir()
+	if err := perfknow.WriteTAU(dir, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := perfknow.ParseTAU(dir, "fmt", "exp", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Event("f").Inclusive[perfknow.TimeMetric][1] != 20 {
+		t.Fatal("TAU round trip lost data")
+	}
+
+	var csv bytes.Buffer
+	if err := perfknow.WriteCSV(&csv, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := perfknow.ReadCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+
+	gp := ` time   seconds   seconds    calls  ms/call  ms/call  name
+ 99.0       1.00      1.00       10   100.00   100.00  hot
+`
+	g, err := perfknow.ParseGprof(strings.NewReader(gp), "a", "e", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Event("hot") == nil {
+		t.Fatal("gprof import lost event")
+	}
+}
+
+func TestPublicRuleEngine(t *testing.T) {
+	eng := perfknow.NewRuleEngine()
+	if err := eng.LoadString(`
+rule "r"
+when f : Thing ( v : value > 1 )
+then recommend("cat", "act on " + v) end
+`); err != nil {
+		t.Fatal(err)
+	}
+	eng.Assert(perfknow.NewFact("Thing", map[string]any{"value": 5}))
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) != 1 || res.Recommendations[0].Category != "cat" {
+		t.Fatalf("recommendations: %+v", res.Recommendations)
+	}
+}
+
+func TestPublicFeedbackLoop(t *testing.T) {
+	// TuneParallelLoops through the facade.
+	prog, err := perfknow.ParseSource(`
+program fb
+proc main() {
+    parallel loop rows 32 schedule(static) {
+        compute fp=100 dep=0.2
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := perfknow.NewTrial("a", "e", "t", 4)
+	tr.AddMetric(perfknow.TimeMetric)
+	tr.AddMetric("CPU_CYCLES")
+	rows := tr.EnsureEvent("rows")
+	for th := 0; th < 4; th++ {
+		f := float64(th + 1)
+		rows.SetValue(perfknow.TimeMetric, th, 100*f, 100*f)
+		rows.SetValue("CPU_CYCLES", th, 150000*f, 150000*f)
+	}
+	changes := perfknow.TuneParallelLoops(prog, tr, nil, 0)
+	if len(changes) != 1 || !strings.HasPrefix(changes[0].New, "dynamic,") {
+		t.Fatalf("changes: %+v", changes)
+	}
+}
+
+func TestSmithWatermanPublic(t *testing.T) {
+	seqs := perfknow.GenerateSequences(2, 50, 10, 3)
+	score, cells := perfknow.SmithWaterman(seqs[0], seqs[1], perfknow.DefaultMSAScore())
+	if cells != len(seqs[0])*len(seqs[1]) {
+		t.Fatalf("cells = %d", cells)
+	}
+	if score < 0 {
+		t.Fatalf("score = %d", score)
+	}
+}
+
+func TestRepositoryOnDiskPublic(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := perfknow.OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := perfknow.NewTrial("a", "e", "t", 1)
+	tr.AddMetric(perfknow.TimeMetric)
+	tr.EnsureEvent("x").SetValue(perfknow.TimeMetric, 0, 1, 1)
+	if err := repo.Save(tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir + "/a/e/t.json"); err != nil {
+		t.Fatalf("trial not persisted: %v", err)
+	}
+}
