@@ -8,10 +8,14 @@ package perfknow_test
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"perfknow"
 	"perfknow/internal/experiments"
+	"perfknow/internal/parallel"
 )
 
 // regen runs one experiment per benchmark iteration and fails the benchmark
@@ -52,6 +56,38 @@ func BenchmarkAblationGenIDLESTFixes(b *testing.B)      { regen(b, "A1") }
 func BenchmarkAblationSelectiveInstrument(b *testing.B) { regen(b, "A2") }
 func BenchmarkFeedbackDirectedLoop(b *testing.B)        { regen(b, "A3") }
 func BenchmarkHybridMPIOpenMP(b *testing.B)             { regen(b, "A4") }
+
+// BenchmarkParallelSpeedup runs the full evaluation suite sequentially
+// (-j 1) and with the default worker pool, reports the wall-clock speedup
+// as a custom metric, and requires byte-identical results from both runs.
+// On machines with at least 4 cores the concurrent run must be at least
+// twice as fast; on smaller machines the ratio is reported but not
+// enforced (a 1-core box legitimately measures ~1x).
+func BenchmarkParallelSpeedup(b *testing.B) {
+	defer parallel.SetDefaultWorkers(0)
+	measure := func(workers int) (time.Duration, []*experiments.Result) {
+		parallel.SetDefaultWorkers(workers)
+		start := time.Now()
+		res, err := experiments.RunAll("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start), res
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		seqTime, seqRes := measure(1)
+		parTime, parRes := measure(0)
+		if !reflect.DeepEqual(seqRes, parRes) {
+			b.Fatal("concurrent RunAll results differ from sequential")
+		}
+		speedup = float64(seqTime) / float64(parTime)
+	}
+	b.ReportMetric(speedup, "x-speedup")
+	if cores := runtime.GOMAXPROCS(0); cores >= 4 && speedup < 2 {
+		b.Fatalf("RunAll speedup %.2fx on %d cores, want >= 2x", speedup, cores)
+	}
+}
 
 // --- component micro-benchmarks -----------------------------------------
 

@@ -7,6 +7,7 @@
 //	experiments            # run everything
 //	experiments -run F5b   # run experiments whose ID starts with F5b
 //	experiments -list      # list experiment IDs
+//	experiments -j 4       # fan experiments out over 4 workers
 package main
 
 import (
@@ -15,14 +16,17 @@ import (
 	"os"
 
 	"perfknow/internal/experiments"
+	"perfknow/internal/parallel"
 )
 
 func main() {
 	var (
 		run  = flag.String("run", "", "run only experiments whose ID starts with this prefix")
 		list = flag.Bool("list", false, "list experiment IDs and exit")
+		jobs = flag.Int("j", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*jobs)
 
 	if *list {
 		for _, id := range experiments.IDs() {

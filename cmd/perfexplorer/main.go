@@ -21,6 +21,7 @@ import (
 
 	"perfknow/internal/core"
 	"perfknow/internal/diagnosis"
+	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 )
 
@@ -38,10 +39,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rulesDir    = fs.String("rules", "assets/rules", "directory holding .prl rule files")
 		list        = fs.Bool("list", false, "list repository contents and exit")
 		writeAssets = fs.String("write-assets", "", "write the bundled rules and scripts under this directory and exit")
+		jobs        = fs.Int("j", 0, "worker goroutines for parallel analysis (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	parallel.SetDefaultWorkers(*jobs)
 
 	if *writeAssets != "" {
 		if err := diagnosis.WriteAssets(*writeAssets); err != nil {

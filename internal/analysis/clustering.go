@@ -3,7 +3,9 @@ package analysis
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 )
 
@@ -44,15 +46,21 @@ func KMeans(t *perfdmf.Trial, metric string, k int, maxIter int) (*Clustering, e
 		return nil, fmt.Errorf("analysis: trial %q has no events with metric %q", t.Name, metric)
 	}
 
-	// Build feature matrix: threads × events.
+	// Build feature matrix: threads × events. Gather the metric columns
+	// first (Trial.Event builds a lazy index, so resolve names up front),
+	// then fill the independent rows in parallel.
+	cols := make([][]float64, len(events))
+	for j, name := range events {
+		cols[j] = t.Event(name).Exclusive[metric]
+	}
 	feats := make([][]float64, t.Threads)
-	for th := range feats {
+	parallel.Each(t.Threads, 0, func(th int) {
 		row := make([]float64, len(events))
-		for j, name := range events {
-			row[j] = t.Event(name).Exclusive[metric][th]
+		for j := range cols {
+			row[j] = cols[j][th]
 		}
 		feats[th] = row
-	}
+	})
 
 	// Farthest-point initialization.
 	centroids := make([][]float64, 0, k)
@@ -75,8 +83,12 @@ func KMeans(t *perfdmf.Trial, metric string, k int, maxIter int) (*Clustering, e
 
 	assign := make([]int, t.Threads)
 	for iter := 0; iter < maxIter; iter++ {
-		changed := false
-		for i, f := range feats {
+		// Assignment: each point depends only on the (read-only) centroids
+		// and writes its own slot, so the rows fan out. The change flag is
+		// an OR across points — order-independent, hence deterministic.
+		var changed atomic.Bool
+		parallel.Each(len(feats), 0, func(i int) {
+			f := feats[i]
 			best, bestD := 0, math.Inf(1)
 			for c := range centroids {
 				if d := sqDist(f, centroids[c]); d < bestD {
@@ -85,10 +97,11 @@ func KMeans(t *perfdmf.Trial, metric string, k int, maxIter int) (*Clustering, e
 			}
 			if assign[i] != best {
 				assign[i] = best
-				changed = true
+				changed.Store(true)
 			}
-		}
-		// Recompute centroids.
+		})
+		// Recompute centroids sequentially: the summation order of the
+		// floating-point accumulation is part of the deterministic contract.
 		counts := make([]int, k)
 		sums := make([][]float64, k)
 		for c := range sums {
@@ -108,7 +121,7 @@ func KMeans(t *perfdmf.Trial, metric string, k int, maxIter int) (*Clustering, e
 				centroids[c][j] = sums[c][j] / float64(counts[c])
 			}
 		}
-		if !changed {
+		if !changed.Load() {
 			break
 		}
 	}

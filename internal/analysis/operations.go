@@ -8,11 +8,13 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strconv"
 
+	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 )
 
@@ -93,12 +95,34 @@ func DeriveMetric(t *perfdmf.Trial, lhs, rhs string, op Op) (*perfdmf.Trial, str
 	name := DeriveMetricName(lhs, rhs, op)
 	out := t.Clone()
 	out.AddMetric(name)
-	for _, e := range out.Events {
+	// Each event owns its metric maps in the fresh clone, so the per-event
+	// element-wise computation fans out share-nothing.
+	parallel.Each(len(out.Events), 0, func(i int) {
+		e := out.Events[i]
 		li, ri := e.Inclusive[lhs], e.Inclusive[rhs]
 		le, re := e.Exclusive[lhs], e.Exclusive[rhs]
 		for th := 0; th < out.Threads; th++ {
 			e.SetValue(name, th, op.apply(at(li, th), at(ri, th)), op.apply(at(le, th), at(re, th)))
 		}
+	})
+	return out, name, nil
+}
+
+// DeriveMetricBatch applies the same derivation to several trials
+// concurrently — the multi-trial parametric-study path. It returns the
+// derived trials in input order plus the metric name; on any failure the
+// first error (by trial index) is returned.
+func DeriveMetricBatch(trials []*perfdmf.Trial, lhs, rhs string, op Op) ([]*perfdmf.Trial, string, error) {
+	if len(trials) == 0 {
+		return nil, "", fmt.Errorf("analysis: DeriveMetricBatch needs at least one trial")
+	}
+	name := DeriveMetricName(lhs, rhs, op)
+	out, err := parallel.Map(context.Background(), len(trials), 0, func(i int) (*perfdmf.Trial, error) {
+		d, _, err := DeriveMetric(trials[i], lhs, rhs, op)
+		return d, err
+	})
+	if err != nil {
+		return nil, "", err
 	}
 	return out, name, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 
+	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 )
 
@@ -31,17 +32,21 @@ func InclusiveStats(t *perfdmf.Trial, metric string) []EventStat {
 }
 
 func eventStats(t *perfdmf.Trial, metric string, inclusive bool) []EventStat {
-	var out []EventStat
-	for _, e := range t.Events {
+	// Per-event rows are independent reductions over read-only slices, so
+	// they fan out; the slot-per-event result plus the name-tiebroken sort
+	// keeps the output order deterministic.
+	rows := make([]*EventStat, len(t.Events))
+	parallel.Each(len(t.Events), 0, func(i int) {
+		e := t.Events[i]
 		if e.IsCallpath() {
-			continue
+			return
 		}
 		vals := e.Exclusive[metric]
 		if inclusive {
 			vals = e.Inclusive[metric]
 		}
 		if len(vals) == 0 {
-			continue
+			return
 		}
 		s := EventStat{Event: e.Name, Threads: t.Threads, Mean: perfdmf.Mean(vals),
 			StdDev: perfdmf.StdDev(vals), Total: perfdmf.Sum(vals), Min: vals[0], Max: vals[0]}
@@ -53,7 +58,13 @@ func eventStats(t *perfdmf.Trial, metric string, inclusive bool) []EventStat {
 				s.Max = v
 			}
 		}
-		out = append(out, s)
+		rows[i] = &s
+	})
+	var out []EventStat
+	for _, s := range rows {
+		if s != nil {
+			out = append(out, *s)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Mean != out[j].Mean {

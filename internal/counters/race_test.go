@@ -1,0 +1,37 @@
+package counters
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadAccess exercises the package's read-only lookup paths
+// from many goroutines at once. The name↔ID tables are built in init() and
+// never written afterwards, so this must be race-clean; the test exists to
+// keep it that way under `go test -race` as the analysis layers fan out.
+func TestConcurrentReadAccess(t *testing.T) {
+	names := Names()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, n := range names {
+					id, ok := Lookup(n)
+					if !ok {
+						t.Errorf("Lookup(%q) failed", n)
+						return
+					}
+					if id.Name() != n {
+						t.Errorf("round-trip %q -> %v -> %q", n, id, id.Name())
+						return
+					}
+				}
+				_ = StallComponents()
+				_ = Names()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -6,10 +6,26 @@ import (
 	"sort"
 
 	"perfknow/internal/analysis"
+	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 	"perfknow/internal/power"
 	"perfknow/internal/rules"
 )
+
+// flatEvents returns the non-callpath events in trial order — the candidate
+// set every fact builder walks. Fact extraction computes per-event rows
+// share-nothing in parallel and then asserts sequentially in this order, so
+// fact IDs (and therefore rule activation tie-breaks) stay deterministic
+// regardless of the worker count.
+func flatEvents(t *perfdmf.Trial) []*perfdmf.Event {
+	var evs []*perfdmf.Event
+	for _, e := range t.Events {
+		if !e.IsCallpath() {
+			evs = append(evs, e)
+		}
+	}
+	return evs
+}
 
 // Metric names the fact builders consume.
 const (
@@ -60,26 +76,27 @@ func AssertInefficiencyFacts(eng *rules.Engine, t *perfdmf.Trial) (int, error) {
 			return 0, fmt.Errorf("diagnosis: trial %q lacks metric %q", t.Name, m)
 		}
 	}
-	type row struct {
-		e   *perfdmf.Event
-		val float64
-	}
-	var xs []row
-	sum := 0.0
-	for _, e := range t.Events {
-		if e.IsCallpath() {
-			continue
-		}
-		v := Inefficiency(t, e)
-		xs = append(xs, row{e, v})
-		sum += v
-	}
-	if len(xs) == 0 {
+	evs := flatEvents(t)
+	if len(evs) == 0 {
 		return 0, fmt.Errorf("diagnosis: trial %q has no events", t.Name)
+	}
+	type row struct {
+		val float64
+		sev float64
+	}
+	xs := make([]row, len(evs))
+	parallel.Each(len(evs), 0, func(i int) {
+		xs[i] = row{val: Inefficiency(t, evs[i]), sev: severity(t, evs[i])}
+	})
+	// Sum in event order so the average is bit-identical to the sequential
+	// walk regardless of worker count.
+	sum := 0.0
+	for _, r := range xs {
+		sum += r.val
 	}
 	avg := sum / float64(len(xs))
 	n := 0
-	for _, r := range xs {
+	for i, r := range xs {
 		hl := "LOWER"
 		if r.val > avg {
 			hl = "HIGHER"
@@ -87,11 +104,11 @@ func AssertInefficiencyFacts(eng *rules.Engine, t *perfdmf.Trial) (int, error) {
 			hl = "EQUAL"
 		}
 		eng.Assert(rules.NewFact("InefficiencyFact", map[string]any{
-			"eventName":   r.e.Name,
+			"eventName":   evs[i].Name,
 			"value":       r.val,
 			"average":     avg,
 			"higherLower": hl,
-			"severity":    severity(t, r.e),
+			"severity":    r.sev,
 		}))
 		n++
 	}
@@ -108,27 +125,38 @@ func AssertStallSourceFacts(eng *rules.Engine, t *perfdmf.Trial) (int, error) {
 			return 0, fmt.Errorf("diagnosis: trial %q lacks metric %q", t.Name, m)
 		}
 	}
-	n := 0
-	for _, e := range t.Events {
-		if e.IsCallpath() {
-			continue
-		}
+	evs := flatEvents(t)
+	facts := make([]*rules.Fact, len(evs))
+	parallel.Each(len(evs), 0, func(i int) {
+		e := evs[i]
 		all := perfdmf.Mean(e.Exclusive[metricStalls])
 		if all <= 0 {
-			continue
+			return
 		}
 		l1d := perfdmf.Mean(e.Exclusive[metricStallL1D]) / all
 		fp := perfdmf.Mean(e.Exclusive[metricStallFP]) / all
-		eng.Assert(rules.NewFact("StallSourcesFact", map[string]any{
+		facts[i] = rules.NewFact("StallSourcesFact", map[string]any{
 			"eventName":    e.Name,
 			"l1dFrac":      l1d,
 			"fpFrac":       fp,
 			"combinedFrac": l1d + fp,
 			"severity":     severity(t, e),
-		}))
-		n++
+		})
+	})
+	return assertAll(eng, facts), nil
+}
+
+// assertAll asserts the non-nil facts in slice order, preserving the
+// deterministic fact-ID sequence the sequential builders produced.
+func assertAll(eng *rules.Engine, facts []*rules.Fact) int {
+	n := 0
+	for _, f := range facts {
+		if f != nil {
+			eng.Assert(f)
+			n++
+		}
 	}
-	return n, nil
+	return n
 }
 
 // MemoryStalls evaluates the §III-B latency-weighted memory stall formula
@@ -167,26 +195,24 @@ func AssertLocalityFacts(eng *rules.Engine, t *perfdmf.Trial) (int, error) {
 			return 0, fmt.Errorf("diagnosis: trial %q lacks metric %q", t.Name, m)
 		}
 	}
-	n := 0
-	for _, e := range t.Events {
-		if e.IsCallpath() {
-			continue
-		}
+	evs := flatEvents(t)
+	facts := make([]*rules.Fact, len(evs))
+	parallel.Each(len(evs), 0, func(i int) {
+		e := evs[i]
 		l3 := perfdmf.Mean(e.Exclusive[metricL3Miss])
 		if l3 <= 0 {
-			continue
+			return
 		}
 		remote := perfdmf.Mean(e.Exclusive[metricRemote])
-		eng.Assert(rules.NewFact("LocalityFact", map[string]any{
+		facts[i] = rules.NewFact("LocalityFact", map[string]any{
 			"eventName":   e.Name,
 			"remoteRatio": remote / l3,
 			"l3Misses":    l3,
 			"memoryStall": MemoryStalls(e, AltixCoefficients()),
 			"severity":    severity(t, e),
-		}))
-		n++
-	}
-	return n, nil
+		})
+	})
+	return assertAll(eng, facts), nil
 }
 
 // AssertScalingFacts compares per-event inclusive times between a baseline
@@ -197,29 +223,30 @@ func AssertLocalityFacts(eng *rules.Engine, t *perfdmf.Trial) (int, error) {
 // by exclusive time hidden in nested events and barrier waits.
 func AssertScalingFacts(eng *rules.Engine, base, scaled *perfdmf.Trial) int {
 	metric := perfdmf.TimeMetric
-	n := 0
-	for _, e := range scaled.Events {
-		if e.IsCallpath() || e.Name == "main" {
-			continue
+	evs := flatEvents(scaled)
+	facts := make([]*rules.Fact, len(evs))
+	parallel.Each(len(evs), 0, func(i int) {
+		e := evs[i]
+		if e.Name == "main" {
+			return
 		}
 		be := base.Event(e.Name)
 		if be == nil {
-			continue
+			return
 		}
 		bv := maxPositive(be.Inclusive[metric])
 		ov := maxPositive(e.Inclusive[metric])
 		if bv <= 0 || ov <= 0 {
-			continue
+			return
 		}
-		eng.Assert(rules.NewFact("ScalingFact", map[string]any{
+		facts[i] = rules.NewFact("ScalingFact", map[string]any{
 			"eventName": e.Name,
 			"speedup":   bv / ov,
 			"threads":   float64(scaled.Threads),
 			"severity":  severity(scaled, e),
-		}))
-		n++
-	}
-	return n
+		})
+	})
+	return assertAll(eng, facts)
 }
 
 // maxPositive returns the largest value (events only present on some
@@ -242,26 +269,24 @@ func AssertSyncFacts(eng *rules.Engine, t *perfdmf.Trial) (int, error) {
 	if !t.HasMetric(metricCycles) {
 		return 0, fmt.Errorf("diagnosis: trial %q lacks metric %q", t.Name, metricCycles)
 	}
-	n := 0
-	for _, e := range t.Events {
-		if e.IsCallpath() {
-			continue
-		}
+	evs := flatEvents(t)
+	facts := make([]*rules.Fact, len(evs))
+	parallel.Each(len(evs), 0, func(i int) {
+		e := evs[i]
 		cyc := perfdmf.Mean(e.Exclusive[metricCycles])
 		if cyc <= 0 {
-			continue
+			return
 		}
 		critical := perfdmf.Mean(e.Exclusive["OMP_CRITICAL_CYCLES"])
 		barrier := perfdmf.Mean(e.Exclusive["OMP_BARRIER_CYCLES"])
-		eng.Assert(rules.NewFact("SyncFact", map[string]any{
+		facts[i] = rules.NewFact("SyncFact", map[string]any{
 			"eventName":    e.Name,
 			"criticalFrac": critical / cyc,
 			"barrierFrac":  barrier / cyc,
 			"severity":     severity(t, e),
-		}))
-		n++
-	}
-	return n, nil
+		})
+	})
+	return assertAll(eng, facts), nil
 }
 
 // AssertClusterFacts runs k-means over the threads of a trial (on per-event

@@ -1,0 +1,77 @@
+package diagnosis
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"perfknow/internal/parallel"
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/rules"
+)
+
+// factTrial builds a trial carrying every metric the fact builders consume,
+// wide enough that the parallel extraction actually fans out.
+func factTrial(events int) *perfdmf.Trial {
+	t := perfdmf.NewTrial("app", "exp", "facts", 8)
+	metrics := []string{
+		perfdmf.TimeMetric, metricCycles, metricStalls, metricStallL1D,
+		metricStallFP, metricFPOps, metricL3Miss, metricRemote, metricLocal,
+		"OMP_CRITICAL_CYCLES", "OMP_BARRIER_CYCLES",
+	}
+	for _, m := range metrics {
+		t.AddMetric(m)
+	}
+	for j := 0; j < events; j++ {
+		e := t.EnsureEvent(fmt.Sprintf("region_%02d", j))
+		for th := 0; th < t.Threads; th++ {
+			base := float64(j*31 + th*7 + 1)
+			for k, m := range metrics {
+				v := base * float64(k+1) * 11
+				e.SetValue(m, th, v*1.5, v)
+			}
+		}
+	}
+	return t
+}
+
+// TestFactExtractionDeterministicAcrossWorkerCounts runs every per-event
+// fact builder at one and at eight workers and requires identical working
+// memory — same facts, same order, same IDs — since fact IDs are the
+// tie-break for rule activations.
+func TestFactExtractionDeterministicAcrossWorkerCounts(t *testing.T) {
+	defer parallel.SetDefaultWorkers(0)
+	tr := factTrial(48)
+	base := factTrial(48)
+	scaled := tr
+
+	extract := func() []*rules.Fact {
+		eng := rules.NewEngine()
+		if _, err := AssertInefficiencyFacts(eng, tr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := AssertStallSourceFacts(eng, tr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := AssertLocalityFacts(eng, tr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := AssertSyncFacts(eng, tr); err != nil {
+			t.Fatal(err)
+		}
+		AssertScalingFacts(eng, base, scaled)
+		return eng.Facts()
+	}
+
+	parallel.SetDefaultWorkers(1)
+	seq := extract()
+	parallel.SetDefaultWorkers(8)
+	par := extract()
+
+	if len(seq) == 0 {
+		t.Fatal("no facts extracted")
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("fact extraction differs between -j 1 and -j 8 (%d vs %d facts)", len(seq), len(par))
+	}
+}

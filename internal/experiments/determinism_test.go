@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"perfknow/internal/parallel"
+)
+
+// TestRunDeterministicAcrossWorkerCounts asserts that every experiment
+// produces identical output — rows, checks, measured values — whether the
+// engine runs sequentially (-j 1) or fans out over 8 workers (-j 8). This
+// is the repo-wide determinism contract: parallel execution must be a pure
+// wall-clock optimization.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	defer parallel.SetDefaultWorkers(0)
+
+	parallel.SetDefaultWorkers(1)
+	seq := make(map[string]*Result)
+	for _, id := range IDs() {
+		res, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s (sequential): %v", id, err)
+		}
+		seq[id] = res
+	}
+
+	parallel.SetDefaultWorkers(8)
+	for _, id := range IDs() {
+		res, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s (-j 8): %v", id, err)
+		}
+		if !reflect.DeepEqual(seq[id], res) {
+			t.Errorf("%s: output differs between -j 1 and -j 8", id)
+			diffResults(t, seq[id], res)
+		}
+	}
+}
+
+// TestRunAllMatchesIndividualRuns asserts the fan-out in RunAll returns the
+// same results, in registry order, as running each experiment alone.
+func TestRunAllMatchesIndividualRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a slice of the experiment suite twice")
+	}
+	defer parallel.SetDefaultWorkers(0)
+	parallel.SetDefaultWorkers(8)
+
+	all, err := RunAll("M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"M1", "M2", "M3"}
+	if len(all) != len(want) {
+		t.Fatalf("RunAll(M) returned %d results, want %d", len(all), len(want))
+	}
+	for i, res := range all {
+		if res.ID != want[i] {
+			t.Fatalf("result %d is %s, want %s (registry order)", i, res.ID, want[i])
+		}
+		solo, err := Run(res.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(solo, res) {
+			t.Errorf("%s: RunAll result differs from individual Run", res.ID)
+		}
+	}
+}
+
+func diffResults(t *testing.T, a, b *Result) {
+	t.Helper()
+	if len(a.Lines) != len(b.Lines) {
+		t.Logf("line count: %d vs %d", len(a.Lines), len(b.Lines))
+	}
+	for i := range a.Lines {
+		if i < len(b.Lines) && a.Lines[i] != b.Lines[i] {
+			t.Logf("line %d:\n  -j1: %s\n  -j8: %s", i, a.Lines[i], b.Lines[i])
+		}
+	}
+	for i := range a.Checks {
+		if i < len(b.Checks) && a.Checks[i] != b.Checks[i] {
+			t.Logf("check %d: %+v vs %+v", i, a.Checks[i], b.Checks[i])
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"perfknow/internal/diagnosis"
 	"perfknow/internal/machine"
 	"perfknow/internal/openuh"
+	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 	"perfknow/internal/power"
 	"perfknow/internal/rules"
@@ -121,22 +123,36 @@ func Run(id string) (*Result, error) {
 }
 
 // RunAll executes every experiment whose ID has the given prefix ("" = all).
+// Experiments are fully independent — each builds its own session, machine
+// and temporary assets — so they fan out across parallel.DefaultWorkers
+// goroutines. Results come back in registry order; on failure the returned
+// slice holds the results of every experiment before the (lowest-index)
+// failing one, matching the partial output of the sequential loop.
 func RunAll(prefix string) ([]*Result, error) {
-	var out []*Result
+	var ids []string
 	for _, e := range registry {
 		if prefix != "" && !strings.HasPrefix(e.id, prefix) {
 			continue
 		}
-		res, err := Run(e.id)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, res)
+		ids = append(ids, e.id)
 	}
-	if len(out) == 0 {
+	if len(ids) == 0 {
 		return nil, fmt.Errorf("experiments: no experiment matches %q", prefix)
 	}
-	return out, nil
+	results, err := parallel.Map(context.Background(), len(ids), 0, func(i int) (*Result, error) {
+		return Run(ids[i])
+	})
+	if err != nil {
+		var out []*Result
+		for _, r := range results {
+			if r == nil {
+				break
+			}
+			out = append(out, r)
+		}
+		return out, err
+	}
+	return results, nil
 }
 
 // --- shared helpers -----------------------------------------------------

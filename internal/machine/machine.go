@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 )
 
 // CacheConfig describes one level of the cache hierarchy.
@@ -181,10 +182,15 @@ func (m *Machine) Seconds(cycles uint64) float64 {
 
 // Region is a named allocation of simulated memory, tracked page by page.
 // Homes[i] is the node that owns page i, or -1 while the page is untouched.
+//
+// Placement state is maintained with atomic operations so that concurrently
+// simulated threads can Touch and read disjoint (or already-placed) ranges
+// without locks; first-touch claims race through compare-and-swap exactly
+// like the hardware policy they model.
 type Region struct {
 	Name  string
 	Bytes int64
-	homes []int16
+	homes []int32 // atomic; -1 = unplaced
 	page  int64
 }
 
@@ -195,7 +201,7 @@ func (m *Machine) AllocRegion(name string, size int64) *Region {
 		panic(fmt.Sprintf("machine: region %q size must be positive, got %d", name, size))
 	}
 	pages := (size + m.cfg.PageBytes - 1) / m.cfg.PageBytes
-	r := &Region{Name: name, Bytes: size, homes: make([]int16, pages), page: m.cfg.PageBytes}
+	r := &Region{Name: name, Bytes: size, homes: make([]int32, pages), page: m.cfg.PageBytes}
 	for i := range r.homes {
 		r.homes[i] = -1
 	}
@@ -216,18 +222,19 @@ func (r *Region) HomeOf(off int64) int {
 	if p < 0 || p >= int64(len(r.homes)) {
 		panic(fmt.Sprintf("machine: offset %d out of range for region %q (%d bytes)", off, r.Name, r.Bytes))
 	}
-	return int(r.homes[p])
+	return int(atomic.LoadInt32(&r.homes[p]))
 }
 
 // Touch applies the first-touch placement policy to [off, off+length): any
 // unplaced page in the range becomes homed on `node`. Already-placed pages
-// are unaffected. It returns the number of pages newly placed.
+// are unaffected. It returns the number of pages newly placed. Claims are
+// compare-and-swap, so concurrent touchers of the same page race exactly as
+// the hardware policy does: one wins, the rest see the page placed.
 func (r *Region) Touch(off, length int64, node int) int {
 	first, last := r.pageRange(off, length)
 	placed := 0
 	for p := first; p <= last; p++ {
-		if r.homes[p] < 0 {
-			r.homes[p] = int16(node)
+		if atomic.CompareAndSwapInt32(&r.homes[p], -1, int32(node)) {
 			placed++
 		}
 	}
@@ -239,7 +246,7 @@ func (r *Region) Touch(off, length int64, node int) int {
 func (r *Region) Place(off, length int64, node int) {
 	first, last := r.pageRange(off, length)
 	for p := first; p <= last; p++ {
-		r.homes[p] = int16(node)
+		atomic.StoreInt32(&r.homes[p], int32(node))
 	}
 }
 
@@ -251,7 +258,7 @@ func (r *Region) NodeShare(off, length int64, nodes int) (share []float64, ok bo
 	share = make([]float64, nodes)
 	placed := 0
 	for p := first; p <= last; p++ {
-		if h := r.homes[p]; h >= 0 {
+		if h := atomic.LoadInt32(&r.homes[p]); h >= 0 {
 			share[h]++
 			placed++
 		}

@@ -1,0 +1,240 @@
+// Package parallel is the repo's worker-pool / fan-out substrate: a small
+// set of primitives for running N independent work items on a bounded set
+// of goroutines, with context cancellation and deterministic error
+// collection.
+//
+// Design rules, shared by every caller in this repository:
+//
+//   - Bounded: never more goroutines than the worker count, which defaults
+//     to GOMAXPROCS and is capped by the item count.
+//   - Deterministic degradation: a worker count of 1 (or a single item)
+//     runs the loop inline on the calling goroutine, in index order — the
+//     exact sequential code path, bit for bit.
+//   - Deterministic errors: when several items fail, the reported error is
+//     always the one with the lowest index, regardless of goroutine
+//     scheduling. Workers claim indices in ascending order from a shared
+//     atomic counter and record at most one error each; the merge picks
+//     the minimum index.
+//   - Share nothing, then merge: callbacks receive only the item index and
+//     must write results into per-index slots (as Map does). Panics in
+//     callbacks are captured and re-raised on the calling goroutine so a
+//     crashing worker cannot deadlock the pool.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide default worker count. Zero means
+// "use GOMAXPROCS at call time". It is set by the CLIs' -j flag.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default worker count used when a
+// call site passes workers <= 0. n <= 0 resets to GOMAXPROCS. Safe for
+// concurrent use.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the current process-wide default worker count:
+// the value of the last SetDefaultWorkers call, or GOMAXPROCS.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers resolves a per-call worker request: n > 0 is honoured as-is,
+// anything else falls back to DefaultWorkers.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return DefaultWorkers()
+}
+
+// capped bounds the worker count by the item count.
+func capped(workers, n int) int {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// panicValue carries a captured worker panic to the calling goroutine.
+type panicValue struct{ v any }
+
+// Each runs fn(i) for every i in [0, n), using at most `workers`
+// goroutines (workers <= 0 means DefaultWorkers). It returns after all
+// calls complete. With one worker or one item the loop runs inline in
+// index order. A panic in fn is re-raised on the calling goroutine after
+// the remaining workers drain.
+func Each(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := capped(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+		pmu  sync.Mutex
+		pval *panicValue
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pmu.Lock()
+					if pval == nil {
+						pval = &panicValue{r}
+					}
+					pmu.Unlock()
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(pval.v)
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// and returns the first error by index order. After any error (or context
+// cancellation) workers stop claiming new indices; in-flight calls finish.
+// The returned error is deterministic: among all recorded failures it is
+// the one with the lowest index, independent of scheduling. If ctx is
+// cancelled before all items are claimed and no item failed, ctx.Err() is
+// returned. With one worker or one item the loop runs inline and returns
+// on the first error, exactly like the sequential code it replaces.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := capped(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type indexedErr struct {
+		idx int
+		err error
+	}
+	var (
+		next    int64 = -1
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstE  *indexedErr
+		pval    *panicValue
+		stopped atomic.Bool
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstE == nil || i < firstE.idx {
+			firstE = &indexedErr{i, err}
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if pval == nil {
+								pval = &panicValue{r}
+							}
+							mu.Unlock()
+							stopped.Store(true)
+						}
+					}()
+					return fn(i)
+				}()
+				if err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(pval.v)
+	}
+	if firstE != nil {
+		return firstE.err
+	}
+	// Report cancellation only when it actually skipped work; if every
+	// index was claimed (and therefore ran to completion) the call did
+	// everything it was asked to, matching the sequential path which only
+	// checks the context before each item.
+	if int(atomic.LoadInt64(&next)) < n-1 {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) and returns the results in index
+// order. Error and cancellation semantics match ForEach; on error the
+// partial results slice is still returned (slots whose fn completed are
+// filled, others hold zero values), mirroring sequential loops that
+// return partial output plus the first error.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}

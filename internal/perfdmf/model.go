@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // CallpathSeparator joins parent and child event names in callpath events,
@@ -70,7 +71,12 @@ type Trial struct {
 	Events     []*Event          `json:"events"`
 	Metadata   map[string]string `json:"metadata,omitempty"`
 
-	index map[string]*Event
+	// indexMu guards the lazily built name index (and, through
+	// EnsureEvent, the Events slice) so concurrent analysis goroutines can
+	// look events up safely. Writers that restructure a trial still need
+	// external coordination; concurrent Event/EnsureEvent is safe.
+	indexMu sync.Mutex
+	index   map[string]*Event
 }
 
 // NewTrial creates an empty trial for the given thread count.
@@ -105,15 +111,19 @@ func (t *Trial) AddMetric(metric string) {
 	}
 }
 
-// Event returns the named event, or nil.
+// Event returns the named event, or nil. Safe for concurrent use.
 func (t *Trial) Event(name string) *Event {
+	t.indexMu.Lock()
+	defer t.indexMu.Unlock()
 	t.ensureIndex()
 	return t.index[name]
 }
 
 // EnsureEvent returns the named event, creating it (with zeroed per-thread
-// slices for every registered metric) if necessary.
+// slices for every registered metric) if necessary. Safe for concurrent use.
 func (t *Trial) EnsureEvent(name string) *Event {
+	t.indexMu.Lock()
+	defer t.indexMu.Unlock()
 	t.ensureIndex()
 	if e := t.index[name]; e != nil {
 		return e

@@ -338,7 +338,7 @@ func (p Println) Execute(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	ctx.Engine.output = append(ctx.Engine.output, toString(v))
+	ctx.Engine.addOutput(toString(v))
 	return nil
 }
 
@@ -392,7 +392,7 @@ func (r Recommend) Execute(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	ctx.Engine.recommendations = append(ctx.Engine.recommendations, Recommendation{
+	ctx.Engine.addRecommendation(Recommendation{
 		Rule:     ctx.Rule.Name,
 		Category: toString(cat),
 		Text:     toString(text),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Engine is the working memory plus rule base. Typical use:
@@ -13,13 +14,21 @@ import (
 //	eng.Assert(rules.NewFact(...)) // repeat
 //	res, err := eng.Run()
 type Engine struct {
-	rules           []*Rule
+	rules []*Rule
+
+	// mu guards the working memory and result accumulators so that facts
+	// can be asserted from concurrent extraction goroutines. The
+	// match-resolve-act loop itself runs on one goroutine; matchAll takes a
+	// snapshot of the facts under the lock and matches lock-free, so rule
+	// actions (which Assert/Retract through the same lock) never deadlock.
+	mu              sync.Mutex
 	facts           []*Fact
 	nextID          int64
 	output          []string
 	recommendations []Recommendation
-	fired           map[string]bool // refraction memory: rule + fact tuple ids
-	firedLog        []string
+
+	fired    map[string]bool // refraction memory: rule + fact tuple ids
+	firedLog []string
 
 	// MaxCycles bounds the match-fire loop to guard against rules that
 	// assert endlessly. The default (1000) is far above any real knowledge
@@ -47,16 +56,21 @@ func (e *Engine) Rules() []string {
 	return out
 }
 
-// Assert adds a fact to working memory and returns it.
+// Assert adds a fact to working memory and returns it. Safe for concurrent
+// use; fact IDs are issued in assertion order under the lock.
 func (e *Engine) Assert(f *Fact) *Fact {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.nextID++
 	f.id = e.nextID
 	e.facts = append(e.facts, f)
 	return f
 }
 
-// Retract removes a fact from working memory.
+// Retract removes a fact from working memory. Safe for concurrent use.
 func (e *Engine) Retract(f *Fact) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for i, x := range e.facts {
 		if x == f {
 			e.facts = append(e.facts[:i], e.facts[i+1:]...)
@@ -67,11 +81,15 @@ func (e *Engine) Retract(f *Fact) {
 
 // Facts returns the current working memory (live slice copy).
 func (e *Engine) Facts() []*Fact {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return append([]*Fact(nil), e.facts...)
 }
 
 // FactsOfType returns the working-memory facts of one type.
 func (e *Engine) FactsOfType(t string) []*Fact {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var out []*Fact
 	for _, f := range e.facts {
 		if f.Type == t {
@@ -79,6 +97,20 @@ func (e *Engine) FactsOfType(t string) []*Fact {
 		}
 	}
 	return out
+}
+
+// addOutput appends one explanation line (println consequences).
+func (e *Engine) addOutput(line string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.output = append(e.output, line)
+}
+
+// addRecommendation appends one structured recommendation.
+func (e *Engine) addRecommendation(r Recommendation) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.recommendations = append(e.recommendations, r)
 }
 
 // Result is the outcome of a Run: explanation lines from println
@@ -139,11 +171,14 @@ func (e *Engine) Run() (*Result, error) {
 			}
 		}
 	}
-	return &Result{
+	e.mu.Lock()
+	res := &Result{
 		Output:          append([]string(nil), e.output...),
 		Recommendations: append([]Recommendation(nil), e.recommendations...),
 		Fired:           append([]string(nil), e.firedLog...),
-	}, nil
+	}
+	e.mu.Unlock()
+	return res, nil
 }
 
 func better(a, b *activation) bool {
@@ -157,8 +192,12 @@ func better(a, b *activation) bool {
 }
 
 // matchAll enumerates every (rule, fact-tuple) activation in the current
-// working memory.
+// working memory. It matches against a snapshot taken under the lock, so
+// the pattern walk itself runs lock-free.
 func (e *Engine) matchAll() ([]activation, error) {
+	e.mu.Lock()
+	facts := append([]*Fact(nil), e.facts...)
+	e.mu.Unlock()
 	var acts []activation
 	for ri, r := range e.rules {
 		envs := []Bindings{{}}
@@ -170,7 +209,7 @@ func (e *Engine) matchAll() ([]activation, error) {
 			for ei, env := range envs {
 				if p.Negated || p.Exists {
 					found := false
-					for _, f := range e.facts {
+					for _, f := range facts {
 						_, ok, err := p.match(f, env)
 						if err != nil {
 							return nil, fmt.Errorf("rules: rule %q: %w", r.Name, err)
@@ -189,7 +228,7 @@ func (e *Engine) matchAll() ([]activation, error) {
 					}
 					continue
 				}
-				for _, f := range e.facts {
+				for _, f := range facts {
 					newEnv, ok, err := p.match(f, env)
 					if err != nil {
 						return nil, fmt.Errorf("rules: rule %q: %w", r.Name, err)
@@ -227,6 +266,8 @@ func tupleKey(ids []int64) string {
 // Reset clears working memory, output and refraction state but keeps the
 // rule base, so one loaded knowledge base can process many trials.
 func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.facts = nil
 	e.output = nil
 	e.recommendations = nil

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"perfknow/internal/counters"
+	"perfknow/internal/parallel"
 )
 
 // ScheduleKind enumerates the OpenMP loop scheduling policies.
@@ -143,10 +144,12 @@ func (tm *Team) Barrier() {
 	}
 }
 
-// For workshares iterations [0, n) across the team under sched. Dynamic and
-// guided scheduling dispatch each chunk to the thread with the smallest
-// clock — the virtual-time equivalent of "the next free thread grabs the
-// next chunk" — and charge the dispatch overhead per chunk. No implicit
+// For workshares iterations [0, n) across the team under sched. Static
+// scheduling fans the per-thread chunk sequences out on real goroutines;
+// dynamic and guided scheduling dispatch each chunk to the thread with the
+// smallest clock — the virtual-time equivalent of "the next free thread
+// grabs the next chunk" — which is a central queue in virtual time and
+// therefore inherently sequential. No implicit
 // barrier is taken; call Barrier (or rely on ParallelRegion's join) to
 // close the construct, which lets callers model nowait loops too.
 func (tm *Team) For(n int, sched Schedule, iter func(t *Thread, i int)) {
@@ -160,16 +163,22 @@ func (tm *Team) For(n int, sched Schedule, iter func(t *Thread, i int)) {
 		if chunk <= 0 {
 			chunk = (n + p - 1) / p
 		}
-		for c, base := 0, 0; base < n; c, base = c+1, base+chunk {
-			t := tm.threads[c%p]
-			end := base + chunk
-			if end > n {
-				end = n
+		// Static assignment is fixed up front (chunk c belongs to thread
+		// c mod p), so the logical threads are share-nothing and can run on
+		// real goroutines: each worker executes exactly the per-thread
+		// subsequence of the sequential interleaving, in the same order.
+		parallel.Each(p, 0, func(k int) {
+			t := tm.threads[k]
+			for base := k * chunk; base < n; base += p * chunk {
+				end := base + chunk
+				if end > n {
+					end = n
+				}
+				for i := base; i < end; i++ {
+					iter(t, i)
+				}
 			}
-			for i := base; i < end; i++ {
-				iter(t, i)
-			}
-		}
+		})
 	case DynamicSched, GuidedSched:
 		chunk := sched.Chunk
 		if chunk <= 0 {
@@ -231,11 +240,13 @@ func (tm *Team) Critical(body func(t *Thread)) {
 	}
 }
 
-// Each runs f once on every thread (replicated execution).
+// Each runs f once on every thread (replicated execution). The logical
+// threads are independent — own clock, counters, profile — so the
+// replicated bodies run on real goroutines.
 func (tm *Team) Each(f func(t *Thread)) {
-	for _, t := range tm.threads {
-		f(t)
-	}
+	parallel.Each(len(tm.threads), 0, func(i int) {
+		f(tm.threads[i])
+	})
 }
 
 // MasterOnly runs f on thread 0 only; other threads do not wait (no implied

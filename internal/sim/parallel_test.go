@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"perfknow/internal/machine"
+	"perfknow/internal/parallel"
+	"perfknow/internal/perfdmf"
+)
+
+// buildTrial runs a workload exercising every parallelized construct —
+// SPMD ranks, ParallelRegion/Each, static For with first-touch placement,
+// dynamic For, Copy — and snapshots the trial.
+func buildTrial(t *testing.T) *perfdmf.Trial {
+	t.Helper()
+	m := machine.New(machine.Altix(4, 2))
+	e := NewEngine(m, Options{Threads: 8, CallpathDepth: 2})
+	region := m.AllocRegion("field", 8<<20)
+	pageB := m.Config().PageBytes
+	blockB := (int64(region.Bytes) / 8 / pageB) * pageB // per-thread slice, page aligned
+
+	master := e.Master()
+	master.Enter("main")
+
+	// First-touch initialization: disjoint per-thread block ranges.
+	e.ParallelFor("init", 8, Schedule{Kind: StaticSched}, func(th *Thread, b int) {
+		th.Compute(Kernel{
+			IntOps: 1 << 16,
+			Refs: []MemRef{{
+				Region: region, Off: int64(b) * blockB, Len: blockB,
+				Stores: 1 << 14, FirstTouch: true,
+			}},
+		})
+	})
+
+	// Replicated compute over the placed data.
+	e.ParallelRegion("solve", func(tm *Team) {
+		tm.Each(func(th *Thread) {
+			th.Compute(Kernel{
+				FPOps: uint64(1000 * (th.ID + 1)),
+				Refs: []MemRef{{
+					Region: region, Off: int64(th.ID) * blockB, Len: blockB,
+					Loads: 1 << 12, Reuse: 4,
+				}},
+			})
+		})
+		tm.Barrier()
+		tm.For(100, Schedule{Kind: DynamicSched, Chunk: 2}, func(th *Thread, i int) {
+			th.Compute(Kernel{IntOps: uint64(100 * (100 - i))})
+		})
+	})
+
+	master.Leave("main")
+
+	// SPMD ranks with disjoint copies plus a clock-coupling exchange.
+	e.SPMD(func(r *Thread, rank int) {
+		r.Enter("mpi_phase")
+		r.Copy(region, region, int64(rank)*blockB, int64(rank)*blockB, pageB*4)
+	})
+	e.Exchange([]Message{{From: 0, To: 1, Bytes: 4096}, {From: 1, To: 0, Bytes: 4096}})
+	e.MPIBarrier()
+	e.SPMD(func(r *Thread, rank int) { r.Leave("mpi_phase") })
+
+	tr, err := e.Snapshot("app", "exp", "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestParallelExecutionDeterministic asserts that fanning the simulated
+// threads out on real goroutines produces a trial identical to the
+// sequential (one-worker) execution — the invariant that makes the
+// virtual-time simulator safe to parallelize.
+func TestParallelExecutionDeterministic(t *testing.T) {
+	defer parallel.SetDefaultWorkers(0)
+
+	parallel.SetDefaultWorkers(1)
+	seq := buildTrial(t)
+
+	for run := 0; run < 3; run++ {
+		parallel.SetDefaultWorkers(8)
+		par := buildTrial(t)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("run %d: parallel trial differs from sequential", run)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+#!/bin/sh
+# bench_baseline.sh — record or compare benchmark baselines.
+#
+#   scripts/bench_baseline.sh record    run all benchmarks once and write
+#                                       BENCH_baseline.json (name -> ns/op,
+#                                       allocs/op) at the repo root
+#   scripts/bench_baseline.sh compare   run all benchmarks once and warn for
+#                                       every benchmark whose ns/op regressed
+#                                       more than 20% against the baseline;
+#                                       exits 1 when any regressed (CI runs
+#                                       this as a non-blocking step)
+#
+# The JSON is one benchmark per line so the comparison can be done with awk
+# alone — no jq dependency.
+set -eu
+
+cd "$(dirname "$0")/.."
+mode="${1:-record}"
+baseline="BENCH_baseline.json"
+
+run_benchmarks() {
+	go test -bench=. -benchmem -benchtime=1x -run='^$' ./... 2>/dev/null |
+		awk '$1 ~ /^Benchmark/ && $4 == "ns/op" {
+			name = $1
+			sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+			allocs = "0"
+			for (i = 5; i <= NF; i++)
+				if ($i == "allocs/op") allocs = $(i - 1)
+			print name, $3, allocs
+		}'
+}
+
+to_json() {
+	awk 'BEGIN { print "{" }
+		{ lines[NR] = sprintf("  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, $3) }
+		END {
+			for (i = 1; i <= NR; i++)
+				print lines[i] (i < NR ? "," : "")
+			print "}"
+		}'
+}
+
+case "$mode" in
+record)
+	run_benchmarks | to_json >"$baseline"
+	echo "wrote $baseline ($(grep -c ns_per_op "$baseline") benchmarks)"
+	;;
+compare)
+	if [ ! -f "$baseline" ]; then
+		echo "no $baseline found — run 'scripts/bench_baseline.sh record' first" >&2
+		exit 0
+	fi
+	current="$(mktemp)"
+	trap 'rm -f "$current"' EXIT
+	run_benchmarks >"$current"
+	awk -v cur="$current" '
+		# Pass 1 (baseline JSON): one benchmark per line.
+		/ns_per_op/ {
+			name = $1
+			gsub(/[":]/, "", name)
+			ns = $3; sub(/,$/, "", ns)
+			base[name] = ns + 0
+		}
+		END {
+			bad = 0
+			while ((getline line < cur) > 0) {
+				split(line, f, " ")
+				name = f[1]; ns = f[2] + 0
+				if (!(name in base)) {
+					printf "NEW      %-50s %12.0f ns/op (no baseline)\n", name, ns
+					continue
+				}
+				ratio = base[name] > 0 ? ns / base[name] : 1
+				if (ratio > 1.20) {
+					printf "WARNING  %-50s %12.0f ns/op vs baseline %.0f (%.0f%% slower)\n",
+						name, ns, base[name], (ratio - 1) * 100
+					bad = 1
+				} else {
+					printf "ok       %-50s %12.0f ns/op vs baseline %.0f\n", name, ns, base[name]
+				}
+			}
+			exit bad
+		}' "$baseline"
+	;;
+*)
+	echo "usage: $0 [record|compare]" >&2
+	exit 2
+	;;
+esac
