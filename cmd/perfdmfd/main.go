@@ -1,0 +1,128 @@
+// Command perfdmfd serves a PerfDMF profile repository and the
+// PerfExplorer analysis stack over HTTP/JSON, so many clients can share
+// one repository: uploading trials (native JSON, TAU text, gprof),
+// browsing the Application → Experiment → Trial hierarchy, running
+// analysis operations and rule-based diagnosis server-side.
+//
+// Usage:
+//
+//	perfdmfd -repo DIR [-addr HOST:PORT] [-j N] [flags]
+//
+// The daemon answers GET /healthz for liveness probes and GET /metrics
+// with request counts, latencies and repository size. On SIGINT/SIGTERM it
+// stops accepting connections and drains in-flight requests for up to
+// -drain before exiting. With -addr ending in ":0" the kernel picks a free
+// port; -addr-file writes the bound address to a file so scripts and tests
+// can find the server.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"perfknow/internal/dmfserver"
+	"perfknow/internal/parallel"
+	"perfknow/internal/perfdmf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main with injectable arguments, streams and a readiness hook, for
+// testing. ready (when non-nil) receives the bound address once the
+// listener is open.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("perfdmfd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7360", "listen address (use :0 for an ephemeral port)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening")
+		repoDir  = fs.String("repo", "perfdata", "profile repository directory")
+		rulesDir = fs.String("rules", "", "directory holding .prl rule files (default: built-in knowledge base)")
+		jobs     = fs.Int("j", 0, "max concurrent analysis/diagnosis requests (0 = GOMAXPROCS)")
+		maxBody  = fs.Int64("max-body", dmfserver.DefaultMaxBodyBytes, "max request body bytes")
+		timeout  = fs.Duration("timeout", dmfserver.DefaultRequestTimeout, "per-request time budget")
+		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	parallel.SetDefaultWorkers(*jobs)
+
+	logger := slog.New(slog.NewJSONHandler(stderr, nil))
+
+	repo, err := perfdmf.OpenRepository(*repoDir)
+	if err != nil {
+		return fail(logger, err)
+	}
+	srv, err := dmfserver.New(dmfserver.Config{
+		Repo:           repo,
+		RulesDir:       *rulesDir,
+		Jobs:           *jobs,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		Logger:         logger,
+	})
+	if err != nil {
+		return fail(logger, err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(logger, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			return fail(logger, err)
+		}
+	}
+	if ready != nil {
+		ready <- bound
+	}
+	fmt.Fprintf(stdout, "perfdmfd listening on %s (repo %s)\n", bound, *repoDir)
+	logger.Info("listening", "addr", bound, "repo", *repoDir, "jobs", parallel.Workers(*jobs))
+
+	httpSrv := srv.HTTPServer(bound)
+
+	// Serve until a termination signal arrives, then drain connections.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fail(logger, err)
+		}
+	case <-ctx.Done():
+		logger.Info("shutting down", "drain", (*drain).String())
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			logger.Warn("drain incomplete, closing", "err", err)
+			_ = httpSrv.Close()
+		}
+		<-errc // Serve has returned ErrServerClosed
+	}
+	logger.Info("stopped")
+	fmt.Fprintln(stdout, "perfdmfd stopped")
+	return 0
+}
+
+func fail(logger *slog.Logger, err error) int {
+	logger.Error("fatal", "err", err)
+	return 1
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"perfknow/internal/dmfclient"
+	"perfknow/internal/perfdmf"
+)
+
+// startDaemon boots the real daemon on an ephemeral port and returns a
+// client plus a function that terminates it via SIGTERM and waits for a
+// clean exit.
+func startDaemon(t *testing.T, extra ...string) (*dmfclient.Client, func() string) {
+	t.Helper()
+	repoDir := t.TempDir()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-repo", repoDir,
+		"-drain", "5s",
+	}, extra...)
+
+	var out, errb bytes.Buffer
+	ready := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	code := -1
+	go func() {
+		defer wg.Done()
+		code = run(args, &out, &errb, ready)
+	}()
+
+	var bound string
+	select {
+	case bound = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not start: %s", errb.String())
+	}
+
+	// -addr-file must agree with the bound address.
+	data, err := os.ReadFile(addrFile)
+	if err != nil {
+		t.Fatalf("addr-file not written: %v", err)
+	}
+	if string(data) != bound {
+		t.Fatalf("addr-file %q != bound %q", data, bound)
+	}
+
+	c, err := dmfclient.New("http://" + bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := func() string {
+		// The daemon traps SIGTERM via signal.NotifyContext, so signalling
+		// our own process exercises the real graceful-shutdown path
+		// without killing the test binary.
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if code != 0 {
+			t.Fatalf("daemon exit code %d: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	return c, stop
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	c, stop := startDaemon(t)
+
+	if err := c.Health(); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	tr := perfdmf.NewTrial("app", "exp", "t1", 2)
+	tr.AddMetric(perfdmf.TimeMetric)
+	e := tr.EnsureEvent("main")
+	for th := 0; th < 2; th++ {
+		e.Calls[th] = 1
+		e.SetValue(perfdmf.TimeMetric, th, 100, 100)
+	}
+	if err := c.Save(tr); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if apps := c.Applications(); len(apps) != 1 || apps[0] != "app" {
+		t.Fatalf("Applications = %v", apps)
+	}
+	got, err := c.GetTrial("app", "exp", "t1")
+	if err != nil {
+		t.Fatalf("GetTrial: %v", err)
+	}
+	if got.Threads != 2 || len(got.Events) != 1 {
+		t.Fatalf("round-trip mangled trial: %+v", got)
+	}
+
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if snap.Repository.Trials != 1 {
+		t.Fatalf("metrics report %d trials, want 1", snap.Repository.Trials)
+	}
+
+	out := stop()
+	if !strings.Contains(out, "perfdmfd stopped") {
+		t.Fatalf("missing clean shutdown message: %q", out)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

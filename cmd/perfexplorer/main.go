@@ -5,12 +5,19 @@
 // Usage:
 //
 //	perfexplorer -repo DIR -script FILE [-rules DIR] [arg ...]
+//	perfexplorer -server URL -script FILE [-rules DIR] [arg ...]
 //	perfexplorer -repo DIR -list
 //	perfexplorer -write-assets DIR
 //
 // Script arguments (usually application, experiment and trial names) are
 // visible to the script as the `args` list. The bundled analysis scripts
 // live under assets/scripts and the rule files under assets/rules.
+//
+// With -server URL the script runs against a remote perfdmfd profile
+// service instead of a local directory: Utilities.getTrial, listings and
+// saveTrial all go over the wire, so existing scripts work against a
+// shared networked repository unchanged. -repo is ignored when -server is
+// set.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"perfknow/internal/core"
 	"perfknow/internal/diagnosis"
+	"perfknow/internal/dmfclient"
 	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 )
@@ -35,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		repoDir     = fs.String("repo", "perfdata", "profile repository directory")
+		serverURL   = fs.String("server", "", "remote perfdmfd URL (e.g. http://localhost:7360); overrides -repo")
 		scriptPath  = fs.String("script", "", "analysis script (.pes) to run")
 		rulesDir    = fs.String("rules", "assets/rules", "directory holding .prl rule files")
 		list        = fs.Bool("list", false, "list repository contents and exit")
@@ -54,17 +63,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	repo, err := perfdmf.OpenRepository(*repoDir)
-	if err != nil {
-		return fail(stderr, err)
+	var store perfdmf.Store
+	if *serverURL != "" {
+		client, err := dmfclient.New(*serverURL)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := client.Health(); err != nil {
+			return fail(stderr, err)
+		}
+		store = client
+	} else {
+		repo, err := perfdmf.OpenRepository(*repoDir)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		store = repo
 	}
 
 	if *list {
-		for _, app := range repo.Applications() {
+		for _, app := range store.Applications() {
 			fmt.Fprintln(stdout, app)
-			for _, exp := range repo.Experiments(app) {
+			for _, exp := range store.Experiments(app) {
 				fmt.Fprintf(stdout, "  %s\n", exp)
-				for _, tr := range repo.Trials(app, exp) {
+				for _, tr := range store.Trials(app, exp) {
 					fmt.Fprintf(stdout, "    %s\n", tr)
 				}
 			}
@@ -78,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	s := core.NewSession(repo)
+	s := core.NewSession(store)
 	s.SetOutput(stdout)
 	diagnosis.Install(s, *rulesDir)
 	diagnosis.SetArgs(s, fs.Args())

@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"log/slog"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"perfknow/internal/dmfclient"
+	"perfknow/internal/dmfserver"
 	"perfknow/internal/perfdmf"
 )
 
@@ -100,6 +105,108 @@ func TestScriptRequired(t *testing.T) {
 func TestMissingScript(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-repo", t.TempDir(), "-script", "/does/not/exist.pes"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+// startServer boots a perfdmfd service over an httptest server and seeds
+// it with the stall-metrics trial, returning the base URL.
+func startServer(t *testing.T) string {
+	t.Helper()
+	repo, err := perfdmf.OpenRepository(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dmfserver.New(dmfserver.Config{
+		Repo:   repo,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	c, err := dmfclient.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := perfdmf.NewTrial("app", "exp", "t1", 2)
+	tr.AddMetric(perfdmf.TimeMetric)
+	tr.AddMetric("BACK_END_BUBBLE_ALL")
+	tr.AddMetric("CPU_CYCLES")
+	main := tr.EnsureEvent("main")
+	hot := tr.EnsureEvent("hot")
+	for th := 0; th < 2; th++ {
+		main.SetValue(perfdmf.TimeMetric, th, 1000, 100)
+		main.SetValue("BACK_END_BUBBLE_ALL", th, 100, 10)
+		main.SetValue("CPU_CYCLES", th, 1500000, 150000)
+		hot.SetValue(perfdmf.TimeMetric, th, 800, 800)
+		hot.SetValue("BACK_END_BUBBLE_ALL", th, 700, 700)
+		hot.SetValue("CPU_CYCLES", th, 1000, 1000)
+	}
+	if err := c.Save(tr); err != nil {
+		t.Fatal(err)
+	}
+	return ts.URL
+}
+
+func TestListAgainstServer(t *testing.T) {
+	url := startServer(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-server", url, "-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit: %s", errb.String())
+	}
+	for _, want := range []string{"app", "exp", "t1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("listing missing %q: %s", want, out.String())
+		}
+	}
+}
+
+// The same script must produce the same diagnosis whether the repository
+// is a local directory or a remote perfdmfd service.
+func TestRunScriptAgainstServer(t *testing.T) {
+	url := startServer(t)
+	assets := t.TempDir()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-assets", assets}, &out, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	out.Reset()
+	code := run([]string{
+		"-server", url,
+		"-rules", filepath.Join(assets, "rules"),
+		"-script", filepath.Join(assets, "scripts", "stalls_per_cycle.pes"),
+		"app", "exp", "t1",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "hot") || !strings.Contains(out.String(), "recommendation") {
+		t.Fatalf("remote-script diagnosis incomplete: %s", out.String())
+	}
+
+	// Byte-identical to the local-repo run of the same script.
+	localRepo := seedRepo(t)
+	var localOut bytes.Buffer
+	code = run([]string{
+		"-repo", localRepo,
+		"-rules", filepath.Join(assets, "rules"),
+		"-script", filepath.Join(assets, "scripts", "stalls_per_cycle.pes"),
+		"app", "exp", "t1",
+	}, &localOut, &errb)
+	if code != 0 {
+		t.Fatalf("local exit %d: %s", code, errb.String())
+	}
+	if out.String() != localOut.String() {
+		t.Fatalf("remote and local runs diverge:\nremote: %q\nlocal:  %q", out.String(), localOut.String())
+	}
+}
+
+func TestServerUnreachable(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-server", "http://127.0.0.1:1", "-list"}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
 }

@@ -26,19 +26,25 @@ import (
 	"perfknow/internal/script"
 )
 
-// Session couples a repository, a rule engine and a script interpreter.
+// Session couples a profile store, a rule engine and a script interpreter.
+// The store may be a local perfdmf.Repository or a dmfclient.Client
+// speaking to a remote perfdmfd server — scripts cannot tell the
+// difference.
 type Session struct {
-	Repo   *perfdmf.Repository
+	Repo   perfdmf.Store
 	Engine *rules.Engine
 	Interp *script.Interp
 
 	lastResult *rules.Result
 }
 
-// NewSession builds a session over a repository (a fresh in-memory
+// NewSession builds a session over a profile store (a fresh in-memory
 // repository when repo is nil) and installs the PerfExplorer script API.
-func NewSession(repo *perfdmf.Repository) *Session {
+func NewSession(repo perfdmf.Store) *Session {
 	if repo == nil {
+		repo = perfdmf.NewRepository()
+	} else if r, ok := repo.(*perfdmf.Repository); ok && r == nil {
+		// Guard against a typed nil slipping through the interface.
 		repo = perfdmf.NewRepository()
 	}
 	s := &Session{

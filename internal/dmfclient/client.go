@@ -1,0 +1,332 @@
+// Package dmfclient is the Go client for the perfdmfd profile service
+// (internal/dmfserver): it mirrors the perfdmf.Repository API over
+// HTTP/JSON so that PerfExplorer sessions and command-line tools can run
+// against a remote repository exactly as they do against a local one.
+//
+// Client implements perfdmf.Store, so it drops into core.NewSession and
+// every other Store consumer unchanged:
+//
+//	c, _ := dmfclient.New("http://localhost:7360")
+//	s := core.NewSession(c)          // scripts now read remote trials
+//
+// The Store listing methods (Applications, Experiments, Trials) mirror the
+// Repository signatures and therefore cannot return transport errors; the
+// error-returning ListApplications/ListExperiments/ListTrials variants are
+// provided for callers that need to distinguish "empty" from "unreachable".
+package dmfclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"perfknow/internal/dmfwire"
+	"perfknow/internal/perfdmf"
+)
+
+// Client speaks the perfdmfd HTTP/JSON protocol.
+type Client struct {
+	base *url.URL
+	http *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (e.g. an
+// httptest client or one with custom transport settings).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithTimeout sets the per-request timeout (default 60s).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.http.Timeout = d }
+}
+
+// New returns a client for the perfdmfd server at baseURL
+// (e.g. "http://localhost:7360").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("dmfclient: parse URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("dmfclient: URL %q must include scheme and host", baseURL)
+	}
+	c := &Client{base: u, http: &http.Client{Timeout: 60 * time.Second}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+var _ perfdmf.Store = (*Client)(nil)
+
+// --- transport --------------------------------------------------------
+
+func (c *Client) endpoint(path string, query url.Values) string {
+	u := *c.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	u.RawQuery = query.Encode()
+	return u.String()
+}
+
+// do issues the request and decodes the JSON response into out (skipped
+// when out is nil). Non-2xx responses are unwrapped from the server's
+// {"error": ...} envelope.
+func (c *Client) do(method, path string, query url.Values, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, c.endpoint(path, query), body)
+	if err != nil {
+		return fmt.Errorf("dmfclient: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("dmfclient: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("dmfclient: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("dmfclient: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("dmfclient: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+func (c *Client) postJSON(path string, query url.Values, in, out any) error {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("dmfclient: encode request: %w", err)
+	}
+	return c.do(http.MethodPost, path, query, bytes.NewReader(data), out)
+}
+
+func coordQuery(app, experiment, trial string) url.Values {
+	q := url.Values{}
+	if app != "" {
+		q.Set("app", app)
+	}
+	if experiment != "" {
+		q.Set("experiment", experiment)
+	}
+	if trial != "" {
+		q.Set("trial", trial)
+	}
+	return q
+}
+
+// --- perfdmf.Store ----------------------------------------------------
+
+// Save uploads the trial in native JSON format.
+func (c *Client) Save(t *perfdmf.Trial) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	return c.postJSON("/api/v1/trials", nil, t, nil)
+}
+
+// GetTrial fetches one trial. The returned trial is a private copy by
+// construction (it was decoded off the wire).
+func (c *Client) GetTrial(app, experiment, trial string) (*perfdmf.Trial, error) {
+	t := &perfdmf.Trial{}
+	err := c.do(http.MethodGet, "/api/v1/trial", coordQuery(app, experiment, trial), nil, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Delete removes a trial from the remote repository.
+func (c *Client) Delete(app, experiment, trial string) error {
+	return c.do(http.MethodDelete, "/api/v1/trial", coordQuery(app, experiment, trial), nil, nil)
+}
+
+// ListApplications lists application names, with transport errors.
+func (c *Client) ListApplications() ([]string, error) {
+	var resp struct {
+		Applications []string `json:"applications"`
+	}
+	if err := c.do(http.MethodGet, "/api/v1/applications", nil, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Applications, nil
+}
+
+// ListExperiments lists experiment names for an application, with
+// transport errors.
+func (c *Client) ListExperiments(app string) ([]string, error) {
+	var resp struct {
+		Experiments []string `json:"experiments"`
+	}
+	if err := c.do(http.MethodGet, "/api/v1/experiments", coordQuery(app, "", ""), nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Experiments, nil
+}
+
+// ListTrials lists trial names for an (application, experiment) pair, with
+// transport errors.
+func (c *Client) ListTrials(app, experiment string) ([]string, error) {
+	var resp struct {
+		Trials []string `json:"trials"`
+	}
+	if err := c.do(http.MethodGet, "/api/v1/trials", coordQuery(app, experiment, ""), nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Trials, nil
+}
+
+// Applications implements perfdmf.Store; transport failures yield an empty
+// listing (use ListApplications to observe the error).
+func (c *Client) Applications() []string {
+	out, _ := c.ListApplications()
+	return out
+}
+
+// Experiments implements perfdmf.Store; see Applications.
+func (c *Client) Experiments(app string) []string {
+	out, _ := c.ListExperiments(app)
+	return out
+}
+
+// Trials implements perfdmf.Store; see Applications.
+func (c *Client) Trials(app, experiment string) []string {
+	out, _ := c.ListTrials(app, experiment)
+	return out
+}
+
+// --- uploads beyond native JSON ---------------------------------------
+
+// UploadGprof streams a gprof flat profile to the server, storing it under
+// the given coordinates.
+func (c *Client) UploadGprof(r io.Reader, app, experiment, trial string) (*dmfwire.UploadSummary, error) {
+	q := coordQuery(app, experiment, trial)
+	q.Set("format", "gprof")
+	var sum dmfwire.UploadSummary
+	if err := c.do(http.MethodPost, "/api/v1/trials", q, r, &sum); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}
+
+// UploadTAUDir reads a TAU text profile tree (MULTI__<metric> directories
+// of profile.N.0.0 files) from the local filesystem and uploads it.
+func (c *Client) UploadTAUDir(dir, app, experiment, trial string) (*dmfwire.UploadSummary, error) {
+	files := make(map[string]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dmfclient: read TAU dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "MULTI__") {
+			continue
+		}
+		profiles, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("dmfclient: read TAU dir: %w", err)
+		}
+		for _, p := range profiles {
+			if p.IsDir() || !strings.HasPrefix(p.Name(), "profile.") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name(), p.Name()))
+			if err != nil {
+				return nil, fmt.Errorf("dmfclient: read TAU profile: %w", err)
+			}
+			files[e.Name()+"/"+p.Name()] = string(data)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("dmfclient: no MULTI__ profiles under %s", dir)
+	}
+	return c.UploadTAU(files, app, experiment, trial)
+}
+
+// UploadTAU uploads an in-memory TAU profile tree: relative path
+// (MULTI__<metric>/profile.N.0.0) → file contents.
+func (c *Client) UploadTAU(files map[string]string, app, experiment, trial string) (*dmfwire.UploadSummary, error) {
+	q := url.Values{}
+	q.Set("format", "tau")
+	var sum dmfwire.UploadSummary
+	err := c.postJSON("/api/v1/trials", q, dmfwire.TAUUpload{
+		App:        app,
+		Experiment: experiment,
+		Trial:      trial,
+		Files:      files,
+	}, &sum)
+	if err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}
+
+// --- analysis and diagnosis -------------------------------------------
+
+// Analyze runs one server-side analysis operation.
+func (c *Client) Analyze(req dmfwire.AnalyzeRequest) (*dmfwire.AnalyzeResponse, error) {
+	var resp dmfwire.AnalyzeResponse
+	if err := c.postJSON("/api/v1/analyze", nil, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Diagnose runs a diagnosis script server-side. The response's Stdout is
+// byte-identical to the output of the same script run in-process against
+// the same repository state.
+func (c *Client) Diagnose(req dmfwire.DiagnoseRequest) (*dmfwire.DiagnoseResponse, error) {
+	var resp dmfwire.DiagnoseResponse
+	if err := c.postJSON("/api/v1/diagnose", nil, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// --- service introspection --------------------------------------------
+
+// Health checks GET /healthz.
+func (c *Client) Health() error {
+	var resp struct {
+		Status string `json:"status"`
+	}
+	if err := c.do(http.MethodGet, "/healthz", nil, nil, &resp); err != nil {
+		return err
+	}
+	if resp.Status != "ok" {
+		return fmt.Errorf("dmfclient: server unhealthy: %q", resp.Status)
+	}
+	return nil
+}
+
+// Metrics fetches the server's GET /metrics snapshot.
+func (c *Client) Metrics() (*dmfwire.MetricsSnapshot, error) {
+	var snap dmfwire.MetricsSnapshot
+	if err := c.do(http.MethodGet, "/metrics", nil, nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

@@ -1,0 +1,118 @@
+package dmfserver
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"perfknow/internal/dmfwire"
+)
+
+// metricsRegistry accumulates per-route request statistics. It is
+// deliberately tiny — a map under a mutex — because the hot path adds one
+// lock acquisition per request, which is noise next to JSON encoding.
+type metricsRegistry struct {
+	mu     sync.Mutex
+	start  time.Time
+	routes map[string]*routeStats
+}
+
+type routeStats struct {
+	count       int64
+	errors      int64
+	totalMicros int64
+	maxMicros   int64
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{start: time.Now(), routes: make(map[string]*routeStats)}
+}
+
+func (m *metricsRegistry) observe(route string, status int, d time.Duration) {
+	us := d.Microseconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.routes[route]
+	if rs == nil {
+		rs = &routeStats{}
+		m.routes[route] = rs
+	}
+	rs.count++
+	if status >= 400 {
+		rs.errors++
+	}
+	rs.totalMicros += us
+	if us > rs.maxMicros {
+		rs.maxMicros = us
+	}
+}
+
+func (m *metricsRegistry) snapshot() dmfwire.MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := dmfwire.MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      make(map[string]dmfwire.RouteMetrics, len(m.routes)),
+	}
+	for route, rs := range m.routes {
+		rm := dmfwire.RouteMetrics{
+			Count:  rs.count,
+			Errors: rs.errors,
+			MaxMs:  float64(rs.maxMicros) / 1e3,
+		}
+		if rs.count > 0 {
+			rm.AvgMs = float64(rs.totalMicros) / float64(rs.count) / 1e3
+		}
+		out.Requests[route] = rm
+	}
+	return out
+}
+
+// statusWriter captures the response status and byte count for logging and
+// metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps the router with request logging and metrics. The route
+// label is method + path, which for this fixed API is already low
+// cardinality.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(begin)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := r.Method + " " + r.URL.Path
+		s.metrics.observe(route, sw.status, elapsed)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(elapsed.Microseconds())/1e3,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

@@ -1,0 +1,494 @@
+// Package dmfserver exposes a PerfDMF profile repository and the
+// PerfExplorer analysis stack as a networked HTTP/JSON service — the
+// perfdmfd daemon. Many clients can upload trials (native JSON, TAU text
+// profiles, or gprof flat profiles), browse the Application → Experiment →
+// Trial hierarchy, fetch trials, run analysis operations, and execute
+// rule-based diagnosis server-side against one shared repository, in the
+// spirit of networked performance-knowledge repositories (Collective Mind /
+// Collective Tuning).
+//
+// The service is plain net/http with production hygiene built in:
+//
+//   - a parallel.Limiter caps how many requests may run analysis or
+//     diagnosis at once (the daemon's -j flag);
+//   - every request runs under a timeout and a maximum body size;
+//   - requests are logged as structured (slog) records;
+//   - GET /healthz answers liveness probes and GET /metrics reports
+//     request counts, latencies and repository size;
+//   - the configured http.Server carries read/write timeouts and supports
+//     graceful shutdown with connection draining.
+//
+// Remote diagnosis is byte-identical to the in-process path: the server
+// runs the same core.Session + diagnosis knowledge base over the shared
+// repository and returns the captured script output verbatim.
+package dmfserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"perfknow/internal/analysis"
+	"perfknow/internal/core"
+	"perfknow/internal/diagnosis"
+	"perfknow/internal/dmfwire"
+	"perfknow/internal/parallel"
+	"perfknow/internal/perfdmf"
+)
+
+// The wire protocol types are shared with internal/dmfclient through the
+// leaf package internal/dmfwire; aliases keep the natural names available
+// on the server side.
+type (
+	UploadSummary    = dmfwire.UploadSummary
+	TAUUpload        = dmfwire.TAUUpload
+	AnalyzeRequest   = dmfwire.AnalyzeRequest
+	AnalyzeResponse  = dmfwire.AnalyzeResponse
+	DiagnoseRequest  = dmfwire.DiagnoseRequest
+	DiagnoseResponse = dmfwire.DiagnoseResponse
+	MetricsSnapshot  = dmfwire.MetricsSnapshot
+	RouteMetrics     = dmfwire.RouteMetrics
+)
+
+// Default hygiene limits, overridable through Config.
+const (
+	DefaultMaxBodyBytes   = 32 << 20 // 32 MiB of profile data per upload
+	DefaultRequestTimeout = 30 * time.Second
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Repo is the shared profile repository. Required.
+	Repo *perfdmf.Repository
+	// RulesDir is the directory holding the .prl rule files that diagnosis
+	// scripts load through the `rulesdir` global. Empty means "materialize
+	// the built-in knowledge base under a temporary directory".
+	RulesDir string
+	// Jobs caps how many requests may run analysis/diagnosis concurrently
+	// (<= 0: the parallel package default, i.e. GOMAXPROCS or -j).
+	Jobs int
+	// MaxBodyBytes bounds request bodies (<= 0: DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// RequestTimeout bounds one request's total work (<= 0:
+	// DefaultRequestTimeout).
+	RequestTimeout time.Duration
+	// Logger receives structured request logs (nil: slog.Default()).
+	Logger *slog.Logger
+}
+
+// Server is the perfdmfd HTTP service.
+type Server struct {
+	repo     *perfdmf.Repository
+	rulesDir string
+	limiter  *parallel.Limiter
+	maxBody  int64
+	timeout  time.Duration
+	log      *slog.Logger
+	metrics  *metricsRegistry
+	mux      *http.ServeMux
+}
+
+// New builds a Server. When cfg.RulesDir is empty the built-in knowledge
+// base is written under a temporary directory owned by the process.
+func New(cfg Config) (*Server, error) {
+	if cfg.Repo == nil {
+		return nil, errors.New("dmfserver: Config.Repo is required")
+	}
+	rulesDir := cfg.RulesDir
+	if rulesDir == "" {
+		dir, err := os.MkdirTemp("", "perfdmfd-assets-")
+		if err != nil {
+			return nil, fmt.Errorf("dmfserver: assets dir: %w", err)
+		}
+		if err := diagnosis.WriteAssets(dir); err != nil {
+			return nil, err
+		}
+		rulesDir = filepath.Join(dir, "rules")
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	timeout := cfg.RequestTimeout
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Server{
+		repo:     cfg.Repo,
+		rulesDir: rulesDir,
+		limiter:  parallel.NewLimiter(cfg.Jobs),
+		maxBody:  maxBody,
+		timeout:  timeout,
+		log:      logger,
+		metrics:  newMetricsRegistry(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the fully wired HTTP handler (routing, logging, metrics,
+// timeouts, body limits).
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+
+// HTTPServer returns an http.Server configured with the service handler
+// and conservative network timeouts; callers own Serve and Shutdown.
+func (s *Server) HTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       s.timeout + 10*time.Second,
+		WriteTimeout:      s.timeout + 10*time.Second,
+		IdleTimeout:       120 * time.Second,
+		ErrorLog:          slog.NewLogLogger(s.log.Handler(), slog.LevelWarn),
+	}
+}
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/v1/applications", s.handleApplications)
+	mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /api/v1/trials", s.handleTrialList)
+	mux.HandleFunc("GET /api/v1/trial", s.handleTrialGet)
+	mux.HandleFunc("DELETE /api/v1/trial", s.handleTrialDelete)
+	mux.HandleFunc("POST /api/v1/trials", s.handleUpload)
+	mux.HandleFunc("POST /api/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /api/v1/diagnose", s.handleDiagnose)
+	s.mux = mux
+}
+
+// --- plumbing ---------------------------------------------------------
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// errStatus maps service errors onto HTTP status codes.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case strings.Contains(err.Error(), "not found"),
+		errors.Is(err, os.ErrNotExist):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// decodeBody parses a JSON request body under the configured size cap.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
+// gated admits the request through the analysis limiter and runs fn under
+// the request timeout. It centralizes the service's two back-pressure
+// mechanisms so every heavy endpoint behaves identically.
+func (s *Server) gated(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) error) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	if err := s.limiter.Acquire(ctx); err != nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server busy: %w", err))
+		return
+	}
+	defer s.limiter.Release()
+	if err := fn(ctx); err != nil {
+		writeError(w, errStatus(err), err)
+	}
+}
+
+func coords(r *http.Request) (app, experiment, trial string) {
+	q := r.URL.Query()
+	return q.Get("app"), q.Get("experiment"), q.Get("trial")
+}
+
+// --- health and metrics -----------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	apps, exps, trials := s.repo.Size()
+	snap := s.metrics.snapshot()
+	snap.Repository = dmfwire.RepoMetrics{Applications: apps, Experiments: exps, Trials: trials}
+	snap.AnalysisSlots = dmfwire.AnalysisSlots{Cap: s.limiter.Cap(), InUse: s.limiter.InUse()}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// --- browsing ---------------------------------------------------------
+
+func (s *Server) handleApplications(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"applications": s.repo.Applications()})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	app, _, _ := coords(r)
+	if app == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing app parameter"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"experiments": s.repo.Experiments(app)})
+}
+
+func (s *Server) handleTrialList(w http.ResponseWriter, r *http.Request) {
+	app, exp, _ := coords(r)
+	if app == "" || exp == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing app or experiment parameter"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"trials": s.repo.Trials(app, exp)})
+}
+
+func (s *Server) handleTrialGet(w http.ResponseWriter, r *http.Request) {
+	app, exp, name := coords(r)
+	if app == "" || exp == "" || name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing app, experiment or trial parameter"))
+		return
+	}
+	t, err := s.repo.GetTrial(app, exp, name)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
+func (s *Server) handleTrialDelete(w http.ResponseWriter, r *http.Request) {
+	app, exp, name := coords(r)
+	if app == "" || exp == "" || name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing app, experiment or trial parameter"))
+		return
+	}
+	if err := s.repo.Delete(app, exp, name); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// --- uploads ----------------------------------------------------------
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	s.gated(w, r, func(ctx context.Context) error {
+		var t *perfdmf.Trial
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "json":
+			t = &perfdmf.Trial{}
+			if err := s.decodeBody(w, r, t); err != nil {
+				return err
+			}
+		case "gprof":
+			app, exp, name := coords(r)
+			if app == "" || exp == "" || name == "" {
+				return errors.New("gprof upload needs app, experiment and trial parameters")
+			}
+			var err error
+			t, err = perfdmf.ParseGprof(http.MaxBytesReader(w, r.Body, s.maxBody), app, exp, name)
+			if err != nil {
+				return err
+			}
+		case "tau":
+			var up TAUUpload
+			if err := s.decodeBody(w, r, &up); err != nil {
+				return err
+			}
+			if up.App == "" || up.Experiment == "" || up.Trial == "" {
+				return errors.New("tau upload needs app, experiment and trial fields")
+			}
+			dir, err := os.MkdirTemp("", "perfdmfd-tau-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			for rel, content := range up.Files {
+				clean := filepath.Clean(rel)
+				if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) || filepath.IsAbs(clean) {
+					return fmt.Errorf("tau upload: illegal file path %q", rel)
+				}
+				p := filepath.Join(dir, clean)
+				if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+					return err
+				}
+				if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+					return err
+				}
+			}
+			t, err = perfdmf.ParseTAU(dir, up.App, up.Experiment, up.Trial)
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown upload format %q (want json, tau or gprof)", format)
+		}
+		if err := s.repo.Save(t); err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusCreated, UploadSummary{
+			Application: t.App,
+			Experiment:  t.Experiment,
+			Name:        t.Name,
+			Threads:     t.Threads,
+			Events:      len(t.Events),
+			Metrics:     len(t.Metrics),
+		})
+		return nil
+	})
+}
+
+// --- analysis ---------------------------------------------------------
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.gated(w, r, func(ctx context.Context) error {
+		var req AnalyzeRequest
+		if err := s.decodeBody(w, r, &req); err != nil {
+			return err
+		}
+		t, err := s.repo.GetTrial(req.App, req.Experiment, req.Trial)
+		if err != nil {
+			return err
+		}
+		var resp AnalyzeResponse
+		switch req.Op {
+		case "stats":
+			if req.Inclusive {
+				resp.Stats = analysis.InclusiveStats(t, req.Metric)
+			} else {
+				resp.Stats = analysis.ExclusiveStats(t, req.Metric)
+			}
+		case "derive":
+			op, err := analysis.ParseOp(req.Operator)
+			if err != nil {
+				return err
+			}
+			out, metric, err := analysis.DeriveMetric(t, req.Lhs, req.Rhs, op)
+			if err != nil {
+				return err
+			}
+			resp.Metric = metric
+			resp.Trial = out
+		case "cluster":
+			k := req.K
+			if k <= 0 {
+				k = 2
+			}
+			c, err := analysis.KMeans(t, req.Metric, k, 100)
+			if err != nil {
+				return err
+			}
+			resp.Clustering = c
+		case "topn":
+			n := req.N
+			if n <= 0 {
+				n = 10
+			}
+			resp.Events = analysis.TopN(t, req.Metric, n)
+		case "loadbalance":
+			resp.LoadBalance = analysis.LoadBalanceAnalysis(t, req.Metric)
+		default:
+			return fmt.Errorf("unknown analysis op %q (want stats, derive, cluster, topn or loadbalance)", req.Op)
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	})
+}
+
+// --- diagnosis --------------------------------------------------------
+
+// resolveScript maps a DiagnoseRequest onto script source text.
+func resolveScript(req *DiagnoseRequest) (string, error) {
+	switch {
+	case req.Source != "" && req.Script != "":
+		return "", errors.New("diagnose: set either script or source, not both")
+	case req.Source != "":
+		return req.Source, nil
+	case req.Script != "":
+		name := req.Script
+		if !strings.HasSuffix(name, ".pes") {
+			name += ".pes"
+		}
+		src, ok := diagnosis.ScriptFiles()[name]
+		if !ok {
+			return "", fmt.Errorf("diagnose: unknown script %q", req.Script)
+		}
+		return src, nil
+	default:
+		return "", errors.New("diagnose: script or source is required")
+	}
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	s.gated(w, r, func(ctx context.Context) error {
+		var req DiagnoseRequest
+		if err := s.decodeBody(w, r, &req); err != nil {
+			return err
+		}
+		src, err := resolveScript(&req)
+		if err != nil {
+			return err
+		}
+		// Each request gets a fresh session (its own rule engine and
+		// interpreter) over the shared repository, so concurrent diagnoses
+		// never share mutable state.
+		resp, err := s.runDiagnosis(src, req.Args)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	})
+}
+
+// runDiagnosis executes script source exactly as cmd/perfexplorer would:
+// same session wiring, same knowledge-base installation, same output path.
+func (s *Server) runDiagnosis(src string, args []string) (*DiagnoseResponse, error) {
+	session := core.NewSession(s.repo)
+	var buf strings.Builder
+	session.SetOutput(&buf)
+	diagnosis.Install(session, s.rulesDir)
+	diagnosis.SetArgs(session, args)
+	if err := session.RunScript(src); err != nil {
+		return nil, err
+	}
+	resp := &DiagnoseResponse{Stdout: buf.String()}
+	if res := session.LastResult(); res != nil {
+		resp.Output = res.Output
+		resp.Recommendations = res.Recommendations
+	}
+	return resp, nil
+}

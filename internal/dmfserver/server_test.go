@@ -1,0 +1,516 @@
+package dmfserver
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"perfknow/internal/core"
+	"perfknow/internal/diagnosis"
+	"perfknow/internal/dmfclient"
+	"perfknow/internal/perfdmf"
+)
+
+// newService builds a server over a file-backed repository and an httptest
+// front end, returning the shared repository and a client.
+func newService(t *testing.T, cfg Config) (*perfdmf.Repository, *dmfclient.Client) {
+	t.Helper()
+	if cfg.Repo == nil {
+		repo, err := perfdmf.OpenRepository(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Repo = repo
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := dmfclient.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.Repo, c
+}
+
+// stallTrial builds a trial that trips the stalls-per-cycle rule.
+func stallTrial(app, experiment, name string) *perfdmf.Trial {
+	tr := perfdmf.NewTrial(app, experiment, name, 2)
+	tr.AddMetric(perfdmf.TimeMetric)
+	tr.AddMetric("BACK_END_BUBBLE_ALL")
+	tr.AddMetric("CPU_CYCLES")
+	main := tr.EnsureEvent("main")
+	hot := tr.EnsureEvent("hot")
+	for th := 0; th < 2; th++ {
+		main.Calls[th] = 1
+		hot.Calls[th] = 25
+		main.SetValue(perfdmf.TimeMetric, th, 1000, 100)
+		main.SetValue("BACK_END_BUBBLE_ALL", th, 100, 10)
+		main.SetValue("CPU_CYCLES", th, 1500000, 150000)
+		hot.SetValue(perfdmf.TimeMetric, th, 800, 800)
+		hot.SetValue("BACK_END_BUBBLE_ALL", th, 700, 700)
+		hot.SetValue("CPU_CYCLES", th, 1000, 1000)
+	}
+	return tr
+}
+
+// TestRemoteDiagnosisByteIdentical is the acceptance test: a profile
+// uploaded over the wire and diagnosed server-side must produce exactly
+// the bytes an in-process session prints for the same trial and script.
+func TestRemoteDiagnosisByteIdentical(t *testing.T) {
+	_, c := newService(t, Config{})
+
+	if err := c.Save(stallTrial("app", "exp", "t1")); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := c.Diagnose(DiagnoseRequest{
+		Script: "stalls_per_cycle",
+		Args:   []string{"app", "exp", "t1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(remote.Stdout, "hot") {
+		t.Fatalf("remote diagnosis found nothing:\n%s", remote.Stdout)
+	}
+	if len(remote.Recommendations) == 0 {
+		t.Fatal("remote diagnosis produced no recommendations")
+	}
+
+	// In-process path: fresh repository with the same trial, same script.
+	localRepo := perfdmf.NewRepository()
+	if err := localRepo.Save(stallTrial("app", "exp", "t1")); err != nil {
+		t.Fatal(err)
+	}
+	assets := t.TempDir()
+	if err := diagnosis.WriteAssets(assets); err != nil {
+		t.Fatal(err)
+	}
+	session := core.NewSession(localRepo)
+	var buf bytes.Buffer
+	session.SetOutput(&buf)
+	diagnosis.Install(session, assets+"/rules")
+	diagnosis.SetArgs(session, []string{"app", "exp", "t1"})
+	if err := session.RunScript(diagnosis.ScriptStallsPerCycle); err != nil {
+		t.Fatal(err)
+	}
+
+	if remote.Stdout != buf.String() {
+		t.Fatalf("remote and in-process diagnosis diverge:\nremote:\n%q\nlocal:\n%q", remote.Stdout, buf.String())
+	}
+	local := session.LastResult()
+	if len(remote.Recommendations) != len(local.Recommendations) {
+		t.Fatalf("recommendation counts differ: %d remote, %d local",
+			len(remote.Recommendations), len(local.Recommendations))
+	}
+	for i := range local.Recommendations {
+		if remote.Recommendations[i] != local.Recommendations[i] {
+			t.Fatalf("recommendation %d differs: %+v vs %+v",
+				i, remote.Recommendations[i], local.Recommendations[i])
+		}
+	}
+}
+
+func TestDiagnoseInlineSource(t *testing.T) {
+	_, c := newService(t, Config{})
+	if err := c.Save(stallTrial("a", "e", "t")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Diagnose(DiagnoseRequest{
+		Source: `print("trials: " + str(len(Utilities.trials(args[0], args[1]))))`,
+		Args:   []string{"a", "e"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stdout != "trials: 1\n" {
+		t.Fatalf("stdout = %q", resp.Stdout)
+	}
+}
+
+func TestDiagnoseValidation(t *testing.T) {
+	_, c := newService(t, Config{})
+	if _, err := c.Diagnose(DiagnoseRequest{}); err == nil {
+		t.Fatal("empty diagnose request must fail")
+	}
+	if _, err := c.Diagnose(DiagnoseRequest{Script: "nope"}); err == nil {
+		t.Fatal("unknown script must fail")
+	}
+	if _, err := c.Diagnose(DiagnoseRequest{Script: "load_balance", Source: "x = 1"}); err == nil {
+		t.Fatal("script+source together must fail")
+	}
+}
+
+// TestUploadFormats exercises the three upload paths and that each yields
+// a browsable, fetchable trial.
+func TestUploadFormats(t *testing.T) {
+	_, c := newService(t, Config{})
+
+	// Native JSON.
+	if err := c.Save(stallTrial("japp", "jexp", "jt")); err != nil {
+		t.Fatal(err)
+	}
+
+	// TAU text: write locally, upload the file tree.
+	tauDir := t.TempDir()
+	tau := stallTrial("tapp", "texp", "tt")
+	if err := perfdmf.WriteTAU(tauDir, tau); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.UploadTAUDir(tauDir, "tapp", "texp", "tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Threads != 2 || sum.Events != 2 {
+		t.Fatalf("TAU upload summary: %+v", sum)
+	}
+
+	// gprof flat profile.
+	gprof := `Flat profile:
+
+Each sample counts as 0.01 seconds.
+  %   cumulative   self              self     total
+ time   seconds   seconds    calls  ms/call  ms/call  name
+ 60.00      0.60     0.60     1200     0.50     0.75  compute_flux
+ 40.00      1.00     0.40                             main_loop
+`
+	gsum, err := c.UploadGprof(strings.NewReader(gprof), "gapp", "gexp", "gt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gsum.Threads != 1 || gsum.Events != 2 {
+		t.Fatalf("gprof upload summary: %+v", gsum)
+	}
+
+	apps, err := c.ListApplications()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(apps) != "[gapp japp tapp]" {
+		t.Fatalf("applications = %v", apps)
+	}
+	got, err := c.GetTrial("tapp", "texp", "tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Event("hot") == nil {
+		t.Fatal("TAU round-trip lost events")
+	}
+}
+
+func TestUploadRejectsBadInput(t *testing.T) {
+	_, c := newService(t, Config{})
+	if _, err := c.UploadGprof(strings.NewReader("not gprof"), "a", "e", "t"); err == nil {
+		t.Fatal("garbage gprof must fail")
+	}
+	if _, err := c.UploadTAU(map[string]string{"../escape": "x"}, "a", "e", "t"); err == nil {
+		t.Fatal("path traversal in TAU upload must fail")
+	}
+	if _, err := c.UploadTAU(map[string]string{}, "a", "e", ""); err == nil {
+		t.Fatal("missing coordinates must fail")
+	}
+	bad := perfdmf.NewTrial("a", "e", "t", 1)
+	bad.AddMetric(perfdmf.TimeMetric)
+	bad.EnsureEvent("x").Calls = nil // invalid: wrong calls length
+	if err := bad.Validate(); err == nil {
+		t.Fatal("trial should be invalid")
+	}
+	if err := c.Save(bad); err == nil {
+		t.Fatal("invalid trial must be rejected")
+	}
+}
+
+func TestBrowseAndDelete(t *testing.T) {
+	_, c := newService(t, Config{})
+	if err := c.Save(stallTrial("my app", "exp one", "trial 1")); err != nil {
+		t.Fatal(err)
+	}
+	if exps := c.Experiments("my app"); len(exps) != 1 || exps[0] != "exp one" {
+		t.Fatalf("experiments = %v", exps)
+	}
+	if trials := c.Trials("my app", "exp one"); len(trials) != 1 || trials[0] != "trial 1" {
+		t.Fatalf("trials = %v", trials)
+	}
+	if err := c.Delete("my app", "exp one", "trial 1"); err != nil {
+		t.Fatal(err)
+	}
+	if apps := c.Applications(); len(apps) != 0 {
+		t.Fatalf("applications after delete = %v", apps)
+	}
+	if _, err := c.GetTrial("my app", "exp one", "trial 1"); err == nil {
+		t.Fatal("deleted trial still fetchable")
+	}
+	if !strings.Contains(fmt.Sprint(c.Delete("my app", "exp one", "trial 1")), "<nil>") {
+		t.Fatal("double delete should be idempotent")
+	}
+}
+
+func TestAnalyzeOperations(t *testing.T) {
+	_, c := newService(t, Config{})
+	if err := c.Save(stallTrial("a", "e", "t")); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := c.Analyze(AnalyzeRequest{App: "a", Experiment: "e", Trial: "t", Op: "stats", Metric: perfdmf.TimeMetric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Stats) == 0 || stats.Stats[0].Event != "hot" {
+		t.Fatalf("stats = %+v", stats.Stats)
+	}
+
+	derived, err := c.Analyze(AnalyzeRequest{
+		App: "a", Experiment: "e", Trial: "t",
+		Op: "derive", Lhs: "BACK_END_BUBBLE_ALL", Rhs: "CPU_CYCLES", Operator: "/",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.Metric != "(BACK_END_BUBBLE_ALL / CPU_CYCLES)" || derived.Trial == nil {
+		t.Fatalf("derive = %+v", derived)
+	}
+	if !derived.Trial.HasMetric(derived.Metric) {
+		t.Fatal("derived trial lacks the derived metric")
+	}
+
+	clust, err := c.Analyze(AnalyzeRequest{App: "a", Experiment: "e", Trial: "t", Op: "cluster", Metric: perfdmf.TimeMetric, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clust.Clustering == nil || clust.Clustering.K != 2 {
+		t.Fatalf("cluster = %+v", clust)
+	}
+
+	top, err := c.Analyze(AnalyzeRequest{App: "a", Experiment: "e", Trial: "t", Op: "topn", Metric: perfdmf.TimeMetric, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Events) != 1 {
+		t.Fatalf("topn = %v", top.Events)
+	}
+
+	lb, err := c.Analyze(AnalyzeRequest{App: "a", Experiment: "e", Trial: "t", Op: "loadbalance", Metric: perfdmf.TimeMetric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lb.LoadBalance) == 0 {
+		t.Fatal("loadbalance empty")
+	}
+
+	if _, err := c.Analyze(AnalyzeRequest{App: "a", Experiment: "e", Trial: "t", Op: "nope"}); err == nil {
+		t.Fatal("unknown op must fail")
+	}
+	if _, err := c.Analyze(AnalyzeRequest{App: "missing", Experiment: "e", Trial: "t", Op: "stats"}); err == nil {
+		t.Fatal("missing trial must fail")
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	_, c := newService(t, Config{Jobs: 3})
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(stallTrial("a", "e", "t")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetTrial("a", "e", "t"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Repository.Trials != 1 || snap.Repository.Applications != 1 {
+		t.Fatalf("repo metrics = %+v", snap.Repository)
+	}
+	if snap.AnalysisSlots.Cap != 3 {
+		t.Fatalf("slots = %+v", snap.AnalysisSlots)
+	}
+	rm, ok := snap.Requests["GET /api/v1/trial"]
+	if !ok || rm.Count != 1 {
+		t.Fatalf("request metrics = %+v", snap.Requests)
+	}
+	if rm.Errors != 0 || rm.MaxMs < 0 {
+		t.Fatalf("trial route metrics = %+v", rm)
+	}
+}
+
+func TestMaxBodyEnforced(t *testing.T) {
+	_, c := newService(t, Config{MaxBodyBytes: 512})
+	big := stallTrial("a", "e", "t")
+	for i := 0; i < 50; i++ {
+		e := big.EnsureEvent(fmt.Sprintf("event_%d_with_a_rather_long_name", i))
+		for th := 0; th < 2; th++ {
+			e.SetValue(perfdmf.TimeMetric, th, 1, 1)
+		}
+	}
+	err := c.Save(big)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized upload: %v", err)
+	}
+}
+
+// TestBusyServerSheds verifies the limiter back-pressure path: with every
+// analysis slot held, a gated request times out with 503 instead of
+// queueing forever.
+func TestBusyServerSheds(t *testing.T) {
+	repo := perfdmf.NewRepository()
+	srv, err := New(Config{
+		Repo:           repo,
+		Jobs:           1,
+		RequestTimeout: 100 * time.Millisecond,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Hold the only slot.
+	if err := srv.limiter.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.limiter.Release()
+
+	resp, err := http.Post(ts.URL+"/api/v1/diagnose", "application/json",
+		strings.NewReader(`{"script":"load_balance","args":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestNotFoundStatus(t *testing.T) {
+	_, c := newService(t, Config{})
+	_, err := c.GetTrial("a", "b", "c")
+	if err == nil || !strings.Contains(err.Error(), "HTTP 404") {
+		t.Fatalf("missing trial error = %v", err)
+	}
+}
+
+// TestConcurrentClients is the acceptance race test: many goroutines
+// upload, list, fetch, analyze and diagnose against one server at once.
+// Run under -race in CI.
+func TestConcurrentClients(t *testing.T) {
+	_, c := newService(t, Config{Jobs: 4})
+	if err := c.Save(stallTrial("shared", "exp", "base")); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 5
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*iters*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				name := fmt.Sprintf("t_%d_%d", w, i)
+				if err := c.Save(stallTrial("shared", "exp", name)); err != nil {
+					errc <- fmt.Errorf("save %s: %w", name, err)
+					return
+				}
+				if _, err := c.GetTrial("shared", "exp", name); err != nil {
+					errc <- fmt.Errorf("get %s: %w", name, err)
+					return
+				}
+				if trials, err := c.ListTrials("shared", "exp"); err != nil || len(trials) == 0 {
+					errc <- fmt.Errorf("list: %v (%d)", err, len(trials))
+					return
+				}
+				if _, err := c.Analyze(AnalyzeRequest{
+					App: "shared", Experiment: "exp", Trial: name,
+					Op: "stats", Metric: perfdmf.TimeMetric,
+				}); err != nil {
+					errc <- fmt.Errorf("analyze %s: %w", name, err)
+					return
+				}
+				if _, err := c.Diagnose(DiagnoseRequest{
+					Script: "stalls_per_cycle",
+					Args:   []string{"shared", "exp", name},
+				}); err != nil {
+					errc <- fmt.Errorf("diagnose %s: %w", name, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	trials, err := c.ListTrials("shared", "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := workers*iters + 1; len(trials) != want {
+		t.Fatalf("trials = %d, want %d", len(trials), want)
+	}
+}
+
+// TestGracefulShutdownDrains starts the hardened http.Server, issues a
+// slow-ish request, and shuts down concurrently: the in-flight request
+// must complete.
+func TestGracefulShutdownDrains(t *testing.T) {
+	repo := perfdmf.NewRepository()
+	if err := repo.Save(stallTrial("a", "e", "t")); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Repo: repo, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := srv.HTTPServer("127.0.0.1:0")
+	ln, err := listen(httpSrv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	c, err := dmfclient.New("http://" + ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resc := make(chan error, 1)
+	go func() {
+		_, err := c.Diagnose(DiagnoseRequest{Script: "stalls_per_cycle", Args: []string{"a", "e", "t"}})
+		resc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the request get in flight
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-resc; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+// listen opens a TCP listener for tests.
+func listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }

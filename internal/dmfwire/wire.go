@@ -1,0 +1,112 @@
+// Package dmfwire defines the HTTP/JSON protocol types shared by the
+// perfdmfd service (internal/dmfserver) and its client library
+// (internal/dmfclient). Keeping them in a leaf package lets clients link
+// only the profile data model, not the server's analysis stack.
+package dmfwire
+
+import (
+	"perfknow/internal/analysis"
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/rules"
+)
+
+// UploadSummary acknowledges a stored trial.
+type UploadSummary struct {
+	Application string `json:"application"`
+	Experiment  string `json:"experiment"`
+	Name        string `json:"name"`
+	Threads     int    `json:"threads"`
+	Events      int    `json:"events"`
+	Metrics     int    `json:"metrics"`
+}
+
+// TAUUpload is the wire form of a TAU text profile: the relative file
+// paths (MULTI__<metric>/profile.N.0.0) and their contents, plus the
+// coordinates to store the trial under.
+type TAUUpload struct {
+	App        string            `json:"app"`
+	Experiment string            `json:"experiment"`
+	Trial      string            `json:"trial"`
+	Files      map[string]string `json:"files"`
+}
+
+// AnalyzeRequest selects one analysis operation over one stored trial.
+type AnalyzeRequest struct {
+	App        string `json:"app"`
+	Experiment string `json:"experiment"`
+	Trial      string `json:"trial"`
+	// Op is one of "stats", "derive", "cluster", "topn", "loadbalance".
+	Op string `json:"op"`
+	// Metric names the metric for stats/cluster/topn/loadbalance.
+	Metric string `json:"metric,omitempty"`
+	// Inclusive switches stats from exclusive to inclusive values.
+	Inclusive bool `json:"inclusive,omitempty"`
+	// Lhs, Rhs, Operator define a derived metric ("+", "-", "*", "/").
+	Lhs      string `json:"lhs,omitempty"`
+	Rhs      string `json:"rhs,omitempty"`
+	Operator string `json:"operator,omitempty"`
+	// K is the cluster count for "cluster".
+	K int `json:"k,omitempty"`
+	// N bounds "topn".
+	N int `json:"n,omitempty"`
+}
+
+// AnalyzeResponse carries the result of the selected operation; exactly
+// one field (besides Metric) is populated.
+type AnalyzeResponse struct {
+	Stats       []analysis.EventStat   `json:"stats,omitempty"`
+	Metric      string                 `json:"metric,omitempty"`
+	Trial       *perfdmf.Trial         `json:"trial,omitempty"`
+	Clustering  *analysis.Clustering   `json:"clustering,omitempty"`
+	Events      []string               `json:"events,omitempty"`
+	LoadBalance []analysis.LoadBalance `json:"loadbalance,omitempty"`
+}
+
+// DiagnoseRequest runs one diagnosis script server-side. Either Script (a
+// built-in script name such as "load_balance" or "stalls_per_cycle",
+// with or without the .pes suffix) or Source (inline script text) must be
+// set. Args become the script's `args` list, conventionally
+// [application, experiment, trial, ...].
+type DiagnoseRequest struct {
+	Script string   `json:"script,omitempty"`
+	Source string   `json:"source,omitempty"`
+	Args   []string `json:"args"`
+}
+
+// DiagnoseResponse is the remote twin of a local script run: Stdout is the
+// byte-exact text a local session would have printed, and Output and
+// Recommendations mirror the rule engine's structured result.
+type DiagnoseResponse struct {
+	Stdout          string                 `json:"stdout"`
+	Output          []string               `json:"output,omitempty"`
+	Recommendations []rules.Recommendation `json:"recommendations,omitempty"`
+}
+
+// RouteMetrics is the wire form of one route's request statistics.
+type RouteMetrics struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	AvgMs  float64 `json:"avg_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// RepoMetrics reports the size of the served repository.
+type RepoMetrics struct {
+	Applications int `json:"applications"`
+	Experiments  int `json:"experiments"`
+	Trials       int `json:"trials"`
+}
+
+// AnalysisSlots reports the request-concurrency limiter state.
+type AnalysisSlots struct {
+	Cap   int `json:"cap"`
+	InUse int `json:"in_use"`
+}
+
+// MetricsSnapshot is the GET /metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Repository    RepoMetrics             `json:"repository"`
+	AnalysisSlots AnalysisSlots           `json:"analysis_slots"`
+	Requests      map[string]RouteMetrics `json:"requests"`
+}

@@ -221,6 +221,67 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	return nil
 }
 
+// Limiter is a counting semaphore bounding concurrent work admitted from
+// outside the pool primitives — e.g. a server capping how many requests may
+// run analysis at once. It complements Each/ForEach (which bound fan-out
+// within one call) by bounding concurrency across independent callers.
+type Limiter struct {
+	sem chan struct{}
+}
+
+// NewLimiter returns a limiter admitting at most n concurrent holders.
+// n <= 0 falls back to DefaultWorkers, so a server's -j flag (routed
+// through SetDefaultWorkers) caps request-level concurrency the same way
+// it caps analysis fan-out.
+func NewLimiter(n int) *Limiter {
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	return &Limiter{sem: make(chan struct{}, n)}
+}
+
+// Cap returns the maximum number of concurrent holders.
+func (l *Limiter) Cap() int { return cap(l.sem) }
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx.Err()
+// in the latter case. Every successful Acquire must be paired with exactly
+// one Release.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot without blocking, reporting whether it succeeded.
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot taken by Acquire or TryAcquire. Releasing more
+// than was acquired panics: that is always a caller bug.
+func (l *Limiter) Release() {
+	select {
+	case <-l.sem:
+	default:
+		panic("parallel: Limiter.Release without matching Acquire")
+	}
+}
+
+// InUse returns the number of currently held slots (racy by nature; for
+// metrics and tests).
+func (l *Limiter) InUse() int { return len(l.sem) }
+
 // Map runs fn(i) for every i in [0, n) and returns the results in index
 // order. Error and cancellation semantics match ForEach; on error the
 // partial results slice is still returned (slots whose fn completed are

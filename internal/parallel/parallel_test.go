@@ -266,3 +266,89 @@ func TestEachZeroAndNegativeN(t *testing.T) {
 		t.Fatalf("ForEach(0 items) = %v", err)
 	}
 }
+
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	l := NewLimiter(3)
+	if l.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", l.Cap())
+	}
+	var (
+		mu      sync.Mutex
+		cur     int
+		highest int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > highest {
+				highest = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	if highest > 3 {
+		t.Fatalf("observed %d concurrent holders, cap 3", highest)
+	}
+	if l.InUse() != 0 {
+		t.Fatalf("InUse = %d after all released", l.InUse())
+	}
+}
+
+func TestLimiterAcquireRespectsContext(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.Acquire(ctx); err == nil {
+		t.Fatal("Acquire on a full limiter with cancelled context must fail")
+	}
+	l.Release()
+}
+
+func TestLimiterTryAcquire(t *testing.T) {
+	l := NewLimiter(1)
+	if !l.TryAcquire() {
+		t.Fatal("first TryAcquire should succeed")
+	}
+	if l.TryAcquire() {
+		t.Fatal("second TryAcquire should fail while slot held")
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire after Release should succeed")
+	}
+	l.Release()
+}
+
+func TestLimiterReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire must panic")
+		}
+	}()
+	NewLimiter(2).Release()
+}
+
+func TestLimiterDefaultCap(t *testing.T) {
+	SetDefaultWorkers(7)
+	defer SetDefaultWorkers(0)
+	if got := NewLimiter(0).Cap(); got != 7 {
+		t.Fatalf("Cap = %d, want DefaultWorkers (7)", got)
+	}
+}

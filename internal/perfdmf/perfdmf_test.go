@@ -171,8 +171,20 @@ func TestRepositoryInMemory(t *testing.T) {
 	if err != nil {
 		t.Fatalf("GetTrial: %v", err)
 	}
-	if got != tr {
-		t.Fatal("in-memory repo should return the same object")
+	if got == tr {
+		t.Fatal("GetTrial must return a private copy, not the cached object")
+	}
+	if got.Threads != tr.Threads || len(got.Events) != len(tr.Events) {
+		t.Fatalf("copy diverges from original: %+v", got)
+	}
+	// Copy-on-read: mutating the returned trial must not corrupt the cache.
+	got.Events[0].Inclusive[TimeMetric][0] = -1
+	again, err := repo.GetTrial("Fluid Dynamic", "rib 90", "1_16")
+	if err != nil {
+		t.Fatalf("GetTrial: %v", err)
+	}
+	if again.Events[0].Inclusive[TimeMetric][0] == -1 {
+		t.Fatal("mutation of a returned trial leaked into the repository cache")
 	}
 	if _, err := repo.GetTrial("nope", "x", "y"); err == nil {
 		t.Fatal("missing trial should error")

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Repository stores trials in the Application → Experiment → Trial
@@ -15,11 +16,41 @@ import (
 // a directory tree root/app/experiment/trial.json; file-backed repositories
 // keep an in-memory cache of everything loaded or saved.
 //
+// Directory and file names on disk are sanitized (see safe), but the
+// repository always presents the original names: listings are built from
+// the cache keys and from the application/experiment/name header of each
+// trial JSON file, never from the sanitized path components. Note that two
+// distinct names may sanitize to the same path ("a b" and "a_b" collide);
+// the last Save wins on disk.
+//
+// The repository enforces copy-on-read at its boundary: Save stores a
+// private Clone of the trial and GetTrial returns a Clone, so callers may
+// freely mutate trials they hold without corrupting the shared cache (and
+// vice versa).
+//
 // Repository is safe for concurrent use.
 type Repository struct {
 	mu    sync.RWMutex
 	root  string
 	cache map[string]*Trial // key: app/experiment/trial
+
+	// headers caches the (app, experiment, name) header of on-disk trial
+	// files so listings do not re-read unchanged files. Guarded by mu.
+	headers map[string]headerEntry
+}
+
+// trialHeader is the identifying prefix of a trial JSON file.
+type trialHeader struct {
+	App        string `json:"application"`
+	Experiment string `json:"experiment"`
+	Name       string `json:"name"`
+}
+
+// headerEntry is a cached header plus the file stamp it was read at.
+type headerEntry struct {
+	size    int64
+	modTime time.Time
+	hdr     trialHeader
 }
 
 // NewRepository returns an in-memory repository.
@@ -33,7 +64,11 @@ func OpenRepository(root string) (*Repository, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("perfdmf: open repository: %w", err)
 	}
-	return &Repository{root: root, cache: make(map[string]*Trial)}, nil
+	return &Repository{
+		root:    root,
+		cache:   make(map[string]*Trial),
+		headers: make(map[string]headerEntry),
+	}, nil
 }
 
 func key(app, experiment, trial string) string {
@@ -51,14 +86,15 @@ func (r *Repository) path(app, experiment, trial string) string {
 }
 
 // Save stores the trial (validating first) and persists it when the
-// repository is file-backed.
+// repository is file-backed. The cache keeps a private copy, so mutating t
+// after Save does not affect what later GetTrial calls observe.
 func (r *Repository) Save(t *Trial) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.cache[key(t.App, t.Experiment, t.Name)] = t
+	r.cache[key(t.App, t.Experiment, t.Name)] = t.Clone()
 	if r.root == "" {
 		return nil
 	}
@@ -78,12 +114,14 @@ func (r *Repository) Save(t *Trial) error {
 }
 
 // GetTrial loads a trial by its (application, experiment, name) coordinates.
+// The returned trial is a private copy: callers may mutate it freely
+// without affecting the repository (copy-on-read).
 func (r *Repository) GetTrial(app, experiment, trial string) (*Trial, error) {
 	r.mu.RLock()
 	t, ok := r.cache[key(app, experiment, trial)]
 	r.mu.RUnlock()
 	if ok {
-		return t, nil
+		return t.Clone(), nil
 	}
 	if r.root == "" {
 		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q not found", app, experiment, trial)
@@ -100,12 +138,14 @@ func (r *Repository) GetTrial(app, experiment, trial string) (*Trial, error) {
 		return nil, err
 	}
 	r.mu.Lock()
-	r.cache[key(app, experiment, trial)] = t
+	r.cache[key(t.App, t.Experiment, t.Name)] = t
 	r.mu.Unlock()
-	return t, nil
+	return t.Clone(), nil
 }
 
 // Delete removes a trial from the cache and, when file-backed, from disk.
+// Emptied experiment and application directories are pruned so they stop
+// appearing in listings.
 func (r *Repository) Delete(app, experiment, trial string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -113,11 +153,26 @@ func (r *Repository) Delete(app, experiment, trial string) error {
 	if r.root == "" {
 		return nil
 	}
-	err := os.Remove(r.path(app, experiment, trial))
+	p := r.path(app, experiment, trial)
+	delete(r.headers, p)
+	err := os.Remove(p)
 	if os.IsNotExist(err) {
-		return nil
+		err = nil
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	// Prune now-empty parents; os.Remove fails harmlessly when a
+	// directory still has entries.
+	expDir := filepath.Dir(p)
+	appDir := filepath.Dir(expDir)
+	if expDir != r.root {
+		_ = os.Remove(expDir)
+	}
+	if appDir != r.root && appDir != expDir {
+		_ = os.Remove(appDir)
+	}
+	return nil
 }
 
 // Applications lists application names known to the repository, sorted.
@@ -128,14 +183,8 @@ func (r *Repository) Applications() []string {
 		set[strings.SplitN(k, "\x00", 2)[0]] = true
 	}
 	r.mu.RUnlock()
-	if r.root != "" {
-		if entries, err := os.ReadDir(r.root); err == nil {
-			for _, e := range entries {
-				if e.IsDir() {
-					set[e.Name()] = true
-				}
-			}
-		}
+	for _, h := range r.diskHeaders() {
+		set[h.App] = true
 	}
 	return sortedKeys(set)
 }
@@ -151,13 +200,9 @@ func (r *Repository) Experiments(app string) []string {
 		}
 	}
 	r.mu.RUnlock()
-	if r.root != "" {
-		if entries, err := os.ReadDir(filepath.Join(r.root, safe(app))); err == nil {
-			for _, e := range entries {
-				if e.IsDir() {
-					set[e.Name()] = true
-				}
-			}
+	for _, h := range r.diskHeaders() {
+		if h.App == app {
+			set[h.Experiment] = true
 		}
 	}
 	return sortedKeys(set)
@@ -174,17 +219,104 @@ func (r *Repository) Trials(app, experiment string) []string {
 		}
 	}
 	r.mu.RUnlock()
-	if r.root != "" {
-		dir := filepath.Join(r.root, safe(app), safe(experiment))
-		if entries, err := os.ReadDir(dir); err == nil {
-			for _, e := range entries {
-				if name, ok := strings.CutSuffix(e.Name(), ".json"); ok {
-					set[name] = true
+	for _, h := range r.diskHeaders() {
+		if h.App == app && h.Experiment == experiment {
+			set[h.Name] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Size reports the number of applications, experiments and trials visible
+// in the repository (cache plus disk).
+func (r *Repository) Size() (apps, experiments, trials int) {
+	appSet := make(map[string]bool)
+	expSet := make(map[string]bool)
+	trialSet := make(map[string]bool)
+	add := func(app, exp, name string) {
+		appSet[app] = true
+		expSet[key(app, exp, "")] = true
+		trialSet[key(app, exp, name)] = true
+	}
+	r.mu.RLock()
+	for k := range r.cache {
+		parts := strings.SplitN(k, "\x00", 3)
+		add(parts[0], parts[1], parts[2])
+	}
+	r.mu.RUnlock()
+	for _, h := range r.diskHeaders() {
+		add(h.App, h.Experiment, h.Name)
+	}
+	return len(appSet), len(expSet), len(trialSet)
+}
+
+// diskHeaders walks the on-disk tree and returns the original
+// (application, experiment, name) coordinates recorded inside each trial
+// file. Unchanged files are served from a stat-validated header cache, so
+// repeated listings cost one ReadDir walk plus a stat per trial.
+func (r *Repository) diskHeaders() []trialHeader {
+	if r.root == "" {
+		return nil
+	}
+	var out []trialHeader
+	appDirs, err := os.ReadDir(r.root)
+	if err != nil {
+		return nil
+	}
+	for _, ad := range appDirs {
+		if !ad.IsDir() {
+			continue
+		}
+		expDirs, err := os.ReadDir(filepath.Join(r.root, ad.Name()))
+		if err != nil {
+			continue
+		}
+		for _, ed := range expDirs {
+			if !ed.IsDir() {
+				continue
+			}
+			dir := filepath.Join(r.root, ad.Name(), ed.Name())
+			files, err := os.ReadDir(dir)
+			if err != nil {
+				continue
+			}
+			for _, f := range files {
+				if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+					continue
+				}
+				if h, ok := r.header(filepath.Join(dir, f.Name())); ok {
+					out = append(out, h)
 				}
 			}
 		}
 	}
-	return sortedKeys(set)
+	return out
+}
+
+// header returns the cached or freshly decoded header of one trial file.
+func (r *Repository) header(path string) (trialHeader, bool) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return trialHeader{}, false
+	}
+	r.mu.RLock()
+	e, ok := r.headers[path]
+	r.mu.RUnlock()
+	if ok && e.size == fi.Size() && e.modTime.Equal(fi.ModTime()) {
+		return e.hdr, true
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return trialHeader{}, false
+	}
+	var h trialHeader
+	if err := json.Unmarshal(data, &h); err != nil || h.Name == "" {
+		return trialHeader{}, false
+	}
+	r.mu.Lock()
+	r.headers[path] = headerEntry{size: fi.Size(), modTime: fi.ModTime(), hdr: h}
+	r.mu.Unlock()
+	return h, true
 }
 
 // ReadTrialFile loads a single trial from a native JSON snapshot (the file

@@ -1,0 +1,32 @@
+package perfdmf
+
+// Store is the repository surface that PerfExplorer sessions, command-line
+// tools and services program against: saving, loading, deleting and
+// browsing trials in the Application → Experiment → Trial hierarchy.
+//
+// Two implementations exist: *Repository (in-process, optionally
+// file-backed) and dmfclient.Client (the same API spoken over HTTP to a
+// perfdmfd server), so analysis code is oblivious to whether the profile
+// store is local or remote.
+//
+// Implementations must enforce copy-on-read: a Trial returned by GetTrial
+// is the caller's to mutate and never aliases internal state.
+type Store interface {
+	// Save stores the trial (validating first). The store keeps its own
+	// copy; later mutations of t by the caller are not observed.
+	Save(t *Trial) error
+	// GetTrial loads a trial by its (application, experiment, name)
+	// coordinates. The returned trial is a private copy.
+	GetTrial(app, experiment, trial string) (*Trial, error)
+	// Delete removes a trial. Deleting an absent trial is not an error.
+	Delete(app, experiment, trial string) error
+	// Applications lists application names, sorted.
+	Applications() []string
+	// Experiments lists experiment names for an application, sorted.
+	Experiments(app string) []string
+	// Trials lists trial names for an (application, experiment) pair,
+	// sorted.
+	Trials(app, experiment string) []string
+}
+
+var _ Store = (*Repository)(nil)

@@ -23,7 +23,11 @@
 //   - the paper's two applications as workload models — ClustalW-style
 //     multiple sequence alignment and the GenIDLEST fluid-dynamics solver
 //     (internal/apps) — and the captured diagnosis knowledge base
-//     (internal/diagnosis).
+//     (internal/diagnosis);
+//   - a networked profile service: the perfdmfd HTTP/JSON daemon
+//     (internal/dmfserver, cmd/perfdmfd) serving a shared repository and
+//     server-side analysis/diagnosis, with a client (internal/dmfclient)
+//     that drops into sessions wherever a local repository is accepted.
 //
 // Quick start:
 //
@@ -45,6 +49,9 @@ import (
 	"perfknow/internal/apps/msa"
 	"perfknow/internal/core"
 	"perfknow/internal/diagnosis"
+	"perfknow/internal/dmfclient"
+	"perfknow/internal/dmfserver"
+	"perfknow/internal/dmfwire"
 	"perfknow/internal/machine"
 	"perfknow/internal/openuh"
 	"perfknow/internal/perfdmf"
@@ -63,6 +70,23 @@ type (
 	Event = perfdmf.Event
 	// Repository stores trials in the Application→Experiment→Trial hierarchy.
 	Repository = perfdmf.Repository
+	// Store is the repository surface (local Repository or remote client).
+	Store = perfdmf.Store
+	// ProfileServer is the perfdmfd HTTP service over a shared repository.
+	ProfileServer = dmfserver.Server
+	// ProfileServerConfig parameterizes a ProfileServer.
+	ProfileServerConfig = dmfserver.Config
+	// RemoteRepository is a client for a perfdmfd server; it implements
+	// Store, so sessions can run against a networked repository.
+	RemoteRepository = dmfclient.Client
+	// AnalyzeRequest selects one server-side analysis operation.
+	AnalyzeRequest = dmfwire.AnalyzeRequest
+	// AnalyzeResponse carries a server-side analysis result.
+	AnalyzeResponse = dmfwire.AnalyzeResponse
+	// DiagnoseRequest runs one diagnosis script server-side.
+	DiagnoseRequest = dmfwire.DiagnoseRequest
+	// DiagnoseResponse is the remote twin of a local script run.
+	DiagnoseResponse = dmfwire.DiagnoseResponse
 )
 
 // TimeMetric is the canonical wall-clock metric name (microseconds).
@@ -73,6 +97,12 @@ func NewRepository() *Repository { return perfdmf.NewRepository() }
 
 // OpenRepository returns a file-backed repository rooted at dir.
 func OpenRepository(dir string) (*Repository, error) { return perfdmf.OpenRepository(dir) }
+
+// NewProfileServer builds the perfdmfd HTTP service over a repository.
+func NewProfileServer(cfg ProfileServerConfig) (*ProfileServer, error) { return dmfserver.New(cfg) }
+
+// DialRepository returns a client for the perfdmfd server at baseURL.
+func DialRepository(baseURL string) (*RemoteRepository, error) { return dmfclient.New(baseURL) }
 
 // NewTrial creates an empty trial.
 func NewTrial(app, experiment, name string, threads int) *Trial {
@@ -102,8 +132,9 @@ type (
 	Recommendation = rules.Recommendation
 )
 
-// NewSession builds a session over repo (nil → fresh in-memory repository).
-func NewSession(repo *Repository) *Session { return core.NewSession(repo) }
+// NewSession builds a session over any profile store — a local Repository,
+// a RemoteRepository, or nil for a fresh in-memory repository.
+func NewSession(repo Store) *Session { return core.NewSession(repo) }
 
 // NewRuleEngine returns an empty inference engine.
 func NewRuleEngine() *RuleEngine { return rules.NewEngine() }
