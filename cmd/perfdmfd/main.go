@@ -77,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	if err != nil {
 		return fail(logger, err)
 	}
+	defer srv.Close() // removes the owned temp assets dir, if any
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -64,8 +64,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var store perfdmf.Store
+	var client *dmfclient.Client
 	if *serverURL != "" {
-		client, err := dmfclient.New(*serverURL)
+		var err error
+		client, err = dmfclient.New(*serverURL)
 		if err != nil {
 			return fail(stderr, err)
 		}
@@ -91,6 +93,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}
 		}
+		// Remote listings cannot surface transport errors through the
+		// Store signatures; an "empty" repository may really be an
+		// unreachable server, so fail loudly rather than print nothing.
+		if client != nil {
+			if err := client.LastError(); err != nil {
+				return fail(stderr, err)
+			}
+		}
 		return 0
 	}
 
@@ -106,6 +116,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	diagnosis.SetArgs(s, fs.Args())
 	if err := s.RunScriptFile(*scriptPath); err != nil {
 		return fail(stderr, err)
+	}
+	// A listing that failed mid-script silently looked empty to the
+	// script; tell the user the results may be based on missing data.
+	if client != nil {
+		if err := client.LastError(); err != nil {
+			fmt.Fprintf(stderr, "perfexplorer: warning: a remote listing failed during the run (results may be incomplete): %v\n", err)
+		}
 	}
 	if res := s.LastResult(); res != nil && len(res.Recommendations) > 0 {
 		fmt.Fprintf(stdout, "\n%d recommendation(s) produced.\n", len(res.Recommendations))

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -59,6 +60,16 @@ func NewSession(repo perfdmf.Store) *Session {
 
 // SetOutput redirects script print output.
 func (s *Session) SetOutput(w io.Writer) { s.Interp.Stdout = w }
+
+// SetContext bounds script execution by ctx: when ctx is cancelled or its
+// deadline passes, the running script stops with an error wrapping
+// ctx.Err(). Servers use this so a hostile or runaway script cannot
+// outlive its request.
+func (s *Session) SetContext(ctx context.Context) { s.Interp.SetContext(ctx) }
+
+// SetMaxSteps bounds the number of script statements executed per run
+// (0 = unlimited) — a defense-in-depth limit alongside SetContext.
+func (s *Session) SetMaxSteps(n int) { s.Interp.MaxSteps = n }
 
 // RunScript executes PerfExplorer script source.
 func (s *Session) RunScript(src string) error { return s.Interp.Run(src) }

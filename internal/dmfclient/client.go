@@ -13,6 +13,9 @@
 // Repository signatures and therefore cannot return transport errors; the
 // error-returning ListApplications/ListExperiments/ListTrials variants are
 // provided for callers that need to distinguish "empty" from "unreachable".
+// When a signature-constrained listing does fail, the error is recorded and
+// exposed through LastError, so callers (e.g. cmd/perfexplorer) can tell a
+// genuinely empty repository from a mid-session outage.
 package dmfclient
 
 import (
@@ -25,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"perfknow/internal/dmfwire"
@@ -35,6 +39,9 @@ import (
 type Client struct {
 	base *url.URL
 	http *http.Client
+
+	mu      sync.Mutex
+	lastErr error // most recent swallowed listing error; see LastError
 }
 
 // Option customizes a Client.
@@ -100,10 +107,16 @@ func (c *Client) do(method, path string, query url.Values, body io.Reader, out a
 		var e struct {
 			Error string `json:"error"`
 		}
+		msg := fmt.Sprintf("HTTP %d", resp.StatusCode)
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("dmfclient: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			msg = fmt.Sprintf("%s (HTTP %d)", e.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("dmfclient: %s %s: HTTP %d", method, path, resp.StatusCode)
+		// A 404 wraps perfdmf.ErrNotFound so errors.Is works identically
+		// against remote and local repositories.
+		if resp.StatusCode == http.StatusNotFound {
+			return fmt.Errorf("dmfclient: %s %s: %s: %w", method, path, msg, perfdmf.ErrNotFound)
+		}
+		return fmt.Errorf("dmfclient: %s %s: %s", method, path, msg)
 	}
 	if out == nil {
 		return nil
@@ -200,22 +213,44 @@ func (c *Client) ListTrials(app, experiment string) ([]string, error) {
 	return resp.Trials, nil
 }
 
+// record notes the outcome of a listing call whose signature cannot return
+// an error: a failure is cached for LastError, a success clears it.
+func (c *Client) record(err error) {
+	c.mu.Lock()
+	c.lastErr = err
+	c.mu.Unlock()
+}
+
+// LastError reports the most recent transport error swallowed by one of
+// the Store listing methods (Applications, Experiments, Trials), or nil if
+// the latest such call succeeded. Consult it after a suspiciously empty
+// listing to distinguish "repository is empty" from "server unreachable".
+func (c *Client) LastError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
 // Applications implements perfdmf.Store; transport failures yield an empty
-// listing (use ListApplications to observe the error).
+// listing and are recorded for LastError (use ListApplications to observe
+// the error directly).
 func (c *Client) Applications() []string {
-	out, _ := c.ListApplications()
+	out, err := c.ListApplications()
+	c.record(err)
 	return out
 }
 
 // Experiments implements perfdmf.Store; see Applications.
 func (c *Client) Experiments(app string) []string {
-	out, _ := c.ListExperiments(app)
+	out, err := c.ListExperiments(app)
+	c.record(err)
 	return out
 }
 
 // Trials implements perfdmf.Store; see Applications.
 func (c *Client) Trials(app, experiment string) []string {
-	out, _ := c.ListTrials(app, experiment)
+	out, err := c.ListTrials(app, experiment)
+	c.record(err)
 	return out
 }
 

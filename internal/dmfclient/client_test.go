@@ -1,0 +1,73 @@
+package dmfclient
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"perfknow/internal/perfdmf"
+)
+
+// TestLastErrorRecordsListingFailures: the Store listing methods cannot
+// return errors, so a failing transport must be observable via LastError —
+// and a later success must clear it.
+func TestLastErrorRecordsListingFailures(t *testing.T) {
+	var fail atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"applications":["a"],"experiments":[],"trials":[]}`))
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apps := c.Applications(); len(apps) != 1 {
+		t.Fatalf("applications = %v", apps)
+	}
+	if err := c.LastError(); err != nil {
+		t.Fatalf("LastError after success = %v", err)
+	}
+
+	fail.Store(true)
+	if apps := c.Applications(); len(apps) != 0 {
+		t.Fatalf("failing listing returned %v", apps)
+	}
+	if err := c.LastError(); err == nil {
+		t.Fatal("LastError not recorded after transport failure")
+	}
+	if trials := c.Trials("a", "e"); len(trials) != 0 {
+		t.Fatalf("failing listing returned %v", trials)
+	}
+
+	fail.Store(false)
+	_ = c.Experiments("a")
+	if err := c.LastError(); err != nil {
+		t.Fatalf("LastError not cleared by later success: %v", err)
+	}
+}
+
+// TestNotFoundSentinel: a 404 response unwraps to perfdmf.ErrNotFound, so
+// errors.Is behaves identically against remote and local repositories.
+func TestNotFoundSentinel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"trial not found"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.GetTrial("a", "e", "t")
+	if !errors.Is(err, perfdmf.ErrNotFound) {
+		t.Fatalf("remote 404 does not wrap perfdmf.ErrNotFound: %v", err)
+	}
+}

@@ -11,7 +11,10 @@
 //
 //   - a parallel.Limiter caps how many requests may run analysis or
 //     diagnosis at once (the daemon's -j flag);
-//   - every request runs under a timeout and a maximum body size;
+//   - every request runs under a timeout and a maximum body size; the
+//     timeout reaches into script execution (a diagnosis script is
+//     cancelled at the request deadline and additionally bounded by a
+//     statement budget), so a looping script cannot pin a limiter slot;
 //   - requests are logged as structured (slog) records;
 //   - GET /healthz answers liveness probes and GET /metrics reports
 //     request counts, latencies and repository size;
@@ -61,6 +64,10 @@ type (
 const (
 	DefaultMaxBodyBytes   = 32 << 20 // 32 MiB of profile data per upload
 	DefaultRequestTimeout = 30 * time.Second
+	// DefaultMaxScriptSteps bounds how many statements one diagnosis
+	// script may execute — generous for real analyses, but a hard stop
+	// for runaway loops even if the request context were somehow ignored.
+	DefaultMaxScriptSteps = 10_000_000
 )
 
 // Config parameterizes a Server.
@@ -79,6 +86,11 @@ type Config struct {
 	// RequestTimeout bounds one request's total work (<= 0:
 	// DefaultRequestTimeout).
 	RequestTimeout time.Duration
+	// MaxScriptSteps bounds the number of statements a diagnosis script
+	// may execute, independent of the request timeout (<= 0:
+	// DefaultMaxScriptSteps; use a negative value for "unlimited" only in
+	// trusted deployments).
+	MaxScriptSteps int
 	// Logger receives structured request logs (nil: slog.Default()).
 	Logger *slog.Logger
 }
@@ -87,12 +99,17 @@ type Config struct {
 type Server struct {
 	repo     *perfdmf.Repository
 	rulesDir string
-	limiter  *parallel.Limiter
-	maxBody  int64
-	timeout  time.Duration
-	log      *slog.Logger
-	metrics  *metricsRegistry
-	mux      *http.ServeMux
+	// ownedAssets is the temporary assets directory created when
+	// Config.RulesDir was empty; removed by Close. Empty when the caller
+	// supplied the rules directory.
+	ownedAssets string
+	limiter     *parallel.Limiter
+	maxBody     int64
+	timeout     time.Duration
+	maxSteps    int
+	log         *slog.Logger
+	metrics     *metricsRegistry
+	mux         *http.ServeMux
 }
 
 // New builds a Server. When cfg.RulesDir is empty the built-in knowledge
@@ -102,15 +119,18 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("dmfserver: Config.Repo is required")
 	}
 	rulesDir := cfg.RulesDir
+	ownedAssets := ""
 	if rulesDir == "" {
 		dir, err := os.MkdirTemp("", "perfdmfd-assets-")
 		if err != nil {
 			return nil, fmt.Errorf("dmfserver: assets dir: %w", err)
 		}
 		if err := diagnosis.WriteAssets(dir); err != nil {
+			_ = os.RemoveAll(dir)
 			return nil, err
 		}
 		rulesDir = filepath.Join(dir, "rules")
+		ownedAssets = dir
 	}
 	maxBody := cfg.MaxBodyBytes
 	if maxBody <= 0 {
@@ -120,21 +140,42 @@ func New(cfg Config) (*Server, error) {
 	if timeout <= 0 {
 		timeout = DefaultRequestTimeout
 	}
+	maxSteps := cfg.MaxScriptSteps
+	switch {
+	case maxSteps == 0:
+		maxSteps = DefaultMaxScriptSteps
+	case maxSteps < 0:
+		maxSteps = 0 // explicit opt-out: unlimited
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.Default()
 	}
 	s := &Server{
-		repo:     cfg.Repo,
-		rulesDir: rulesDir,
-		limiter:  parallel.NewLimiter(cfg.Jobs),
-		maxBody:  maxBody,
-		timeout:  timeout,
-		log:      logger,
-		metrics:  newMetricsRegistry(),
+		repo:        cfg.Repo,
+		rulesDir:    rulesDir,
+		ownedAssets: ownedAssets,
+		limiter:     parallel.NewLimiter(cfg.Jobs),
+		maxBody:     maxBody,
+		timeout:     timeout,
+		maxSteps:    maxSteps,
+		log:         logger,
+		metrics:     newMetricsRegistry(),
 	}
 	s.routes()
 	return s, nil
+}
+
+// Close releases resources the Server owns — today the temporary assets
+// directory materialized when Config.RulesDir was empty. It is safe to call
+// multiple times and on servers that never owned one.
+func (s *Server) Close() error {
+	if s.ownedAssets == "" {
+		return nil
+	}
+	dir := s.ownedAssets
+	s.ownedAssets = ""
+	return os.RemoveAll(dir)
 }
 
 // Handler returns the fully wired HTTP handler (routing, logging, metrics,
@@ -189,13 +230,14 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
 
-// errStatus maps service errors onto HTTP status codes.
+// errStatus maps service errors onto HTTP status codes. Not-found is
+// detected via the perfdmf.ErrNotFound sentinel, never by message text, so
+// a script or rule error that merely mentions "not found" stays a 400.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
-	case strings.Contains(err.Error(), "not found"),
-		errors.Is(err, os.ErrNotExist):
+	case errors.Is(err, perfdmf.ErrNotFound):
 		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
@@ -465,7 +507,7 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		// Each request gets a fresh session (its own rule engine and
 		// interpreter) over the shared repository, so concurrent diagnoses
 		// never share mutable state.
-		resp, err := s.runDiagnosis(src, req.Args)
+		resp, err := s.runDiagnosis(ctx, src, req.Args)
 		if err != nil {
 			return err
 		}
@@ -475,9 +517,14 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 }
 
 // runDiagnosis executes script source exactly as cmd/perfexplorer would:
-// same session wiring, same knowledge-base installation, same output path.
-func (s *Server) runDiagnosis(src string, args []string) (*DiagnoseResponse, error) {
+// same session wiring, same knowledge-base installation, same output path —
+// except that execution is bounded by the request context and a statement
+// budget, so an inline `while true` script ends at the request deadline
+// (mapped to 504) instead of holding a limiter slot forever.
+func (s *Server) runDiagnosis(ctx context.Context, src string, args []string) (*DiagnoseResponse, error) {
 	session := core.NewSession(s.repo)
+	session.SetContext(ctx)
+	session.SetMaxSteps(s.maxSteps)
 	var buf strings.Builder
 	session.SetOutput(&buf)
 	diagnosis.Install(session, s.rulesDir)

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -38,6 +39,7 @@ func newService(t *testing.T, cfg Config) (*perfdmf.Repository, *dmfclient.Clien
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { srv.Close() })
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	c, err := dmfclient.New(ts.URL)
@@ -378,6 +380,7 @@ func TestBusyServerSheds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -395,6 +398,120 @@ func TestBusyServerSheds(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestRunawayScriptCancelled is the regression test for the limiter-
+// exhaustion hole: an inline `while true` diagnosis script must be cut off
+// at the request deadline with 504, releasing its limiter slot so later
+// requests still run.
+func TestRunawayScriptCancelled(t *testing.T) {
+	repo := perfdmf.NewRepository()
+	if err := repo.Save(stallTrial("a", "e", "t")); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Repo:           repo,
+		Jobs:           1,
+		RequestTimeout: 150 * time.Millisecond,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/api/v1/diagnose", "application/json",
+		strings.NewReader(`{"source":"while true { x = 1 }"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("runaway script status = %d, want 504", resp.StatusCode)
+	}
+	if n := srv.limiter.InUse(); n != 0 {
+		t.Fatalf("limiter slots still held after timeout: %d", n)
+	}
+
+	// The single slot must be usable again: a normal diagnosis succeeds.
+	c, err := dmfclient.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Diagnose(DiagnoseRequest{Script: "stalls_per_cycle", Args: []string{"a", "e", "t"}}); err != nil {
+		t.Fatalf("slot not released, follow-up diagnosis failed: %v", err)
+	}
+}
+
+// TestScriptStepBudget: the statement budget stops a hot loop even without
+// waiting out the request timeout.
+func TestScriptStepBudget(t *testing.T) {
+	_, c := newService(t, Config{MaxScriptSteps: 100})
+	_, err := c.Diagnose(DiagnoseRequest{Source: "while true { x = 1 }"})
+	if err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Fatalf("step budget not enforced: %v", err)
+	}
+}
+
+// TestErrStatusSentinel: only the perfdmf.ErrNotFound sentinel maps to 404;
+// an error that merely mentions "not found" in its text stays a 400.
+func TestErrStatusSentinel(t *testing.T) {
+	if got := errStatus(fmt.Errorf("rule file not found in bundle")); got != http.StatusBadRequest {
+		t.Fatalf("substring error mapped to %d, want 400", got)
+	}
+	if got := errStatus(fmt.Errorf("trial %q: %w", "x", perfdmf.ErrNotFound)); got != http.StatusNotFound {
+		t.Fatalf("sentinel error mapped to %d, want 404", got)
+	}
+	if got := errStatus(context.DeadlineExceeded); got != http.StatusGatewayTimeout {
+		t.Fatalf("deadline error mapped to %d, want 504", got)
+	}
+}
+
+// TestCloseRemovesOwnedAssets: a server that materialized the built-in
+// knowledge base under a temp dir cleans it up on Close.
+func TestCloseRemovesOwnedAssets(t *testing.T) {
+	srv, err := New(Config{
+		Repo:   perfdmf.NewRepository(),
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := srv.ownedAssets
+	if dir == "" {
+		t.Fatal("server did not record its owned assets dir")
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("assets dir missing before Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("assets dir still present after Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// A caller-supplied rules dir is never owned, never removed.
+	rules := t.TempDir()
+	srv2, err := New(Config{
+		Repo:     perfdmf.NewRepository(),
+		RulesDir: rules,
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(rules); err != nil {
+		t.Fatalf("caller-supplied rules dir removed by Close: %v", err)
 	}
 }
 
@@ -481,6 +598,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
 	httpSrv := srv.HTTPServer("127.0.0.1:0")
 	ln, err := listen(httpSrv.Addr)
 	if err != nil {

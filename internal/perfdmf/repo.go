@@ -2,6 +2,7 @@ package perfdmf
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,11 @@ import (
 	"sync"
 	"time"
 )
+
+// ErrNotFound is the sentinel wrapped by GetTrial (and by dmfclient when
+// the server answers 404) when the requested trial does not exist. Match
+// it with errors.Is, never by substring.
+var ErrNotFound = errors.New("trial not found")
 
 // Repository stores trials in the Application → Experiment → Trial
 // hierarchy. A repository may be purely in-memory (root == "") or backed by
@@ -124,10 +130,13 @@ func (r *Repository) GetTrial(app, experiment, trial string) (*Trial, error) {
 		return t.Clone(), nil
 	}
 	if r.root == "" {
-		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q not found", app, experiment, trial)
+		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w", app, experiment, trial, ErrNotFound)
 	}
 	data, err := os.ReadFile(r.path(app, experiment, trial))
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			err = ErrNotFound
+		}
 		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w", app, experiment, trial, err)
 	}
 	t = &Trial{}

@@ -1,6 +1,7 @@
 package perfdmf
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -166,5 +167,23 @@ func TestRepositorySize(t *testing.T) {
 	apps, exps, trials := repo.Size()
 	if apps != 2 || exps != 3 || trials != 3 {
 		t.Fatalf("Size = %d/%d/%d, want 2/3/3", apps, exps, trials)
+	}
+}
+
+// TestGetTrialNotFoundSentinel: a missing trial wraps ErrNotFound for both
+// in-memory and file-backed repositories, so callers (and the perfdmfd
+// server's HTTP status mapping) can use errors.Is instead of matching text.
+func TestGetTrialNotFoundSentinel(t *testing.T) {
+	mem := NewRepository()
+	if _, err := mem.GetTrial("a", "e", "t"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("in-memory miss does not wrap ErrNotFound: %v", err)
+	}
+
+	disk, err := OpenRepository(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := disk.GetTrial("a", "e", "t"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("file-backed miss does not wrap ErrNotFound: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package script
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -107,6 +108,37 @@ type Interp struct {
 	// 0 means no limit.
 	MaxSteps int
 	steps    int
+	ctx      context.Context
+	done     <-chan struct{}
+}
+
+// SetContext arranges for script execution to stop with ctx.Err() once ctx
+// is cancelled or times out. Cancellation is cooperative: it is checked at
+// every statement and loop iteration, so even a `while true` script
+// terminates promptly. A nil ctx removes the binding.
+func (in *Interp) SetContext(ctx context.Context) {
+	in.ctx = ctx
+	if ctx != nil {
+		in.done = ctx.Done()
+	} else {
+		in.done = nil
+	}
+}
+
+// checkBudget enforces the step bound and cooperative cancellation; it is
+// called once per executed statement (and once per while-loop iteration).
+func (in *Interp) checkBudget() error {
+	if in.MaxSteps > 0 && in.steps > in.MaxSteps {
+		return fmt.Errorf("script: execution exceeded %d steps", in.MaxSteps)
+	}
+	if in.done != nil {
+		select {
+		case <-in.done:
+			return fmt.Errorf("script: cancelled: %w", in.ctx.Err())
+		default:
+		}
+	}
+	return nil
 }
 
 // New builds an interpreter with the language builtins installed.
@@ -175,8 +207,8 @@ func (in *Interp) execBlock(stmts []stmt, e *env) (control, error) {
 
 func (in *Interp) exec(s stmt, e *env) (control, error) {
 	in.steps++
-	if in.MaxSteps > 0 && in.steps > in.MaxSteps {
-		return control{}, fmt.Errorf("script: execution exceeded %d steps", in.MaxSteps)
+	if err := in.checkBudget(); err != nil {
+		return control{}, err
 	}
 	switch st := s.(type) {
 	case *assignStmt:
@@ -225,8 +257,8 @@ func (in *Interp) exec(s stmt, e *env) (control, error) {
 				return c, nil
 			}
 			in.steps++
-			if in.MaxSteps > 0 && in.steps > in.MaxSteps {
-				return control{}, errAt(st.Line, "execution exceeded %d steps (while loop)", in.MaxSteps)
+			if err := in.checkBudget(); err != nil {
+				return control{}, err
 			}
 		}
 	case *forStmt:

@@ -2,11 +2,14 @@ package script
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // run executes src and returns stdout.
@@ -435,5 +438,29 @@ print(ruleHarness.processRules())
 	}
 	if buf.String() != "processed\n" {
 		t.Fatalf("output: %q", buf.String())
+	}
+}
+
+// TestContextCancellation: a bound context stops a hot loop mid-run, and
+// the returned error unwraps to the context's own error.
+func TestContextCancellation(t *testing.T) {
+	in := New()
+	in.Stdout = &bytes.Buffer{}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	in.SetContext(ctx)
+	start := time.Now()
+	err := in.Run(`while true { x = 1 }`)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("runaway loop not cancelled by context: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+
+	// Removing the binding restores unbounded execution.
+	in.SetContext(nil)
+	if err := in.Run(`y = 2`); err != nil {
+		t.Fatalf("run after expired context should succeed once unbound: %v", err)
 	}
 }

@@ -92,6 +92,10 @@ type (
 // TimeMetric is the canonical wall-clock metric name (microseconds).
 const TimeMetric = perfdmf.TimeMetric
 
+// ErrNotFound is wrapped by Store.GetTrial — local or remote — when the
+// requested trial does not exist; match with errors.Is.
+var ErrNotFound = perfdmf.ErrNotFound
+
 // NewRepository returns an in-memory profile repository.
 func NewRepository() *Repository { return perfdmf.NewRepository() }
 
