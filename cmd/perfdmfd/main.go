@@ -46,14 +46,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fs := flag.NewFlagSet("perfdmfd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:7360", "listen address (use :0 for an ephemeral port)")
-		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening")
-		repoDir  = fs.String("repo", "perfdata", "profile repository directory")
-		rulesDir = fs.String("rules", "", "directory holding .prl rule files (default: built-in knowledge base)")
-		jobs     = fs.Int("j", 0, "max concurrent analysis/diagnosis requests (0 = GOMAXPROCS)")
-		maxBody  = fs.Int64("max-body", dmfserver.DefaultMaxBodyBytes, "max request body bytes")
-		timeout  = fs.Duration("timeout", dmfserver.DefaultRequestTimeout, "per-request time budget")
-		drain    = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		addr      = fs.String("addr", "127.0.0.1:7360", "listen address (use :0 for an ephemeral port)")
+		addrFile  = fs.String("addr-file", "", "write the bound address to this file once listening")
+		repoDir   = fs.String("repo", "perfdata", "profile repository directory")
+		rulesDir  = fs.String("rules", "", "directory holding .prl rule files (default: built-in knowledge base)")
+		jobs      = fs.Int("j", 0, "max concurrent analysis/diagnosis requests (0 = GOMAXPROCS)")
+		maxBody   = fs.Int64("max-body", dmfserver.DefaultMaxBodyBytes, "max request body bytes")
+		timeout   = fs.Duration("timeout", dmfserver.DefaultRequestTimeout, "per-request time budget")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		admission = fs.Duration("admission-wait", dmfserver.DefaultAdmissionWait,
+			"how long a request may wait for an analysis slot before being shed with 429 (negative = shed immediately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		Jobs:           *jobs,
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
+		AdmissionWait:  *admission,
 		Logger:         logger,
 	})
 	if err != nil {

@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list        = fs.Bool("list", false, "list repository contents and exit")
 		writeAssets = fs.String("write-assets", "", "write the bundled rules and scripts under this directory and exit")
 		jobs        = fs.Int("j", 0, "worker goroutines for parallel analysis (0 = GOMAXPROCS, 1 = sequential)")
+		retries     = fs.Int("retries", 0, "max attempts per remote request, incl. the first (0 = client default, 1 = no retries)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,8 +67,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var store perfdmf.Store
 	var client *dmfclient.Client
 	if *serverURL != "" {
+		var opts []dmfclient.Option
+		if *retries > 0 {
+			opts = append(opts, dmfclient.WithRetryPolicy(dmfclient.RetryPolicy{MaxAttempts: *retries}))
+		}
 		var err error
-		client, err = dmfclient.New(*serverURL)
+		client, err = dmfclient.New(*serverURL, opts...)
 		if err != nil {
 			return fail(stderr, err)
 		}

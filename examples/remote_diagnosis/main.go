@@ -58,10 +58,14 @@ func main() {
 		prog.Name, len(trial.Events))
 
 	// 2. Boot a perfdmfd profile service on a loopback port. In production
-	// this is `perfdmfd -repo DIR -addr HOST:PORT` on a shared machine.
+	// this is `perfdmfd -repo DIR -addr HOST:PORT` on a shared machine. To
+	// show the resilience layer at work, this demo server injects faults
+	// (resets, truncation, 5xx bursts) on a deterministic seeded schedule —
+	// the client retries through all of them.
 	srv, err := perfknow.NewProfileServer(perfknow.ProfileServerConfig{
-		Repo:   perfknow.NewRepository(),
-		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Repo:          perfknow.NewRepository(),
+		FaultInjector: perfknow.NewFaultSchedule(perfknow.FaultOptions{Seed: 7, Rate: 0.3}),
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -77,7 +81,14 @@ func main() {
 
 	// 3. Upload the trial through the client library. The client implements
 	// the same Store interface as a local repository, so Save is Save.
-	client, err := perfknow.DialRepository("http://" + ln.Addr().String())
+	// Idempotent requests retry with exponential backoff; the upload carries
+	// an idempotency key the server deduplicates, so even a retried POST
+	// stores the trial exactly once.
+	client, err := perfknow.DialRepository("http://"+ln.Addr().String(),
+		perfknow.WithRetryPolicy(perfknow.RetryPolicy{
+			MaxAttempts: 6,
+			BaseDelay:   5 * time.Millisecond,
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,6 +116,11 @@ func main() {
 	fmt.Printf("\n%d recommendation(s) from the remote knowledge base:\n", len(resp.Recommendations))
 	for _, rec := range resp.Recommendations {
 		fmt.Printf("  [%s] %s\n", rec.Category, rec.Text)
+	}
+
+	if st := client.Stats(); st.Retries > 0 {
+		fmt.Printf("\n(the client absorbed %d injected fault(s) across %d attempts)\n",
+			st.Retries, st.Attempts)
 	}
 
 	// 5. Drain and stop, as the daemon does on SIGTERM.

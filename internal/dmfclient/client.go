@@ -9,6 +9,14 @@
 //	c, _ := dmfclient.New("http://localhost:7360")
 //	s := core.NewSession(c)          // scripts now read remote trials
 //
+// The client tolerates an imperfect transport. Safely repeatable requests
+// — GETs, DELETEs, the read-only analyze/diagnose POSTs, and uploads
+// (which carry a client-generated idempotency key the server deduplicates)
+// — are retried with exponential backoff and deterministic jitter on
+// transport errors, truncated responses, 429 and 5xx, honoring Retry-After
+// and the request context's deadline. See RetryPolicy; Stats reports the
+// retry activity.
+//
 // The Store listing methods (Applications, Experiments, Trials) mirror the
 // Repository signatures and therefore cannot return transport errors; the
 // error-returning ListApplications/ListExperiments/ListTrials variants are
@@ -20,6 +28,9 @@ package dmfclient
 
 import (
 	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,18 +38,29 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perfknow/internal/dmfwire"
+	"perfknow/internal/faults"
 	"perfknow/internal/perfdmf"
 )
 
 // Client speaks the perfdmfd HTTP/JSON protocol.
 type Client struct {
-	base *url.URL
-	http *http.Client
+	base  *url.URL
+	http  *http.Client
+	retry RetryPolicy
+
+	// clientID and seq mint idempotency keys for uploads: unique per
+	// logical upload, stable across its retries.
+	clientID string
+	seq      atomic.Uint64
+
+	counters retryCounters
 
 	mu      sync.Mutex
 	lastErr error // most recent swallowed listing error; see LastError
@@ -53,9 +75,17 @@ func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
 }
 
-// WithTimeout sets the per-request timeout (default 60s).
+// WithTimeout sets the per-request timeout (default 60s). With retries
+// enabled this bounds each attempt; bound the whole operation with a
+// context deadline on the *Context call variants.
 func WithTimeout(d time.Duration) Option {
 	return func(c *Client) { c.http.Timeout = d }
+}
+
+// WithTransport installs an http.RoundTripper on the underlying client —
+// e.g. a faults.RoundTripper for chaos testing.
+func WithTransport(rt http.RoundTripper) Option {
+	return func(c *Client) { c.http.Transport = rt }
 }
 
 // New returns a client for the perfdmfd server at baseURL
@@ -68,7 +98,16 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("dmfclient: URL %q must include scheme and host", baseURL)
 	}
-	c := &Client{base: u, http: &http.Client{Timeout: 60 * time.Second}}
+	var id [8]byte
+	if _, err := rand.Read(id[:]); err != nil {
+		return nil, fmt.Errorf("dmfclient: client id: %w", err)
+	}
+	c := &Client{
+		base:     u,
+		http:     &http.Client{Timeout: 60 * time.Second},
+		retry:    DefaultRetryPolicy(),
+		clientID: hex.EncodeToString(id[:]),
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -76,6 +115,9 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 }
 
 var _ perfdmf.Store = (*Client)(nil)
+
+// BaseURL reports the server address this client talks to.
+func (c *Client) BaseURL() string { return c.base.String() }
 
 // --- transport --------------------------------------------------------
 
@@ -86,20 +128,82 @@ func (c *Client) endpoint(path string, query url.Values) string {
 	return u.String()
 }
 
-// do issues the request and decodes the JSON response into out (skipped
-// when out is nil). Non-2xx responses are unwrapped from the server's
-// {"error": ...} envelope.
-func (c *Client) do(method, path string, query url.Values, body io.Reader, out any) error {
-	req, err := http.NewRequest(method, c.endpoint(path, query), body)
+// reqMeta classifies one request for the retry loop.
+type reqMeta struct {
+	// idemKey, when set, is sent as the Idempotency-Key header; the server
+	// deduplicates it, which is what makes upload POSTs safe to retry.
+	idemKey string
+	// idempotent marks the request as safe to repeat. Non-idempotent
+	// requests get exactly one attempt.
+	idempotent bool
+}
+
+// do issues the request with retries and decodes the JSON response into
+// out (skipped when out is nil).
+func (c *Client) do(method, path string, query url.Values, body []byte, meta reqMeta, out any) error {
+	return c.doCtx(context.Background(), method, path, query, body, meta, out)
+}
+
+// doCtx is the retry loop: it issues up to RetryPolicy.MaxAttempts
+// attempts for idempotent requests (one otherwise), backing off between
+// attempts with deterministic jitter, honoring Retry-After, and never
+// sleeping past ctx's deadline — when the next backoff cannot fit it gives
+// up immediately with an error wrapping context.DeadlineExceeded.
+func (c *Client) doCtx(ctx context.Context, method, path string, query url.Values, body []byte, meta reqMeta, out any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 || !meta.idempotent {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.counters.retries.Add(1)
+		}
+		c.counters.attempts.Add(1)
+		err, retryable, retryAfter := c.attempt(ctx, method, path, query, body, meta, attempt, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable || attempt+1 >= attempts {
+			return err
+		}
+		delay := c.retry.backoff(method, path, attempt, retryAfter)
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < delay {
+			return fmt.Errorf("dmfclient: %s %s: giving up after %d attempt(s), next retry would pass the deadline: %w (last error: %w)",
+				method, path, attempt+1, context.DeadlineExceeded, err)
+		}
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return fmt.Errorf("dmfclient: %s %s: %w after %d attempt(s) (last error: %w)",
+				method, path, serr, attempt+1, err)
+		}
+	}
+}
+
+// attempt issues one HTTP attempt, reporting whether its failure may be
+// retried and any server-requested Retry-After delay.
+func (c *Client) attempt(ctx context.Context, method, path string, query url.Values, body []byte, meta reqMeta, attempt int, out any) (err error, retryable bool, retryAfter time.Duration) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.endpoint(path, query), rd)
 	if err != nil {
-		return fmt.Errorf("dmfclient: build request: %w", err)
+		return fmt.Errorf("dmfclient: build request: %w", err), false, 0
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if meta.idemKey != "" {
+		req.Header.Set(dmfwire.HeaderIdempotencyKey, meta.idemKey)
+	}
+	req.Header.Set(faults.HeaderRetryAttempt, strconv.Itoa(attempt))
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("dmfclient: %s %s: %w", method, path, err)
+		// Transport failures (refused, reset, truncated headers) are
+		// retryable unless the caller's context is the reason.
+		return fmt.Errorf("dmfclient: %s %s: %w", method, path, err), ctx.Err() == nil, 0
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
@@ -114,25 +218,32 @@ func (c *Client) do(method, path string, query url.Values, body io.Reader, out a
 		// A 404 wraps perfdmf.ErrNotFound so errors.Is works identically
 		// against remote and local repositories.
 		if resp.StatusCode == http.StatusNotFound {
-			return fmt.Errorf("dmfclient: %s %s: %s: %w", method, path, msg, perfdmf.ErrNotFound)
+			return fmt.Errorf("dmfclient: %s %s: %s: %w", method, path, msg, perfdmf.ErrNotFound), false, 0
 		}
-		return fmt.Errorf("dmfclient: %s %s: %s", method, path, msg)
+		// 429 (shed load) and 5xx are transient; other 4xx are the
+		// caller's bug and retrying would not change the answer.
+		retryable = resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500
+		return fmt.Errorf("dmfclient: %s %s: %s", method, path, msg), retryable, parseRetryAfter(resp.Header)
 	}
 	if out == nil {
-		return nil
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, false, 0
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("dmfclient: decode %s %s response: %w", method, path, err)
+		// A garbled success body usually means the response was cut
+		// mid-flight; the request itself succeeded server-side, so an
+		// idempotent re-issue is safe and will re-fetch the full body.
+		return fmt.Errorf("dmfclient: decode %s %s response: %w", method, path, err), true, 0
 	}
-	return nil
+	return nil, false, 0
 }
 
-func (c *Client) postJSON(path string, query url.Values, in, out any) error {
+func (c *Client) postJSON(ctx context.Context, path string, query url.Values, in any, meta reqMeta, out any) error {
 	data, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("dmfclient: encode request: %w", err)
 	}
-	return c.do(http.MethodPost, path, query, bytes.NewReader(data), out)
+	return c.doCtx(ctx, http.MethodPost, path, query, data, meta, out)
 }
 
 func coordQuery(app, experiment, trial string) url.Values {
@@ -151,19 +262,33 @@ func coordQuery(app, experiment, trial string) url.Values {
 
 // --- perfdmf.Store ----------------------------------------------------
 
-// Save uploads the trial in native JSON format.
+// Save uploads the trial in native JSON format. The upload carries an
+// idempotency key, so a retry after a lost response stores it exactly once.
 func (c *Client) Save(t *perfdmf.Trial) error {
+	return c.SaveContext(context.Background(), t)
+}
+
+// SaveContext is Save bounded by ctx (deadline and cancellation cover the
+// whole retry loop, not just one attempt).
+func (c *Client) SaveContext(ctx context.Context, t *perfdmf.Trial) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	return c.postJSON("/api/v1/trials", nil, t, nil)
+	return c.postJSON(ctx, "/api/v1/trials", nil, t,
+		reqMeta{idemKey: c.nextIdempotencyKey(), idempotent: true}, nil)
 }
 
 // GetTrial fetches one trial. The returned trial is a private copy by
 // construction (it was decoded off the wire).
 func (c *Client) GetTrial(app, experiment, trial string) (*perfdmf.Trial, error) {
+	return c.GetTrialContext(context.Background(), app, experiment, trial)
+}
+
+// GetTrialContext is GetTrial bounded by ctx.
+func (c *Client) GetTrialContext(ctx context.Context, app, experiment, trial string) (*perfdmf.Trial, error) {
 	t := &perfdmf.Trial{}
-	err := c.do(http.MethodGet, "/api/v1/trial", coordQuery(app, experiment, trial), nil, t)
+	err := c.doCtx(ctx, http.MethodGet, "/api/v1/trial", coordQuery(app, experiment, trial), nil,
+		reqMeta{idempotent: true}, t)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +300,8 @@ func (c *Client) GetTrial(app, experiment, trial string) (*perfdmf.Trial, error)
 
 // Delete removes a trial from the remote repository.
 func (c *Client) Delete(app, experiment, trial string) error {
-	return c.do(http.MethodDelete, "/api/v1/trial", coordQuery(app, experiment, trial), nil, nil)
+	return c.do(http.MethodDelete, "/api/v1/trial", coordQuery(app, experiment, trial), nil,
+		reqMeta{idempotent: true}, nil)
 }
 
 // ListApplications lists application names, with transport errors.
@@ -183,7 +309,7 @@ func (c *Client) ListApplications() ([]string, error) {
 	var resp struct {
 		Applications []string `json:"applications"`
 	}
-	if err := c.do(http.MethodGet, "/api/v1/applications", nil, nil, &resp); err != nil {
+	if err := c.do(http.MethodGet, "/api/v1/applications", nil, nil, reqMeta{idempotent: true}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Applications, nil
@@ -195,7 +321,7 @@ func (c *Client) ListExperiments(app string) ([]string, error) {
 	var resp struct {
 		Experiments []string `json:"experiments"`
 	}
-	if err := c.do(http.MethodGet, "/api/v1/experiments", coordQuery(app, "", ""), nil, &resp); err != nil {
+	if err := c.do(http.MethodGet, "/api/v1/experiments", coordQuery(app, "", ""), nil, reqMeta{idempotent: true}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Experiments, nil
@@ -207,7 +333,7 @@ func (c *Client) ListTrials(app, experiment string) ([]string, error) {
 	var resp struct {
 		Trials []string `json:"trials"`
 	}
-	if err := c.do(http.MethodGet, "/api/v1/trials", coordQuery(app, experiment, ""), nil, &resp); err != nil {
+	if err := c.do(http.MethodGet, "/api/v1/trials", coordQuery(app, experiment, ""), nil, reqMeta{idempotent: true}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Trials, nil
@@ -225,6 +351,7 @@ func (c *Client) record(err error) {
 // the Store listing methods (Applications, Experiments, Trials), or nil if
 // the latest such call succeeded. Consult it after a suspiciously empty
 // listing to distinguish "repository is empty" from "server unreachable".
+// Safe for concurrent use alongside the listing methods.
 func (c *Client) LastError() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -256,13 +383,20 @@ func (c *Client) Trials(app, experiment string) []string {
 
 // --- uploads beyond native JSON ---------------------------------------
 
-// UploadGprof streams a gprof flat profile to the server, storing it under
-// the given coordinates.
+// UploadGprof sends a gprof flat profile to the server, storing it under
+// the given coordinates. The profile is buffered in memory so the upload
+// can be retried with the same idempotency key.
 func (c *Client) UploadGprof(r io.Reader, app, experiment, trial string) (*dmfwire.UploadSummary, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dmfclient: read gprof profile: %w", err)
+	}
 	q := coordQuery(app, experiment, trial)
 	q.Set("format", "gprof")
 	var sum dmfwire.UploadSummary
-	if err := c.do(http.MethodPost, "/api/v1/trials", q, r, &sum); err != nil {
+	err = c.do(http.MethodPost, "/api/v1/trials", q, data,
+		reqMeta{idemKey: c.nextIdempotencyKey(), idempotent: true}, &sum)
+	if err != nil {
 		return nil, err
 	}
 	return &sum, nil
@@ -307,12 +441,12 @@ func (c *Client) UploadTAU(files map[string]string, app, experiment, trial strin
 	q := url.Values{}
 	q.Set("format", "tau")
 	var sum dmfwire.UploadSummary
-	err := c.postJSON("/api/v1/trials", q, dmfwire.TAUUpload{
+	err := c.postJSON(context.Background(), "/api/v1/trials", q, dmfwire.TAUUpload{
 		App:        app,
 		Experiment: experiment,
 		Trial:      trial,
 		Files:      files,
-	}, &sum)
+	}, reqMeta{idemKey: c.nextIdempotencyKey(), idempotent: true}, &sum)
 	if err != nil {
 		return nil, err
 	}
@@ -323,8 +457,14 @@ func (c *Client) UploadTAU(files map[string]string, app, experiment, trial strin
 
 // Analyze runs one server-side analysis operation.
 func (c *Client) Analyze(req dmfwire.AnalyzeRequest) (*dmfwire.AnalyzeResponse, error) {
+	return c.AnalyzeContext(context.Background(), req)
+}
+
+// AnalyzeContext is Analyze bounded by ctx. Analysis of a stored trial is
+// read-only server-side, so it retries like a GET.
+func (c *Client) AnalyzeContext(ctx context.Context, req dmfwire.AnalyzeRequest) (*dmfwire.AnalyzeResponse, error) {
 	var resp dmfwire.AnalyzeResponse
-	if err := c.postJSON("/api/v1/analyze", nil, req, &resp); err != nil {
+	if err := c.postJSON(ctx, "/api/v1/analyze", nil, req, reqMeta{idempotent: true}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -334,8 +474,14 @@ func (c *Client) Analyze(req dmfwire.AnalyzeRequest) (*dmfwire.AnalyzeResponse, 
 // byte-identical to the output of the same script run in-process against
 // the same repository state.
 func (c *Client) Diagnose(req dmfwire.DiagnoseRequest) (*dmfwire.DiagnoseResponse, error) {
+	return c.DiagnoseContext(context.Background(), req)
+}
+
+// DiagnoseContext is Diagnose bounded by ctx. Diagnosis scripts read the
+// repository and return text, so like Analyze they retry automatically.
+func (c *Client) DiagnoseContext(ctx context.Context, req dmfwire.DiagnoseRequest) (*dmfwire.DiagnoseResponse, error) {
 	var resp dmfwire.DiagnoseResponse
-	if err := c.postJSON("/api/v1/diagnose", nil, req, &resp); err != nil {
+	if err := c.postJSON(ctx, "/api/v1/diagnose", nil, req, reqMeta{idempotent: true}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -348,7 +494,7 @@ func (c *Client) Health() error {
 	var resp struct {
 		Status string `json:"status"`
 	}
-	if err := c.do(http.MethodGet, "/healthz", nil, nil, &resp); err != nil {
+	if err := c.do(http.MethodGet, "/healthz", nil, nil, reqMeta{idempotent: true}, &resp); err != nil {
 		return err
 	}
 	if resp.Status != "ok" {
@@ -360,7 +506,7 @@ func (c *Client) Health() error {
 // Metrics fetches the server's GET /metrics snapshot.
 func (c *Client) Metrics() (*dmfwire.MetricsSnapshot, error) {
 	var snap dmfwire.MetricsSnapshot
-	if err := c.do(http.MethodGet, "/metrics", nil, nil, &snap); err != nil {
+	if err := c.do(http.MethodGet, "/metrics", nil, nil, reqMeta{idempotent: true}, &snap); err != nil {
 		return nil, err
 	}
 	return &snap, nil

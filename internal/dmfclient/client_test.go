@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -70,4 +71,46 @@ func TestNotFoundSentinel(t *testing.T) {
 	if !errors.Is(err, perfdmf.ErrNotFound) {
 		t.Fatalf("remote 404 does not wrap perfdmf.ErrNotFound: %v", err)
 	}
+}
+
+// TestLastErrorConcurrentAccess is the race regression test for the
+// LastError mutex: listing calls (which write lastErr) and LastError reads
+// must be safe to interleave from many goroutines. Run with -race.
+func TestLastErrorConcurrentAccess(t *testing.T) {
+	var fail atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"applications":["a"]}`))
+	}))
+	defer ts.Close()
+
+	// MaxAttempts 1 keeps the failing half of the workload fast.
+	c, err := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				switch i % 3 {
+				case 0:
+					fail.Store(j%2 == 0)
+					_ = c.Applications()
+				case 1:
+					_ = c.Experiments("a")
+				default:
+					_ = c.LastError()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
 }

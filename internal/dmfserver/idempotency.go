@@ -1,0 +1,62 @@
+package dmfserver
+
+import "sync"
+
+// idempotencyCache remembers the responses of recently completed uploads,
+// keyed by the client-supplied Idempotency-Key header. A retried POST
+// whose key is found replays the original status and body byte-for-byte,
+// so a trial whose acknowledgment was lost on the wire is stored exactly
+// once. Entries are evicted FIFO past max — keys are minted fresh per
+// logical upload, so only the retry window (seconds) needs coverage.
+//
+// Two concurrent first attempts with the same key may both store; the
+// repository's coordinate-keyed Save makes that a harmless overwrite with
+// identical data, which is why the cache can stay this simple.
+type idempotencyCache struct {
+	mu      sync.Mutex
+	max     int
+	order   []string
+	entries map[string]idemEntry
+}
+
+type idemEntry struct {
+	status int
+	body   []byte
+}
+
+func newIdempotencyCache(max int) *idempotencyCache {
+	if max <= 0 {
+		max = DefaultIdempotencyEntries
+	}
+	return &idempotencyCache{max: max, entries: make(map[string]idemEntry)}
+}
+
+// lookup returns the recorded response for key, if any.
+func (c *idempotencyCache) lookup(key string) (status int, body []byte, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e.status, e.body, ok
+}
+
+// store records the response sent for key, evicting the oldest entries
+// beyond the cache bound.
+func (c *idempotencyCache) store(key string, status int, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = idemEntry{status: status, body: body}
+	for len(c.order) > c.max {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// size reports the current entry count (for tests).
+func (c *idempotencyCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -3,18 +3,28 @@ package dmfserver
 import (
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perfknow/internal/dmfwire"
+	"perfknow/internal/faults"
 )
 
 // metricsRegistry accumulates per-route request statistics. It is
 // deliberately tiny — a map under a mutex — because the hot path adds one
 // lock acquisition per request, which is noise next to JSON encoding.
+// The resilience counters sit outside the mutex as atomics: they are
+// bumped from paths (load shedding, idempotent replay) that should not
+// contend with the per-route map.
 type metricsRegistry struct {
 	mu     sync.Mutex
 	start  time.Time
 	routes map[string]*routeStats
+
+	shed          atomic.Int64
+	retried       atomic.Int64
+	idemReplays   atomic.Int64
+	uploadsStored atomic.Int64
 }
 
 type routeStats struct {
@@ -53,6 +63,12 @@ func (m *metricsRegistry) snapshot() dmfwire.MetricsSnapshot {
 	out := dmfwire.MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      make(map[string]dmfwire.RouteMetrics, len(m.routes)),
+		Resilience: dmfwire.ResilienceMetrics{
+			Shed:              m.shed.Load(),
+			RetriedRequests:   m.retried.Load(),
+			IdempotentReplays: m.idemReplays.Load(),
+			UploadsStored:     m.uploadsStored.Load(),
+		},
 	}
 	for route, rs := range m.routes {
 		rm := dmfwire.RouteMetrics{
@@ -97,6 +113,9 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // cardinality.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if faults.Attempt(r.Header) > 0 {
+			s.metrics.retried.Add(1)
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		begin := time.Now()
 		next.ServeHTTP(sw, r)

@@ -10,16 +10,25 @@
 // The service is plain net/http with production hygiene built in:
 //
 //   - a parallel.Limiter caps how many requests may run analysis or
-//     diagnosis at once (the daemon's -j flag);
+//     diagnosis at once (the daemon's -j flag); when it saturates, the
+//     server sheds load with 429 + Retry-After after a bounded admission
+//     wait instead of queueing requests until their deadline;
 //   - every request runs under a timeout and a maximum body size; the
 //     timeout reaches into script execution (a diagnosis script is
 //     cancelled at the request deadline and additionally bounded by a
 //     statement budget), so a looping script cannot pin a limiter slot;
+//   - uploads carrying an Idempotency-Key header are deduplicated: a
+//     retried POST whose response was lost replays the original response
+//     instead of storing the trial again;
 //   - requests are logged as structured (slog) records;
 //   - GET /healthz answers liveness probes and GET /metrics reports
-//     request counts, latencies and repository size;
+//     request counts, latencies, repository size and resilience counters
+//     (shed, retried, idempotent replays, injected faults);
 //   - the configured http.Server carries read/write timeouts and supports
-//     graceful shutdown with connection draining.
+//     graceful shutdown with connection draining;
+//   - for chaos testing, Config.FaultInjector wires a seeded
+//     internal/faults schedule into the request path (never set it in
+//     production).
 //
 // Remote diagnosis is byte-identical to the in-process path: the server
 // runs the same core.Session + diagnosis knowledge base over the shared
@@ -27,6 +36,7 @@
 package dmfserver
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -42,6 +52,7 @@ import (
 	"perfknow/internal/core"
 	"perfknow/internal/diagnosis"
 	"perfknow/internal/dmfwire"
+	"perfknow/internal/faults"
 	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 )
@@ -68,6 +79,16 @@ const (
 	// script may execute — generous for real analyses, but a hard stop
 	// for runaway loops even if the request context were somehow ignored.
 	DefaultMaxScriptSteps = 10_000_000
+	// DefaultAdmissionWait is how long a request may wait for an analysis
+	// slot before the server sheds it with 429 + Retry-After. Long enough
+	// to absorb micro-bursts, short enough that a saturated server answers
+	// quickly instead of queueing work until its deadline.
+	DefaultAdmissionWait = 50 * time.Millisecond
+	// DefaultIdempotencyEntries bounds the upload dedup cache (FIFO
+	// eviction beyond it).
+	DefaultIdempotencyEntries = 1024
+	// shedRetryAfter is the Retry-After hint (seconds) sent with 429s.
+	shedRetryAfter = "1"
 )
 
 // Config parameterizes a Server.
@@ -91,6 +112,15 @@ type Config struct {
 	// DefaultMaxScriptSteps; use a negative value for "unlimited" only in
 	// trusted deployments).
 	MaxScriptSteps int
+	// AdmissionWait bounds how long a request waits for an analysis slot
+	// before being shed with 429 (0: DefaultAdmissionWait; negative: shed
+	// immediately when saturated).
+	AdmissionWait time.Duration
+	// FaultInjector, when non-nil, injects faults (connection resets,
+	// truncation, latency, 5xx bursts, slow bodies) into the request path.
+	// Test-only: it exists so chaos suites can prove the retry and
+	// idempotency machinery; never set it in production.
+	FaultInjector faults.Injector
 	// Logger receives structured request logs (nil: slog.Default()).
 	Logger *slog.Logger
 }
@@ -102,14 +132,17 @@ type Server struct {
 	// ownedAssets is the temporary assets directory created when
 	// Config.RulesDir was empty; removed by Close. Empty when the caller
 	// supplied the rules directory.
-	ownedAssets string
-	limiter     *parallel.Limiter
-	maxBody     int64
-	timeout     time.Duration
-	maxSteps    int
-	log         *slog.Logger
-	metrics     *metricsRegistry
-	mux         *http.ServeMux
+	ownedAssets   string
+	limiter       *parallel.Limiter
+	maxBody       int64
+	timeout       time.Duration
+	maxSteps      int
+	admissionWait time.Duration
+	injector      faults.Injector
+	idem          *idempotencyCache
+	log           *slog.Logger
+	metrics       *metricsRegistry
+	mux           *http.ServeMux
 }
 
 // New builds a Server. When cfg.RulesDir is empty the built-in knowledge
@@ -147,20 +180,30 @@ func New(cfg Config) (*Server, error) {
 	case maxSteps < 0:
 		maxSteps = 0 // explicit opt-out: unlimited
 	}
+	admissionWait := cfg.AdmissionWait
+	switch {
+	case admissionWait == 0:
+		admissionWait = DefaultAdmissionWait
+	case admissionWait < 0:
+		admissionWait = 0 // explicit opt-in: shed without waiting
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.Default()
 	}
 	s := &Server{
-		repo:        cfg.Repo,
-		rulesDir:    rulesDir,
-		ownedAssets: ownedAssets,
-		limiter:     parallel.NewLimiter(cfg.Jobs),
-		maxBody:     maxBody,
-		timeout:     timeout,
-		maxSteps:    maxSteps,
-		log:         logger,
-		metrics:     newMetricsRegistry(),
+		repo:          cfg.Repo,
+		rulesDir:      rulesDir,
+		ownedAssets:   ownedAssets,
+		limiter:       parallel.NewLimiter(cfg.Jobs),
+		maxBody:       maxBody,
+		timeout:       timeout,
+		maxSteps:      maxSteps,
+		admissionWait: admissionWait,
+		injector:      cfg.FaultInjector,
+		idem:          newIdempotencyCache(DefaultIdempotencyEntries),
+		log:           logger,
+		metrics:       newMetricsRegistry(),
 	}
 	s.routes()
 	return s, nil
@@ -179,8 +222,12 @@ func (s *Server) Close() error {
 }
 
 // Handler returns the fully wired HTTP handler (routing, logging, metrics,
-// timeouts, body limits).
-func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+// timeouts, body limits, and — when configured — fault injection between
+// the instrumentation and the routes, so synthesized faults still show up
+// in request metrics).
+func (s *Server) Handler() http.Handler {
+	return s.instrument(faults.Handler(s.injector, s.mux))
+}
 
 // HTTPServer returns an http.Server configured with the service handler
 // and conservative network timeouts; callers own Serve and Shutdown.
@@ -218,12 +265,24 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+// encodeJSON renders v exactly as writeJSON would send it, so a response
+// can be cached and replayed byte-identically.
+func encodeJSON(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", " ")
 	_ = enc.Encode(v)
+	return buf.Bytes()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	writeRaw(w, status, encodeJSON(v))
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -259,13 +318,21 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 }
 
 // gated admits the request through the analysis limiter and runs fn under
-// the request timeout. It centralizes the service's two back-pressure
-// mechanisms so every heavy endpoint behaves identically.
+// the request timeout. It centralizes the service's back-pressure
+// mechanisms so every heavy endpoint behaves identically: a request waits
+// at most admissionWait for a slot, then is shed with 429 + Retry-After —
+// graceful degradation instead of a queue that times out at full depth.
 func (s *Server) gated(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) error) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	if err := s.limiter.Acquire(ctx); err != nil {
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server busy: %w", err))
+	if err := s.limiter.AcquireTimeout(ctx, s.admissionWait); err != nil {
+		if errors.Is(err, parallel.ErrSaturated) {
+			s.metrics.shed.Add(1)
+			w.Header().Set("Retry-After", shedRetryAfter)
+			writeError(w, http.StatusTooManyRequests, fmt.Errorf("server saturated, retry later: %w", err))
+		} else {
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server busy: %w", err))
+		}
 		return
 	}
 	defer s.limiter.Release()
@@ -290,6 +357,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot()
 	snap.Repository = dmfwire.RepoMetrics{Applications: apps, Experiments: exps, Trials: trials}
 	snap.AnalysisSlots = dmfwire.AnalysisSlots{Cap: s.limiter.Cap(), InUse: s.limiter.InUse()}
+	if s.injector != nil {
+		snap.Resilience.FaultsInjected = s.injector.Counts()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -348,6 +418,16 @@ func (s *Server) handleTrialDelete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	s.gated(w, r, func(ctx context.Context) error {
+		// Idempotency: a retried upload whose original response was lost
+		// replays that response byte-for-byte instead of storing again.
+		idemKey := r.Header.Get(dmfwire.HeaderIdempotencyKey)
+		if idemKey != "" {
+			if status, body, ok := s.idem.lookup(idemKey); ok {
+				s.metrics.idemReplays.Add(1)
+				writeRaw(w, status, body)
+				return nil
+			}
+		}
 		var t *perfdmf.Trial
 		switch format := r.URL.Query().Get("format"); format {
 		case "", "json":
@@ -401,7 +481,8 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		if err := s.repo.Save(t); err != nil {
 			return err
 		}
-		writeJSON(w, http.StatusCreated, UploadSummary{
+		s.metrics.uploadsStored.Add(1)
+		body := encodeJSON(UploadSummary{
 			Application: t.App,
 			Experiment:  t.Experiment,
 			Name:        t.Name,
@@ -409,6 +490,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			Events:      len(t.Events),
 			Metrics:     len(t.Metrics),
 		})
+		if idemKey != "" {
+			s.idem.store(idemKey, http.StatusCreated, body)
+		}
+		writeRaw(w, http.StatusCreated, body)
 		return nil
 	})
 }

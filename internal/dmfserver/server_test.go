@@ -23,7 +23,7 @@ import (
 
 // newService builds a server over a file-backed repository and an httptest
 // front end, returning the shared repository and a client.
-func newService(t *testing.T, cfg Config) (*perfdmf.Repository, *dmfclient.Client) {
+func newService(t *testing.T, cfg Config, opts ...dmfclient.Option) (*perfdmf.Repository, *dmfclient.Client) {
 	t.Helper()
 	if cfg.Repo == nil {
 		repo, err := perfdmf.OpenRepository(t.TempDir())
@@ -42,7 +42,7 @@ func newService(t *testing.T, cfg Config) (*perfdmf.Repository, *dmfclient.Clien
 	t.Cleanup(func() { srv.Close() })
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	c, err := dmfclient.New(ts.URL)
+	c, err := dmfclient.New(ts.URL, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,8 +367,8 @@ func TestMaxBodyEnforced(t *testing.T) {
 }
 
 // TestBusyServerSheds verifies the limiter back-pressure path: with every
-// analysis slot held, a gated request times out with 503 instead of
-// queueing forever.
+// analysis slot held, a gated request is shed with 429 + Retry-After after
+// the short admission wait instead of queueing until the request deadline.
 func TestBusyServerSheds(t *testing.T) {
 	repo := perfdmf.NewRepository()
 	srv, err := New(Config{
@@ -396,8 +396,11 @@ func TestBusyServerSheds(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response missing Retry-After header")
 	}
 }
 

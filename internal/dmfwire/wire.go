@@ -10,6 +10,12 @@ import (
 	"perfknow/internal/rules"
 )
 
+// HeaderIdempotencyKey carries the client-generated idempotency key on
+// trial uploads. The server remembers recently seen keys and replays the
+// original response for duplicates, so a POST retried after a lost
+// response stores the trial exactly once.
+const HeaderIdempotencyKey = "Idempotency-Key"
+
 // UploadSummary acknowledges a stored trial.
 type UploadSummary struct {
 	Application string `json:"application"`
@@ -103,10 +109,24 @@ type AnalysisSlots struct {
 	InUse int `json:"in_use"`
 }
 
+// ResilienceMetrics reports the server's fault-tolerance counters: how
+// much load was shed, how many incoming requests were client retries, how
+// many uploads were deduplicated by idempotency key versus actually
+// stored, and (when a fault injector is installed) how many faults of each
+// kind were injected.
+type ResilienceMetrics struct {
+	Shed              int64            `json:"shed"`
+	RetriedRequests   int64            `json:"retried_requests"`
+	IdempotentReplays int64            `json:"idempotent_replays"`
+	UploadsStored     int64            `json:"uploads_stored"`
+	FaultsInjected    map[string]int64 `json:"faults_injected,omitempty"`
+}
+
 // MetricsSnapshot is the GET /metrics response body.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Repository    RepoMetrics             `json:"repository"`
 	AnalysisSlots AnalysisSlots           `json:"analysis_slots"`
+	Resilience    ResilienceMetrics       `json:"resilience"`
 	Requests      map[string]RouteMetrics `json:"requests"`
 }

@@ -1,0 +1,220 @@
+// Package faults is the fault-injection layer for the networked profile
+// service: a deterministic, seeded schedule of injectable fault points that
+// can be wired into either side of the wire — into the perfdmfd server as an
+// http.Handler middleware (see Handler) and into the dmfclient transport as
+// an http.RoundTripper (see RoundTripper).
+//
+// The injectable faults model the partial failures a shared performance
+// repository sees in production:
+//
+//   - ConnReset — the connection dies mid-response;
+//   - Truncate — the response body is cut short after a few bytes;
+//   - Latency — extra delay before the request is handled;
+//   - ServerError — a synthesized 5xx burst (500/502/503);
+//   - SlowBody — the response body dribbles out in tiny delayed chunks.
+//
+// A Schedule draws decisions from a seeded PRNG, so a chaos run is a
+// deterministic function of its seed (the assignment of decisions to
+// concurrent requests still depends on arrival order, but the decision
+// sequence itself does not). Two liveness valves make retry loops converge:
+// attempts at or beyond SpareAttempts are never faulted, and no more than
+// MaxConsecutive decisions in a row inject a fault.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// HeaderRetryAttempt carries the client's zero-based retry attempt number,
+// so both fault injectors and server metrics can distinguish first tries
+// from retries.
+const HeaderRetryAttempt = "X-Retry-Attempt"
+
+// Attempt extracts the retry attempt number from request headers (0 when
+// absent or malformed).
+func Attempt(h http.Header) int {
+	n, err := strconv.Atoi(h.Get(HeaderRetryAttempt))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Kind enumerates the injectable fault points.
+type Kind int
+
+const (
+	None Kind = iota
+	ConnReset
+	Truncate
+	Latency
+	ServerError
+	SlowBody
+	numKinds
+)
+
+var kindNames = [numKinds]string{"none", "conn_reset", "truncate", "latency", "server_error", "slow_body"}
+
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Decision is one injector verdict for one request attempt.
+type Decision struct {
+	Kind Kind
+	// Delay is the added latency (Latency) or the per-chunk delay (SlowBody).
+	Delay time.Duration
+	// Status is the synthesized response status for ServerError.
+	Status int
+	// TruncateAfter is how many response-body bytes Truncate lets through.
+	TruncateAfter int
+	// ChunkSize is the SlowBody write granularity.
+	ChunkSize int
+}
+
+// Injector decides the fault (if any) for one request attempt. attempt is
+// the client's zero-based retry counter. Implementations must be safe for
+// concurrent use.
+type Injector interface {
+	Decide(method, path string, attempt int) Decision
+	// Counts snapshots how many faults of each kind have been injected,
+	// keyed by Kind.String().
+	Counts() map[string]int64
+}
+
+// Options parameterizes a Schedule. The zero value is usable: every fault
+// kind, a 25% fault rate, small delays, and both liveness valves on.
+type Options struct {
+	// Seed makes the decision sequence reproducible (same seed, same
+	// sequence).
+	Seed int64
+	// Rate is the per-request fault probability in [0, 1] (<= 0: 0.25).
+	Rate float64
+	// Kinds restricts which faults are injected (empty: all of them).
+	Kinds []Kind
+	// MaxDelay caps injected latency (<= 0: 5ms).
+	MaxDelay time.Duration
+	// SpareAttempts: attempts >= this value are never faulted, so a client
+	// with more than SpareAttempts tries always converges (<= 0: 3).
+	SpareAttempts int
+	// MaxConsecutive caps how many decisions in a row may inject a fault
+	// (<= 0: 4).
+	MaxConsecutive int
+}
+
+// Schedule is the deterministic seeded Injector. It is safe for concurrent
+// use; decisions are drawn from one mutex-guarded PRNG.
+type Schedule struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	rate        float64
+	kinds       []Kind
+	maxDelay    time.Duration
+	spare       int
+	maxConsec   int
+	consecutive int
+	counts      [numKinds]int64
+}
+
+// NewSchedule builds a Schedule from opts.
+func NewSchedule(opts Options) *Schedule {
+	s := &Schedule{
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		rate:      opts.Rate,
+		kinds:     opts.Kinds,
+		maxDelay:  opts.MaxDelay,
+		spare:     opts.SpareAttempts,
+		maxConsec: opts.MaxConsecutive,
+	}
+	if s.rate <= 0 {
+		s.rate = 0.25
+	}
+	if s.rate > 1 {
+		s.rate = 1
+	}
+	if len(s.kinds) == 0 {
+		s.kinds = []Kind{ConnReset, Truncate, Latency, ServerError, SlowBody}
+	}
+	if s.maxDelay <= 0 {
+		s.maxDelay = 5 * time.Millisecond
+	}
+	if s.spare <= 0 {
+		s.spare = 3
+	}
+	if s.maxConsec <= 0 {
+		s.maxConsec = 4
+	}
+	return s
+}
+
+var serverErrorStatuses = []int{
+	http.StatusInternalServerError,
+	http.StatusBadGateway,
+	http.StatusServiceUnavailable,
+}
+
+// Decide implements Injector.
+func (s *Schedule) Decide(method, path string, attempt int) Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if attempt >= s.spare {
+		s.consecutive = 0
+		return Decision{}
+	}
+	if s.consecutive >= s.maxConsec {
+		s.consecutive = 0
+		return Decision{}
+	}
+	if s.rng.Float64() >= s.rate {
+		s.consecutive = 0
+		return Decision{}
+	}
+	k := s.kinds[s.rng.Intn(len(s.kinds))]
+	s.consecutive++
+	s.counts[k]++
+	d := Decision{Kind: k}
+	switch k {
+	case Latency:
+		d.Delay = time.Duration(1 + s.rng.Int63n(int64(s.maxDelay)))
+	case ServerError:
+		d.Status = serverErrorStatuses[s.rng.Intn(len(serverErrorStatuses))]
+	case Truncate:
+		d.TruncateAfter = s.rng.Intn(64)
+	case SlowBody:
+		d.Delay = time.Duration(1 + s.rng.Int63n(int64(s.maxDelay)/4+1))
+		d.ChunkSize = 1 + s.rng.Intn(16)
+	}
+	return d
+}
+
+// Counts implements Injector.
+func (s *Schedule) Counts() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64)
+	for k := Kind(1); k < numKinds; k++ {
+		if s.counts[k] > 0 {
+			out[k.String()] = s.counts[k]
+		}
+	}
+	return out
+}
+
+// Total returns how many faults have been injected so far.
+func (s *Schedule) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for k := Kind(1); k < numKinds; k++ {
+		n += s.counts[k]
+	}
+	return n
+}

@@ -1,0 +1,231 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic: two schedules built from the same seed emit
+// the same decision sequence; a different seed diverges.
+func TestScheduleDeterministic(t *testing.T) {
+	a := NewSchedule(Options{Seed: 7, Rate: 0.5})
+	b := NewSchedule(Options{Seed: 7, Rate: 0.5})
+	diverged := false
+	c := NewSchedule(Options{Seed: 8, Rate: 0.5})
+	for i := 0; i < 200; i++ {
+		da := a.Decide("GET", "/x", 0)
+		db := b.Decide("GET", "/x", 0)
+		if da != db {
+			t.Fatalf("decision %d: %+v != %+v with equal seeds", i, da, db)
+		}
+		if da != c.Decide("GET", "/x", 0) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical 200-decision sequences")
+	}
+}
+
+// TestScheduleLivenessValves: attempts at or beyond SpareAttempts are never
+// faulted, and fault runs never exceed MaxConsecutive.
+func TestScheduleLivenessValves(t *testing.T) {
+	s := NewSchedule(Options{Seed: 1, Rate: 1, SpareAttempts: 3, MaxConsecutive: 4})
+	for i := 0; i < 50; i++ {
+		if d := s.Decide("POST", "/x", 3); d.Kind != None {
+			t.Fatalf("attempt 3 was faulted: %+v", d)
+		}
+		if d := s.Decide("POST", "/x", 99); d.Kind != None {
+			t.Fatalf("attempt 99 was faulted: %+v", d)
+		}
+	}
+	run := 0
+	for i := 0; i < 1000; i++ {
+		if s.Decide("GET", "/y", 0).Kind == None {
+			run = 0
+			continue
+		}
+		run++
+		if run > 4 {
+			t.Fatalf("run of %d consecutive faults exceeds MaxConsecutive", run)
+		}
+	}
+	if s.Total() == 0 {
+		t.Fatal("rate-1 schedule injected nothing")
+	}
+	if len(s.Counts()) == 0 {
+		t.Fatal("Counts() empty after injections")
+	}
+}
+
+// scripted is a deterministic Injector for tests: it plays back a fixed
+// decision sequence, then returns None forever.
+type scripted struct {
+	mu   chan struct{}
+	seq  []Decision
+	next int
+}
+
+func newScripted(seq ...Decision) *scripted {
+	s := &scripted{mu: make(chan struct{}, 1), seq: seq}
+	s.mu <- struct{}{}
+	return s
+}
+
+func (s *scripted) Decide(method, path string, attempt int) Decision {
+	<-s.mu
+	defer func() { s.mu <- struct{}{} }()
+	if s.next >= len(s.seq) {
+		return Decision{}
+	}
+	d := s.seq[s.next]
+	s.next++
+	return d
+}
+
+func (s *scripted) Counts() map[string]int64 { return nil }
+
+// TestHandlerFaults drives each server-side fault kind through a real HTTP
+// stack and checks the client-visible symptom.
+func TestHandlerFaults(t *testing.T) {
+	payload := `{"data":"` + string(make([]byte, 512)) + `"}`
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, payload)
+	})
+
+	inj := newScripted(
+		Decision{Kind: ServerError, Status: 503},
+		Decision{Kind: ConnReset},
+		Decision{Kind: Truncate, TruncateAfter: 10},
+		Decision{Kind: SlowBody, ChunkSize: 64, Delay: time.Millisecond},
+		Decision{Kind: Latency, Delay: time.Millisecond},
+	)
+	ts := httptest.NewServer(Handler(inj, inner))
+	defer ts.Close()
+
+	// ServerError: synthesized 503 with Retry-After.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 503 || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("server error fault: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+
+	// ConnReset: the request fails outright.
+	if _, err := http.Get(ts.URL); err == nil {
+		t.Fatal("conn reset fault: request succeeded")
+	}
+
+	// Truncate: 200 but the body is cut short.
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil || len(body) >= len(payload) {
+		t.Fatalf("truncate fault: err=%v, got %d of %d bytes", err, len(body), len(payload))
+	}
+
+	// SlowBody and Latency: the request still completes intact.
+	for i := 0; i < 2; i++ {
+		resp, err = http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(body) != payload {
+			t.Fatalf("delayed response corrupted: err=%v, %d bytes", err, len(body))
+		}
+	}
+}
+
+// TestRoundTripperFaults drives each client-side fault kind.
+func TestRoundTripperFaults(t *testing.T) {
+	payload := `{"ok":true,"pad":"` + string(make([]byte, 256)) + `"}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	inj := newScripted(
+		Decision{Kind: ConnReset},
+		Decision{Kind: ServerError, Status: 502},
+		Decision{Kind: Truncate, TruncateAfter: 8},
+		Decision{Kind: SlowBody, ChunkSize: 32, Delay: time.Millisecond},
+		Decision{Kind: Latency, Delay: time.Millisecond},
+	)
+	client := &http.Client{Transport: &RoundTripper{Injector: inj}}
+
+	if _, err := client.Get(ts.URL); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("conn reset: err = %v", err)
+	}
+
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 502 {
+		t.Fatalf("server error: status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) || len(body) > 8 {
+		t.Fatalf("truncate: err=%v, %d bytes", err, len(body))
+	}
+
+	for i := 0; i < 2; i++ {
+		resp, err = client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || string(body) != payload {
+			t.Fatalf("delayed round trip corrupted: err=%v, %d bytes", err, len(body))
+		}
+	}
+}
+
+// TestAttemptHeader: spare attempts are honored end to end through the
+// header constant.
+func TestAttemptHeader(t *testing.T) {
+	s := NewSchedule(Options{Seed: 3, Rate: 1, SpareAttempts: 2})
+	ok := 0
+	ts := httptest.NewServer(Handler(s, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ok++
+		_, _ = io.WriteString(w, "{}")
+	})))
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	req.Header.Set(HeaderRetryAttempt, strconv.Itoa(2))
+	for i := 0; i < 5; i++ {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("spare attempt %d faulted: %v", i, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("spare attempt got status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if ok != 5 {
+		t.Fatalf("handler ran %d times, want 5", ok)
+	}
+}

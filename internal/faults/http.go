@@ -1,0 +1,242 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// --- server side ------------------------------------------------------
+
+// Handler wraps next with fault injection driven by inj. A nil injector
+// returns next unchanged, so production servers pay nothing. Faults are
+// applied around the real handler: ConnReset and Truncate abort the
+// response (after the handler may already have committed its work — which
+// is exactly the partial failure idempotent retries must survive),
+// ServerError short-circuits with a synthesized 5xx, Latency and SlowBody
+// delay delivery.
+func Handler(inj Injector, next http.Handler) http.Handler {
+	if inj == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := inj.Decide(r.Method, r.URL.Path, Attempt(r.Header))
+		switch d.Kind {
+		case Latency:
+			sleepOrDone(r, d.Delay)
+			next.ServeHTTP(w, r)
+		case ConnReset:
+			// Abort before the handler runs: the request is never
+			// processed and the client sees a dead connection.
+			panic(http.ErrAbortHandler)
+		case ServerError:
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(d.Status)
+			_, _ = io.WriteString(w, `{"error":"injected fault: server error burst"}`)
+		case Truncate:
+			next.ServeHTTP(&truncatingWriter{ResponseWriter: w, remaining: d.TruncateAfter}, r)
+		case SlowBody:
+			next.ServeHTTP(&slowWriter{ResponseWriter: w, chunk: d.ChunkSize, delay: d.Delay, req: r}, r)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// truncatingWriter lets a bounded number of body bytes through, flushes
+// them onto the wire, and then aborts the connection — the handler has run
+// (and possibly committed), but the client never sees the full response.
+type truncatingWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (w *truncatingWriter) Write(p []byte) (int, error) {
+	if len(p) <= w.remaining {
+		n, err := w.ResponseWriter.Write(p)
+		w.remaining -= n
+		return n, err
+	}
+	n, _ := w.ResponseWriter.Write(p[:w.remaining])
+	w.remaining -= n
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// slowWriter dribbles the response body out in small delayed chunks,
+// modeling a slow or congested link. Delays stop once the request context
+// is done so a cancelled client does not pin the handler.
+type slowWriter struct {
+	http.ResponseWriter
+	chunk int
+	delay time.Duration
+	req   *http.Request
+}
+
+func (w *slowWriter) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		n := w.chunk
+		if n > len(p) {
+			n = len(p)
+		}
+		wrote, err := w.ResponseWriter.Write(p[:n])
+		total += wrote
+		if err != nil {
+			return total, err
+		}
+		if f, ok := w.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		p = p[n:]
+		if len(p) > 0 && !sleepOrDone(w.req, w.delay) {
+			// Client gone; finish the write without further delays.
+			wrote, err := w.ResponseWriter.Write(p)
+			return total + wrote, err
+		}
+	}
+	return total, nil
+}
+
+// sleepOrDone sleeps for d or until the request context is done, reporting
+// whether the full delay elapsed.
+func sleepOrDone(r *http.Request, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+// --- client side ------------------------------------------------------
+
+// ErrInjectedReset is the transport error surfaced by a client-side
+// ConnReset fault; it stands in for the ECONNRESET a real dropped
+// connection produces.
+var ErrInjectedReset = errors.New("faults: injected connection reset")
+
+// RoundTripper injects faults on the client side of the wire, so retry
+// behavior can be tested without a real lossy network: ConnReset becomes a
+// transport error, ServerError a synthesized 5xx response, Truncate and
+// SlowBody wrap the response body, Latency delays the round trip.
+type RoundTripper struct {
+	// Base performs the real round trip (nil: http.DefaultTransport).
+	Base http.RoundTripper
+	// Injector decides the fault per attempt (nil: no faults).
+	Injector Injector
+}
+
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := rt.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if rt.Injector == nil {
+		return base.RoundTrip(req)
+	}
+	d := rt.Injector.Decide(req.Method, req.URL.Path, Attempt(req.Header))
+	switch d.Kind {
+	case Latency:
+		sleepOrDone(req, d.Delay)
+		return base.RoundTrip(req)
+	case ConnReset:
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		return nil, ErrInjectedReset
+	case ServerError:
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			_ = req.Body.Close()
+		}
+		h := make(http.Header)
+		h.Set("Retry-After", "0")
+		h.Set("Content-Type", "application/json")
+		body := `{"error":"injected fault: server error burst"}`
+		return &http.Response{
+			StatusCode:    d.Status,
+			Status:        http.StatusText(d.Status),
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        h,
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case Truncate:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatingBody{inner: resp.Body, remaining: d.TruncateAfter}
+		resp.ContentLength = -1
+		return resp, nil
+	case SlowBody:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &slowBody{inner: resp.Body, chunk: d.ChunkSize, delay: d.Delay}
+		return resp, nil
+	default:
+		return base.RoundTrip(req)
+	}
+}
+
+// truncatingBody yields a bounded prefix of the real body, then fails with
+// io.ErrUnexpectedEOF — the reader-side shape of a cut connection.
+type truncatingBody struct {
+	inner     io.ReadCloser
+	remaining int
+}
+
+func (b *truncatingBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		return n, io.EOF
+	}
+	if b.remaining <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatingBody) Close() error { return b.inner.Close() }
+
+// slowBody delays each read, modeling a slow link on the receive side.
+type slowBody struct {
+	inner io.ReadCloser
+	chunk int
+	delay time.Duration
+}
+
+func (b *slowBody) Read(p []byte) (int, error) {
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	if len(p) > b.chunk {
+		p = p[:b.chunk]
+	}
+	return b.inner.Read(p)
+}
+
+func (b *slowBody) Close() error { return b.inner.Close() }

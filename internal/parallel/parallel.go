@@ -23,9 +23,11 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // defaultWorkers holds the process-wide default worker count. Zero means
@@ -255,6 +257,40 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// ErrSaturated is returned by AcquireTimeout when no slot frees up within
+// the admission window. Callers (e.g. a server) use it to distinguish
+// "shed this work" from caller cancellation.
+var ErrSaturated = errors.New("parallel: limiter saturated")
+
+// AcquireTimeout takes a slot, waiting at most wait for one to free up:
+// it returns nil on success, ErrSaturated when the admission window
+// expires, and ctx.Err() when the caller gives up first. wait <= 0 means
+// "don't wait at all" — a pure TryAcquire with error reporting. This is
+// the load-shedding primitive: instead of queueing until the caller's
+// deadline, a saturated server can bound admission latency and tell the
+// client to back off.
+func (l *Limiter) AcquireTimeout(ctx context.Context, wait time.Duration) error {
+	if l.TryAcquire() {
+		return nil
+	}
+	if wait <= 0 {
+		return ErrSaturated
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return ErrSaturated
 	}
 }
 

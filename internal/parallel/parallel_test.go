@@ -352,3 +352,39 @@ func TestLimiterDefaultCap(t *testing.T) {
 		t.Fatalf("Cap = %d, want DefaultWorkers (7)", got)
 	}
 }
+
+func TestLimiterAcquireTimeout(t *testing.T) {
+	l := NewLimiter(1)
+
+	// Free slot: acquired immediately even with wait 0.
+	if err := l.AcquireTimeout(context.Background(), 0); err != nil {
+		t.Fatalf("AcquireTimeout on free limiter: %v", err)
+	}
+
+	// Saturated, no admission window: sheds with ErrSaturated.
+	if err := l.AcquireTimeout(context.Background(), 0); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("AcquireTimeout(wait=0) on full limiter = %v, want ErrSaturated", err)
+	}
+
+	// Saturated, short window, nothing frees: sheds after the window.
+	if err := l.AcquireTimeout(context.Background(), 5*time.Millisecond); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("AcquireTimeout(5ms) on full limiter = %v, want ErrSaturated", err)
+	}
+
+	// Caller cancellation wins over the admission window.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.AcquireTimeout(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AcquireTimeout with cancelled ctx = %v, want context.Canceled", err)
+	}
+
+	// A slot freed within the window is acquired.
+	done := make(chan error, 1)
+	go func() { done <- l.AcquireTimeout(context.Background(), time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	l.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("AcquireTimeout after Release: %v", err)
+	}
+	l.Release()
+}

@@ -39,6 +39,12 @@ func WriteCSV(w io.Writer, t *Trial) error {
 	return cw.Error()
 }
 
+// maxCSVThreads bounds the thread index accepted from an untrusted CSV —
+// the trial allocates per-thread slices for every event, so an absurd
+// index (typo or hostile input) must fail cleanly instead of attempting a
+// multi-gigabyte allocation.
+const maxCSVThreads = 1 << 14
+
 // ReadCSV parses a long-form CSV table written by WriteCSV back into a
 // Trial. Thread count is inferred from the largest thread index seen.
 func ReadCSV(r io.Reader) (*Trial, error) {
@@ -68,6 +74,9 @@ func ReadCSV(r io.Reader) (*Trial, error) {
 		incl, err4 := strconv.ParseFloat(row[8], 64)
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 			return nil, fmt.Errorf("perfdmf: read CSV: row %d has malformed numeric fields", i+2)
+		}
+		if th < 0 || th >= maxCSVThreads {
+			return nil, fmt.Errorf("perfdmf: read CSV: row %d thread index %d outside [0, %d)", i+2, th, maxCSVThreads)
 		}
 		app, experiment, name = row[0], row[1], row[2]
 		if th > maxThread {

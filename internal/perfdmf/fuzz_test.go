@@ -1,0 +1,70 @@
+package perfdmf
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// The three import parsers all consume untrusted bytes (wire uploads,
+// files from other tools), so each gets a native fuzz target. The
+// invariant under fuzzing is uniform: any input either parses into a
+// trial that passes Validate and survives re-export, or returns an error —
+// never a panic, hang, or unbounded allocation.
+
+func FuzzParseTAUProfile(f *testing.F) {
+	f.Add([]byte("1 templated_functions_MULTI_TIME\n# Name Calls Subrs Excl Incl ProfileCalls\n\"main\" 1 0 10 10 0 GROUP=\"TAU_DEFAULT\"\n0 aggregates\n"))
+	f.Add([]byte("2 templated_functions_MULTI_TIME\n# Name Calls Subrs Excl Incl ProfileCalls # <metadata><attribute><name>k</name><value>v</value></attribute></metadata>\n\"main\" 1 0 10 10 0 GROUP=\"TAU_DEFAULT\"\n\"f | g\" 2 0 5 5 0 GROUP=\"MPI|IO\"\n0 aggregates\n"))
+	f.Add([]byte("999999999 templated_functions_MULTI_TIME\n# Name\n"))
+	f.Add([]byte("-5 x\n#\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := NewTrial("fuzz", "fuzz", "fuzz", 1)
+		tr.AddMetric(TimeMetric)
+		if err := parseTAUProfile(bytes.NewReader(data), "fuzz", tr, TimeMetric, 0); err != nil {
+			return
+		}
+		// A parse that succeeded must yield an exportable trial.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("parsed trial fails validation: %v", err)
+		}
+	})
+}
+
+func FuzzParseGprof(f *testing.F) {
+	f.Add([]byte(" %   cumulative   self              self     total\ntime   seconds   seconds    calls  ms/call  ms/call  name\n33.3       0.02      0.02     7208     0.00     0.01  compute_flux\n66.6       0.04      0.02                             main\n\nrest of the explanation\n"))
+	f.Add([]byte("time seconds\n1.0 0.1 0.1 5 2.0 4.0 f g h\n"))
+	f.Add([]byte("time seconds\nNaN NaN NaN NaN\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseGprof(bytes.NewReader(data), "a", "e", "t")
+		if err != nil {
+			return
+		}
+		if tr == nil {
+			t.Fatal("nil trial with nil error")
+		}
+		if err := WriteCSV(io.Discard, tr); err != nil {
+			t.Fatalf("parsed trial fails re-export: %v", err)
+		}
+	})
+}
+
+func FuzzParseCSV(f *testing.F) {
+	f.Add([]byte("application,experiment,trial,event,metric,thread,calls,exclusive,inclusive\na,e,t,main,TIME,0,1,10,10\na,e,t,main,TIME,1,1,12,12\n"))
+	// Regression seeds for the thread-index hole: a negative index used to
+	// panic on the per-thread slice write, a huge one used to attempt the
+	// matching allocation.
+	f.Add([]byte("application,experiment,trial,event,metric,thread,calls,exclusive,inclusive\na,e,t,main,TIME,-1,1,10,10\n"))
+	f.Add([]byte("application,experiment,trial,event,metric,thread,calls,exclusive,inclusive\na,e,t,main,TIME,99999999,1,10,10\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr == nil {
+			t.Fatal("nil trial with nil error")
+		}
+		if err := WriteCSV(io.Discard, tr); err != nil {
+			t.Fatalf("parsed trial fails re-export: %v", err)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package perfdmf
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -148,24 +149,30 @@ func parseTAUFile(path string, t *Trial, metric string, thread int) error {
 		return fmt.Errorf("perfdmf: parse TAU: %w", err)
 	}
 	defer f.Close()
+	return parseTAUProfile(f, path, t, metric, thread)
+}
 
-	sc := bufio.NewScanner(f)
+// parseTAUProfile parses one TAU profile file from r into thread `thread`
+// of t; src names the source in errors. Split out from the file wrapper so
+// in-memory inputs (wire uploads, fuzzing) share the exact parser.
+func parseTAUProfile(r io.Reader, src string, t *Trial, metric string, thread int) error {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 
 	if !sc.Scan() {
-		return fmt.Errorf("perfdmf: %s: empty profile", path)
+		return fmt.Errorf("perfdmf: %s: empty profile", src)
 	}
 	header := strings.Fields(sc.Text())
 	if len(header) < 2 {
-		return fmt.Errorf("perfdmf: %s: malformed header %q", path, sc.Text())
+		return fmt.Errorf("perfdmf: %s: malformed header %q", src, sc.Text())
 	}
 	nfuncs, err := strconv.Atoi(header[0])
 	if err != nil {
-		return fmt.Errorf("perfdmf: %s: malformed function count: %w", path, err)
+		return fmt.Errorf("perfdmf: %s: malformed function count: %w", src, err)
 	}
 
 	if !sc.Scan() {
-		return fmt.Errorf("perfdmf: %s: missing column header", path)
+		return fmt.Errorf("perfdmf: %s: missing column header", src)
 	}
 	if meta := sc.Text(); strings.Contains(meta, "<metadata>") {
 		parseTAUMetadata(meta, t)
@@ -173,22 +180,22 @@ func parseTAUFile(path string, t *Trial, metric string, thread int) error {
 
 	for i := 0; i < nfuncs; i++ {
 		if !sc.Scan() {
-			return fmt.Errorf("perfdmf: %s: expected %d functions, got %d", path, nfuncs, i)
+			return fmt.Errorf("perfdmf: %s: expected %d functions, got %d", src, nfuncs, i)
 		}
 		line := sc.Text()
 		name, rest, err := splitQuoted(line)
 		if err != nil {
-			return fmt.Errorf("perfdmf: %s line %d: %w", path, i+3, err)
+			return fmt.Errorf("perfdmf: %s line %d: %w", src, i+3, err)
 		}
 		fields := strings.Fields(rest)
 		if len(fields) < 5 {
-			return fmt.Errorf("perfdmf: %s line %d: want 5+ numeric fields, got %d", path, i+3, len(fields))
+			return fmt.Errorf("perfdmf: %s line %d: want 5+ numeric fields, got %d", src, i+3, len(fields))
 		}
 		calls, err1 := strconv.ParseFloat(fields[0], 64)
 		excl, err2 := strconv.ParseFloat(fields[2], 64)
 		incl, err3 := strconv.ParseFloat(fields[3], 64)
 		if err1 != nil || err2 != nil || err3 != nil {
-			return fmt.Errorf("perfdmf: %s line %d: malformed numeric fields", path, i+3)
+			return fmt.Errorf("perfdmf: %s line %d: malformed numeric fields", src, i+3)
 		}
 		e := t.EnsureEvent(name)
 		e.Calls[thread] = calls

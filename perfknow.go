@@ -52,6 +52,7 @@ import (
 	"perfknow/internal/dmfclient"
 	"perfknow/internal/dmfserver"
 	"perfknow/internal/dmfwire"
+	"perfknow/internal/faults"
 	"perfknow/internal/machine"
 	"perfknow/internal/openuh"
 	"perfknow/internal/perfdmf"
@@ -87,6 +88,19 @@ type (
 	DiagnoseRequest = dmfwire.DiagnoseRequest
 	// DiagnoseResponse is the remote twin of a local script run.
 	DiagnoseResponse = dmfwire.DiagnoseResponse
+	// RetryPolicy controls the remote client's backoff and retry budget.
+	RetryPolicy = dmfclient.RetryPolicy
+	// RemoteOption customizes a RemoteRepository (retry policy, timeouts,
+	// transport).
+	RemoteOption = dmfclient.Option
+	// FaultInjector decides which requests a fault-injecting server or
+	// transport disturbs; see NewFaultSchedule.
+	FaultInjector = faults.Injector
+	// FaultSchedule is the deterministic seeded FaultInjector used by the
+	// chaos test suite.
+	FaultSchedule = faults.Schedule
+	// FaultOptions parameterize a FaultSchedule.
+	FaultOptions = faults.Options
 )
 
 // TimeMetric is the canonical wall-clock metric name (microseconds).
@@ -106,7 +120,22 @@ func OpenRepository(dir string) (*Repository, error) { return perfdmf.OpenReposi
 func NewProfileServer(cfg ProfileServerConfig) (*ProfileServer, error) { return dmfserver.New(cfg) }
 
 // DialRepository returns a client for the perfdmfd server at baseURL.
-func DialRepository(baseURL string) (*RemoteRepository, error) { return dmfclient.New(baseURL) }
+// Idempotent requests are retried with exponential backoff per
+// DefaultRetryPolicy; pass WithRetryPolicy to tune or disable that.
+func DialRepository(baseURL string, opts ...RemoteOption) (*RemoteRepository, error) {
+	return dmfclient.New(baseURL, opts...)
+}
+
+// Client resilience knobs (see internal/dmfclient and internal/faults).
+var (
+	// DefaultRetryPolicy is the retry budget DialRepository starts from.
+	DefaultRetryPolicy = dmfclient.DefaultRetryPolicy
+	// WithRetryPolicy overrides a RemoteRepository's retry behavior.
+	WithRetryPolicy = dmfclient.WithRetryPolicy
+	// NewFaultSchedule builds the seeded deterministic fault injector; plug
+	// it into ProfileServerConfig.FaultInjector to chaos-test a service.
+	NewFaultSchedule = faults.NewSchedule
+)
 
 // NewTrial creates an empty trial.
 func NewTrial(app, experiment, name string, threads int) *Trial {
