@@ -8,12 +8,15 @@
 //
 //	perfdmfd -repo DIR [-addr HOST:PORT] [-j N] [flags]
 //
-// The daemon answers GET /healthz for liveness probes and GET /metrics
-// with request counts, latencies and repository size. On SIGINT/SIGTERM it
-// stops accepting connections and drains in-flight requests for up to
-// -drain before exiting. With -addr ending in ":0" the kernel picks a free
-// port; -addr-file writes the bound address to a file so scripts and tests
-// can find the server.
+// The daemon answers GET /healthz for liveness probes, GET /api/v1/metrics
+// with a typed telemetry snapshot (counters, gauges, latency histograms)
+// and GET /api/v1/traces with recent request traces; the legacy /metrics
+// path remains as a deprecated alias. With -debug-addr a second listener
+// serves Go's net/http/pprof profiler, kept off the public API address. On
+// SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight requests for up to -drain before exiting. With -addr ending in
+// ":0" the kernel picks a free port; -addr-file writes the bound address
+// to a file so scripts and tests can find the server.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	var (
 		addr      = fs.String("addr", "127.0.0.1:7360", "listen address (use :0 for an ephemeral port)")
 		addrFile  = fs.String("addr-file", "", "write the bound address to this file once listening")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		debugFile = fs.String("debug-addr-file", "", "write the bound debug address to this file once listening")
 		repoDir   = fs.String("repo", "perfdata", "profile repository directory")
 		rulesDir  = fs.String("rules", "", "directory holding .prl rule files (default: built-in knowledge base)")
 		jobs      = fs.Int("j", 0, "max concurrent analysis/diagnosis requests (0 = GOMAXPROCS)")
@@ -99,6 +105,31 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	logger.Info("listening", "addr", bound, "repo", *repoDir, "jobs", parallel.Workers(*jobs))
 
 	httpSrv := srv.HTTPServer(bound)
+
+	// The profiler listens on its own address so operational tooling can
+	// reach /debug/pprof without exposing it beside the public API.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fail(logger, err)
+		}
+		dbound := dln.Addr().String()
+		if *debugFile != "" {
+			if err := os.WriteFile(*debugFile, []byte(dbound), 0o644); err != nil {
+				return fail(logger, err)
+			}
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv := &http.Server{Handler: mux}
+		defer debugSrv.Close()
+		go func() { _ = debugSrv.Serve(dln) }()
+		logger.Info("debug listening", "addr", dbound)
+	}
 
 	// Serve until a termination signal arrives, then drain connections.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -106,13 +107,49 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Metrics: %v", err)
 	}
-	if snap.Repository.Trials != 1 {
-		t.Fatalf("metrics report %d trials, want 1", snap.Repository.Trials)
+	if got := snap.Gauges["repository_trials"]; got != 1 {
+		t.Fatalf("metrics report %v trials, want 1", got)
+	}
+	if got := snap.Counters["uploads_stored_total"]; got != 1 {
+		t.Fatalf("uploads_stored_total = %d, want 1", got)
 	}
 
 	out := stop()
 	if !strings.Contains(out, "perfdmfd stopped") {
 		t.Fatalf("missing clean shutdown message: %q", out)
+	}
+}
+
+// TestDaemonDebugListener: -debug-addr serves net/http/pprof on its own
+// listener, separate from the API address.
+func TestDaemonDebugListener(t *testing.T) {
+	debugFile := filepath.Join(t.TempDir(), "debug-addr")
+	c, stop := startDaemon(t, "-debug-addr", "127.0.0.1:0", "-debug-addr-file", debugFile)
+	defer stop()
+
+	if err := c.Health(); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	data, err := os.ReadFile(debugFile)
+	if err != nil {
+		t.Fatalf("debug-addr-file not written: %v", err)
+	}
+	resp, err := http.Get("http://" + string(data) + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
+	}
+	// The profiler must not leak onto the API address.
+	resp2, err := http.Get(c.BaseURL() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable on the API address")
 	}
 }
 

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	perfexplorer -repo DIR -script FILE [-rules DIR] [arg ...]
-//	perfexplorer -server URL -script FILE [-rules DIR] [arg ...]
+//	perfexplorer -repo DIR -script FILE [-rules DIR] [-trace FILE] [arg ...]
+//	perfexplorer -server URL -script FILE [-rules DIR] [-trace FILE] [arg ...]
 //	perfexplorer -repo DIR -list
 //	perfexplorer -write-assets DIR
 //
@@ -18,17 +18,31 @@
 // saveTrial all go over the wire, so existing scripts work against a
 // shared networked repository unchanged. -repo is ignored when -server is
 // set.
+//
+// With -trace FILE the run is traced: script statements, analysis
+// operations, rule firings and repository I/O each record a span, and
+// against -server the client's per-attempt request spans propagate their
+// context via Traceparent headers so the server-side spans are fetched
+// back and merged into one connected tree. The file holds a
+// dmfwire.TraceFile (JSON).
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"time"
 
 	"perfknow/internal/core"
 	"perfknow/internal/diagnosis"
 	"perfknow/internal/dmfclient"
+	"perfknow/internal/dmfwire"
+	"perfknow/internal/obs"
 	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 )
@@ -48,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rulesDir    = fs.String("rules", "assets/rules", "directory holding .prl rule files")
 		list        = fs.Bool("list", false, "list repository contents and exit")
 		writeAssets = fs.String("write-assets", "", "write the bundled rules and scripts under this directory and exit")
+		tracePath   = fs.String("trace", "", "trace the run and write the span tree (incl. server-side spans with -server) as JSON to this file")
 		jobs        = fs.Int("j", 0, "worker goroutines for parallel analysis (0 = GOMAXPROCS, 1 = sequential)")
 		retries     = fs.Int("retries", 0, "max attempts per remote request, incl. the first (0 = client default, 1 = no retries)")
 	)
@@ -64,10 +79,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	// One tracer serves both jobs: the -trace span tree, and the event
+	// channel on which the client publishes listing errors its Store
+	// signatures had to swallow.
+	var tracer *obs.Tracer
+	if *tracePath != "" || *serverURL != "" {
+		tracer = obs.NewTracer()
+		tracer.Service = "perfexplorer"
+	}
+
 	var store perfdmf.Store
 	var client *dmfclient.Client
 	if *serverURL != "" {
-		var opts []dmfclient.Option
+		opts := []dmfclient.Option{dmfclient.WithTracer(tracer)}
 		if *retries > 0 {
 			opts = append(opts, dmfclient.WithRetryPolicy(dmfclient.RetryPolicy{MaxAttempts: *retries}))
 		}
@@ -89,6 +113,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
+		// Remote listings use the error-returning List* variants: an
+		// "empty" repository may really be an unreachable server, so fail
+		// loudly rather than print nothing.
+		if client != nil {
+			return listRemote(client, stdout, stderr)
+		}
 		for _, app := range store.Applications() {
 			fmt.Fprintln(stdout, app)
 			for _, exp := range store.Experiments(app) {
@@ -96,14 +126,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 				for _, tr := range store.Trials(app, exp) {
 					fmt.Fprintf(stdout, "    %s\n", tr)
 				}
-			}
-		}
-		// Remote listings cannot surface transport errors through the
-		// Store signatures; an "empty" repository may really be an
-		// unreachable server, so fail loudly rather than print nothing.
-		if client != nil {
-			if err := client.LastError(); err != nil {
-				return fail(stderr, err)
 			}
 		}
 		return 0
@@ -115,24 +137,134 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Mid-script listings go through the Store signatures and cannot
+	// return transport errors; the client publishes those failures as
+	// events, which we collect here to warn after the run.
+	var (
+		listErrMu sync.Mutex
+		listErr   error
+	)
+	if tracer != nil {
+		tracer.OnEvent(func(ev obs.Event) {
+			if ev.Name != "dmfclient.list_error" || ev.Err == nil {
+				return
+			}
+			listErrMu.Lock()
+			if listErr == nil {
+				listErr = ev.Err
+			}
+			listErrMu.Unlock()
+		})
+	}
+
 	s := core.NewSession(store)
 	s.SetOutput(stdout)
 	diagnosis.Install(s, *rulesDir)
 	diagnosis.SetArgs(s, fs.Args())
-	if err := s.RunScriptFile(*scriptPath); err != nil {
-		return fail(stderr, err)
+
+	var root *obs.Span
+	if *tracePath != "" {
+		ctx := obs.ContextWithTracer(context.Background(), tracer)
+		ctx, root = obs.StartSpan(ctx, "perfexplorer.run", "script", *scriptPath)
+		s.SetContext(ctx)
+	}
+	scriptErr := s.RunScriptFile(*scriptPath)
+	root.SetError(scriptErr)
+	root.End()
+	if *tracePath != "" {
+		if err := writeTrace(tracer, root, client, *tracePath, stderr); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stderr, "perfexplorer: trace written to %s\n", *tracePath)
+	}
+	if scriptErr != nil {
+		return fail(stderr, scriptErr)
 	}
 	// A listing that failed mid-script silently looked empty to the
 	// script; tell the user the results may be based on missing data.
-	if client != nil {
-		if err := client.LastError(); err != nil {
-			fmt.Fprintf(stderr, "perfexplorer: warning: a remote listing failed during the run (results may be incomplete): %v\n", err)
-		}
+	listErrMu.Lock()
+	warn := listErr
+	listErrMu.Unlock()
+	if warn != nil {
+		fmt.Fprintf(stderr, "perfexplorer: warning: a remote listing failed during the run (results may be incomplete): %v\n", warn)
 	}
 	if res := s.LastResult(); res != nil && len(res.Recommendations) > 0 {
 		fmt.Fprintf(stdout, "\n%d recommendation(s) produced.\n", len(res.Recommendations))
 	}
 	return 0
+}
+
+// listRemote prints the remote repository tree, surfacing transport errors
+// in-band instead of printing a misleading empty listing.
+func listRemote(client *dmfclient.Client, stdout, stderr io.Writer) int {
+	apps, err := client.ListApplications()
+	if err != nil {
+		return fail(stderr, err)
+	}
+	for _, app := range apps {
+		fmt.Fprintln(stdout, app)
+		exps, err := client.ListExperiments(app)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		for _, exp := range exps {
+			fmt.Fprintf(stdout, "  %s\n", exp)
+			trs, err := client.ListTrials(app, exp)
+			if err != nil {
+				return fail(stderr, err)
+			}
+			for _, tr := range trs {
+				fmt.Fprintf(stdout, "    %s\n", tr)
+			}
+		}
+	}
+	return 0
+}
+
+// writeTrace assembles the run's trace — local spans plus, against a
+// server, the server-side fragment fetched back by trace id — and writes
+// it to path as a dmfwire.TraceFile.
+func writeTrace(tracer *obs.Tracer, root *obs.Span, client *dmfclient.Client, path string, stderr io.Writer) error {
+	id := root.TraceID()
+	if client != nil {
+		// The fetch itself is traced under its own fresh trace id (the run's
+		// root already ended), so it cannot grow the tree it exports. The
+		// server finalizes each request's spans just after writing its
+		// response, so the final request's fragment may land a beat after
+		// our last response arrived — retry a 404 briefly before concluding
+		// the server saw no requests.
+		var (
+			remote obs.Trace
+			err    error
+		)
+		for attempt := 0; attempt < 4; attempt++ {
+			remote, err = client.TraceContext(context.Background(), id)
+			if err == nil || !errors.Is(err, perfdmf.ErrNotFound) {
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		switch {
+		case err == nil:
+			tracer.Merge(remote)
+		case errors.Is(err, perfdmf.ErrNotFound):
+			// No remote fragment: the script made no remote requests.
+		default:
+			fmt.Fprintf(stderr, "perfexplorer: warning: server-side spans unavailable (writing local spans only): %v\n", err)
+		}
+	}
+	tr, ok := tracer.Trace(id)
+	if !ok {
+		return fmt.Errorf("perfexplorer: trace %s was not finalized", id)
+	}
+	data, err := json.MarshalIndent(dmfwire.TraceFile{Traces: []obs.Trace{tr}}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perfexplorer: encode trace: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("perfexplorer: write trace: %w", err)
+	}
+	return nil
 }
 
 func fail(stderr io.Writer, err error) int {

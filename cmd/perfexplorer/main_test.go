@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"log/slog"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 
 	"perfknow/internal/dmfclient"
 	"perfknow/internal/dmfserver"
+	"perfknow/internal/dmfwire"
 	"perfknow/internal/perfdmf"
 )
 
@@ -202,6 +204,131 @@ func TestRunScriptAgainstServer(t *testing.T) {
 	}
 	if out.String() != localOut.String() {
 		t.Fatalf("remote and local runs diverge:\nremote: %q\nlocal:  %q", out.String(), localOut.String())
+	}
+}
+
+// TestTraceAgainstServer is the distributed-tracing acceptance test for
+// the CLI: one -server -trace run must produce a single connected span
+// tree containing client request spans, server handler spans, script
+// statement spans and repository I/O spans.
+func TestTraceAgainstServer(t *testing.T) {
+	url := startServer(t)
+	assets := t.TempDir()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-assets", assets}, &out, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	out.Reset()
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	code := run([]string{
+		"-server", url,
+		"-rules", filepath.Join(assets, "rules"),
+		"-script", filepath.Join(assets, "scripts", "stalls_per_cycle.pes"),
+		"-trace", tracePath,
+		"app", "exp", "t1",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var tf dmfwire.TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(tf.Traces) != 1 {
+		t.Fatalf("trace file holds %d traces, want exactly 1", len(tf.Traces))
+	}
+	tr := tf.Traces[0]
+
+	// One connected tree: exactly one root, every other span's parent
+	// present in the same trace.
+	ids := make(map[string]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		ids[sp.SpanID] = true
+	}
+	roots := 0
+	for _, sp := range tr.Spans {
+		if sp.ParentID == "" {
+			roots++
+			continue
+		}
+		if !ids[sp.ParentID] {
+			t.Fatalf("span %q (%s) parent %s missing — tree is disconnected", sp.Name, sp.SpanID, sp.ParentID)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("trace has %d roots, want 1", roots)
+	}
+
+	// All four layers are present, across both services.
+	want := map[string]bool{
+		"perfexplorer.run":  false, // CLI root
+		"dmfclient GET":     false, // client request spans
+		"dmfserver GET":     false, // server handler spans
+		"script.stmt":       false, // script statement spans
+		"perfdmf.get_trial": false, // repository I/O spans
+	}
+	services := map[string]bool{}
+	for _, sp := range tr.Spans {
+		services[sp.Service] = true
+		for prefix := range want {
+			if strings.HasPrefix(sp.Name, prefix) {
+				want[prefix] = true
+			}
+		}
+	}
+	for prefix, seen := range want {
+		if !seen {
+			t.Fatalf("trace is missing %q spans; got %d spans", prefix, len(tr.Spans))
+		}
+	}
+	if !services["perfexplorer"] || !services["perfdmfd"] {
+		t.Fatalf("trace spans only services %v, want both perfexplorer and perfdmfd", services)
+	}
+}
+
+// TestTraceLocalRun: -trace also works without a server — the local run's
+// statement, analysis and rule spans form one tree.
+func TestTraceLocalRun(t *testing.T) {
+	repo := seedRepo(t)
+	assets := t.TempDir()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-write-assets", assets}, &out, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	code := run([]string{
+		"-repo", repo,
+		"-rules", filepath.Join(assets, "rules"),
+		"-script", filepath.Join(assets, "scripts", "stalls_per_cycle.pes"),
+		"-trace", tracePath,
+		"app", "exp", "t1",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var tf dmfwire.TraceFile
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.Traces) != 1 || len(tf.Traces[0].Spans) < 3 {
+		t.Fatalf("local trace = %+v", tf)
+	}
+	seenStmt := false
+	for _, sp := range tf.Traces[0].Spans {
+		if strings.HasPrefix(sp.Name, "script.stmt") {
+			seenStmt = true
+		}
+	}
+	if !seenStmt {
+		t.Fatal("local trace missing script statement spans")
 	}
 }
 

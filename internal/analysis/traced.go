@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"context"
+	"strconv"
+
+	"perfknow/internal/obs"
+	"perfknow/internal/perfdmf"
+)
+
+// Context-aware twins of the analysis operations used on request paths
+// (sessions, the dmfserver analyze endpoint). Each wraps the plain
+// function in an `analysis.*` span carrying the operation's parameters, so
+// traces of a diagnosis run show where analysis time went. The plain
+// functions remain the API for callers without a context.
+
+// ExclusiveStatsCtx is ExclusiveStats under an `analysis.stats` span.
+func ExclusiveStatsCtx(ctx context.Context, t *perfdmf.Trial, metric string) []EventStat {
+	_, sp := obs.StartSpan(ctx, "analysis.stats", "metric", metric, "kind", "exclusive")
+	defer sp.End()
+	return ExclusiveStats(t, metric)
+}
+
+// InclusiveStatsCtx is InclusiveStats under an `analysis.stats` span.
+func InclusiveStatsCtx(ctx context.Context, t *perfdmf.Trial, metric string) []EventStat {
+	_, sp := obs.StartSpan(ctx, "analysis.stats", "metric", metric, "kind", "inclusive")
+	defer sp.End()
+	return InclusiveStats(t, metric)
+}
+
+// DeriveMetricCtx is DeriveMetric under an `analysis.derive` span.
+func DeriveMetricCtx(ctx context.Context, t *perfdmf.Trial, lhs, rhs string, op Op) (*perfdmf.Trial, string, error) {
+	_, sp := obs.StartSpan(ctx, "analysis.derive", "lhs", lhs, "rhs", rhs)
+	out, name, err := DeriveMetric(t, lhs, rhs, op)
+	sp.SetAttr("metric", name)
+	sp.SetError(err)
+	sp.End()
+	return out, name, err
+}
+
+// KMeansCtx is KMeans under an `analysis.cluster` span.
+func KMeansCtx(ctx context.Context, t *perfdmf.Trial, metric string, k, maxIter int) (*Clustering, error) {
+	_, sp := obs.StartSpan(ctx, "analysis.cluster",
+		"metric", metric, "k", strconv.Itoa(k))
+	c, err := KMeans(t, metric, k, maxIter)
+	sp.SetError(err)
+	sp.End()
+	return c, err
+}
+
+// TopNCtx is TopN under an `analysis.topn` span.
+func TopNCtx(ctx context.Context, t *perfdmf.Trial, metric string, n int) []string {
+	_, sp := obs.StartSpan(ctx, "analysis.topn",
+		"metric", metric, "n", strconv.Itoa(n))
+	defer sp.End()
+	return TopN(t, metric, n)
+}
+
+// LoadBalanceAnalysisCtx is LoadBalanceAnalysis under an
+// `analysis.loadbalance` span.
+func LoadBalanceAnalysisCtx(ctx context.Context, t *perfdmf.Trial, metric string) []LoadBalance {
+	_, sp := obs.StartSpan(ctx, "analysis.loadbalance", "metric", metric)
+	defer sp.End()
+	return LoadBalanceAnalysis(t, metric)
+}

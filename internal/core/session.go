@@ -89,7 +89,8 @@ func (s *Session) install() {
 			if len(args) != 3 {
 				return nil, fmt.Errorf("getTrial(app, experiment, trial) expects 3 arguments")
 			}
-			t, err := s.Repo.GetTrial(script.ToString(args[0]), script.ToString(args[1]), script.ToString(args[2]))
+			t, err := perfdmf.GetTrialWithContext(s.Interp.Context(), s.Repo,
+				script.ToString(args[0]), script.ToString(args[1]), script.ToString(args[2]))
 			if err != nil {
 				return nil, err
 			}
@@ -118,7 +119,7 @@ func (s *Session) install() {
 			if err != nil {
 				return nil, err
 			}
-			return nil, s.Repo.Save(to.Trial)
+			return nil, perfdmf.SaveWithContext(s.Interp.Context(), s.Repo, to.Trial)
 		}),
 	}})
 
@@ -150,7 +151,7 @@ func (s *Session) install() {
 		if err != nil {
 			return nil, err
 		}
-		out, _, err := analysis.DeriveMetric(to.Trial, script.ToString(args[1]), script.ToString(args[2]), op)
+		out, _, err := analysis.DeriveMetricCtx(s.Interp.Context(), to.Trial, script.ToString(args[1]), script.ToString(args[2]), op)
 		if err != nil {
 			return nil, err
 		}
@@ -230,7 +231,7 @@ func (s *Session) install() {
 func (s *Session) harnessObject() *script.Module {
 	return &script.Module{Name: "RuleHarness", Members: map[string]script.Value{
 		"processRules": script.NewBuiltin("processRules", func(args []script.Value) (script.Value, error) {
-			res, err := s.Engine.Run()
+			res, err := s.Engine.RunContext(s.Interp.Context())
 			if err != nil {
 				return nil, err
 			}
@@ -316,7 +317,7 @@ func (s *Session) CompareEventToMain(t *perfdmf.Trial, metric, event string) err
 // asserted.
 func (s *Session) AssertLoadBalanceFacts(t *perfdmf.Trial, metric string) int {
 	n := 0
-	lbs := analysis.LoadBalanceAnalysis(t, metric)
+	lbs := analysis.LoadBalanceAnalysisCtx(s.Interp.Context(), t, metric)
 	for _, lb := range lbs {
 		s.Engine.Assert(rules.NewFact("Imbalance", map[string]any{
 			"eventName": lb.Event,

@@ -20,10 +20,18 @@
 // The Store listing methods (Applications, Experiments, Trials) mirror the
 // Repository signatures and therefore cannot return transport errors; the
 // error-returning ListApplications/ListExperiments/ListTrials variants are
-// provided for callers that need to distinguish "empty" from "unreachable".
-// When a signature-constrained listing does fail, the error is recorded and
-// exposed through LastError, so callers (e.g. cmd/perfexplorer) can tell a
-// genuinely empty repository from a mid-session outage.
+// the API for callers that need to distinguish "empty" from "unreachable".
+// When a signature-constrained listing does fail, the failure is published
+// as an obs.Event on the client's tracer (see WithTracer and
+// obs.Tracer.OnEvent), so embedders can observe swallowed errors without a
+// mutable last-error slot.
+//
+// The client is observable end to end: every HTTP attempt runs under an
+// obs span (retries appear as sibling spans) whose context is injected
+// into the request as a Traceparent header, so a traced perfexplorer run
+// against a perfdmfd server yields one connected trace spanning both
+// processes. Stats and the registry installed with WithRegistry expose
+// attempt/retry counters.
 package dmfclient
 
 import (
@@ -40,12 +48,12 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"perfknow/internal/dmfwire"
 	"perfknow/internal/faults"
+	"perfknow/internal/obs"
 	"perfknow/internal/perfdmf"
 )
 
@@ -55,15 +63,19 @@ type Client struct {
 	http  *http.Client
 	retry RetryPolicy
 
+	// tracer receives request spans and swallowed-listing events when the
+	// caller's context carries no tracer of its own.
+	tracer *obs.Tracer
+	// reg holds the client's counters; private by default, shared when
+	// installed with WithRegistry.
+	reg      *obs.Registry
+	attempts *obs.Counter
+	retries  *obs.Counter
+
 	// clientID and seq mint idempotency keys for uploads: unique per
 	// logical upload, stable across its retries.
 	clientID string
 	seq      atomic.Uint64
-
-	counters retryCounters
-
-	mu      sync.Mutex
-	lastErr error // most recent swallowed listing error; see LastError
 }
 
 // Option customizes a Client.
@@ -86,6 +98,21 @@ func WithTimeout(d time.Duration) Option {
 // e.g. a faults.RoundTripper for chaos testing.
 func WithTransport(rt http.RoundTripper) Option {
 	return func(c *Client) { c.http.Transport = rt }
+}
+
+// WithTracer installs the tracer used when a call's context does not carry
+// one: every HTTP attempt records a span (retries as siblings) and
+// swallowed listing errors surface as events on tr (see obs.Tracer.OnEvent).
+func WithTracer(tr *obs.Tracer) Option {
+	return func(c *Client) { c.tracer = tr }
+}
+
+// WithRegistry shares a metrics registry with the client, so its
+// `client_http_attempts_total` / `client_http_retries_total` counters
+// appear alongside the embedder's metrics. Without it the client keeps a
+// private registry, which Stats reads either way.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(c *Client) { c.reg = reg }
 }
 
 // New returns a client for the perfdmfd server at baseURL
@@ -111,13 +138,46 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
+	c.attempts = c.reg.Counter("client_http_attempts_total")
+	c.retries = c.reg.Counter("client_http_retries_total")
 	return c, nil
 }
 
-var _ perfdmf.Store = (*Client)(nil)
+var (
+	_ perfdmf.Store        = (*Client)(nil)
+	_ perfdmf.ContextStore = (*Client)(nil)
+)
 
 // BaseURL reports the server address this client talks to.
 func (c *Client) BaseURL() string { return c.base.String() }
+
+// Tracer returns the tracer installed with WithTracer (nil without one) —
+// register event observers on it with OnEvent.
+func (c *Client) Tracer() *obs.Tracer { return c.tracer }
+
+// traceCtx gives the call a tracer: the context's own when present, else
+// the client's (from WithTracer), else none (spans no-op).
+func (c *Client) traceCtx(ctx context.Context) context.Context {
+	if obs.TracerFrom(ctx) == nil && c.tracer != nil {
+		ctx = obs.ContextWithTracer(ctx, c.tracer)
+	}
+	return ctx
+}
+
+// emit publishes a client event to the context's tracer or the client's
+// own; without either it is dropped.
+func (c *Client) emit(ctx context.Context, ev obs.Event) {
+	tr := obs.TracerFrom(ctx)
+	if tr == nil {
+		tr = c.tracer
+	}
+	if tr != nil {
+		tr.Emit(ev)
+	}
+}
 
 // --- transport --------------------------------------------------------
 
@@ -153,15 +213,16 @@ func (c *Client) doCtx(ctx context.Context, method, path string, query url.Value
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx = c.traceCtx(ctx)
 	attempts := c.retry.MaxAttempts
 	if attempts < 1 || !meta.idempotent {
 		attempts = 1
 	}
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			c.counters.retries.Add(1)
+			c.retries.Inc()
 		}
-		c.counters.attempts.Add(1)
+		c.attempts.Inc()
 		err, retryable, retryAfter := c.attempt(ctx, method, path, query, body, meta, attempt, out)
 		if err == nil {
 			return nil
@@ -181,9 +242,19 @@ func (c *Client) doCtx(ctx context.Context, method, path string, query url.Value
 	}
 }
 
-// attempt issues one HTTP attempt, reporting whether its failure may be
-// retried and any server-requested Retry-After delay.
+// attempt issues one HTTP attempt under its own span, reporting whether
+// its failure may be retried and any server-requested Retry-After delay.
+// One span per attempt — not per logical request — is what makes retries
+// visible as sibling spans in the trace; the attempt span's context is
+// injected as the Traceparent, so the server's spans parent under the
+// exact attempt that reached it.
 func (c *Client) attempt(ctx context.Context, method, path string, query url.Values, body []byte, meta reqMeta, attempt int, out any) (err error, retryable bool, retryAfter time.Duration) {
+	_, sp := obs.StartSpan(ctx, "dmfclient "+method+" "+path,
+		"attempt", strconv.Itoa(attempt))
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -199,6 +270,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, query url.Val
 		req.Header.Set(dmfwire.HeaderIdempotencyKey, meta.idemKey)
 	}
 	req.Header.Set(faults.HeaderRetryAttempt, strconv.Itoa(attempt))
+	obs.Inject(req.Header, sp)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		// Transport failures (refused, reset, truncated headers) are
@@ -206,6 +278,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, query url.Val
 		return fmt.Errorf("dmfclient: %s %s: %w", method, path, err), ctx.Err() == nil, 0
 	}
 	defer resp.Body.Close()
+	sp.SetAttr("status", strconv.Itoa(resp.StatusCode))
 	if resp.StatusCode >= 400 {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 		var e struct {
@@ -300,7 +373,12 @@ func (c *Client) GetTrialContext(ctx context.Context, app, experiment, trial str
 
 // Delete removes a trial from the remote repository.
 func (c *Client) Delete(app, experiment, trial string) error {
-	return c.do(http.MethodDelete, "/api/v1/trial", coordQuery(app, experiment, trial), nil,
+	return c.DeleteContext(context.Background(), app, experiment, trial)
+}
+
+// DeleteContext is Delete bounded by ctx.
+func (c *Client) DeleteContext(ctx context.Context, app, experiment, trial string) error {
+	return c.doCtx(ctx, http.MethodDelete, "/api/v1/trial", coordQuery(app, experiment, trial), nil,
 		reqMeta{idempotent: true}, nil)
 }
 
@@ -339,45 +417,41 @@ func (c *Client) ListTrials(app, experiment string) ([]string, error) {
 	return resp.Trials, nil
 }
 
-// record notes the outcome of a listing call whose signature cannot return
-// an error: a failure is cached for LastError, a success clears it.
-func (c *Client) record(err error) {
-	c.mu.Lock()
-	c.lastErr = err
-	c.mu.Unlock()
-}
-
-// LastError reports the most recent transport error swallowed by one of
-// the Store listing methods (Applications, Experiments, Trials), or nil if
-// the latest such call succeeded. Consult it after a suspiciously empty
-// listing to distinguish "repository is empty" from "server unreachable".
-// Safe for concurrent use alongside the listing methods.
-func (c *Client) LastError() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lastErr
+// emitListError publishes a swallowed listing failure as an event, so
+// observers registered on the tracer (obs.Tracer.OnEvent) can tell a
+// genuinely empty repository from a mid-session outage. Callers that need
+// the error in-band use the List* variants instead.
+func (c *Client) emitListError(what string, err error) {
+	if err == nil {
+		return
+	}
+	c.emit(context.Background(), obs.Event{
+		Name:  "dmfclient.list_error",
+		Err:   err,
+		Attrs: map[string]string{"listing": what},
+	})
 }
 
 // Applications implements perfdmf.Store; transport failures yield an empty
-// listing and are recorded for LastError (use ListApplications to observe
-// the error directly).
+// listing and are published as events on the client's tracer (use
+// ListApplications to observe the error directly).
 func (c *Client) Applications() []string {
 	out, err := c.ListApplications()
-	c.record(err)
+	c.emitListError("applications", err)
 	return out
 }
 
 // Experiments implements perfdmf.Store; see Applications.
 func (c *Client) Experiments(app string) []string {
 	out, err := c.ListExperiments(app)
-	c.record(err)
+	c.emitListError("experiments", err)
 	return out
 }
 
 // Trials implements perfdmf.Store; see Applications.
 func (c *Client) Trials(app, experiment string) []string {
 	out, err := c.ListTrials(app, experiment)
-	c.record(err)
+	c.emitListError("trials", err)
 	return out
 }
 
@@ -503,11 +577,37 @@ func (c *Client) Health() error {
 	return nil
 }
 
-// Metrics fetches the server's GET /metrics snapshot.
-func (c *Client) Metrics() (*dmfwire.MetricsSnapshot, error) {
-	var snap dmfwire.MetricsSnapshot
-	if err := c.do(http.MethodGet, "/metrics", nil, nil, reqMeta{idempotent: true}, &snap); err != nil {
+// Metrics fetches the server's typed telemetry snapshot from
+// GET /api/v1/metrics.
+func (c *Client) Metrics() (*dmfwire.Metrics, error) {
+	var m dmfwire.Metrics
+	if err := c.do(http.MethodGet, "/api/v1/metrics", nil, nil, reqMeta{idempotent: true}, &m); err != nil {
 		return nil, err
 	}
-	return &snap, nil
+	return &m, nil
+}
+
+// Traces lists the server's completed traces (GET /api/v1/traces).
+func (c *Client) Traces() ([]obs.TraceSummary, error) {
+	var resp dmfwire.TraceList
+	if err := c.do(http.MethodGet, "/api/v1/traces", nil, nil, reqMeta{idempotent: true}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
+// Trace fetches one completed trace by id (GET /api/v1/traces/{id}).
+// Unknown ids wrap perfdmf.ErrNotFound.
+func (c *Client) Trace(id string) (obs.Trace, error) {
+	return c.TraceContext(context.Background(), id)
+}
+
+// TraceContext is Trace bounded by ctx. Pass an untraced context when
+// collecting a trace you are about to export, or the fetch itself will
+// grow the tree it is fetching.
+func (c *Client) TraceContext(ctx context.Context, id string) (obs.Trace, error) {
+	var tr obs.Trace
+	err := c.doCtx(ctx, http.MethodGet, "/api/v1/traces/"+url.PathEscape(id), nil, nil,
+		reqMeta{idempotent: true}, &tr)
+	return tr, err
 }

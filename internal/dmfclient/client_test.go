@@ -8,13 +8,15 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"perfknow/internal/obs"
 	"perfknow/internal/perfdmf"
 )
 
-// TestLastErrorRecordsListingFailures: the Store listing methods cannot
-// return errors, so a failing transport must be observable via LastError —
-// and a later success must clear it.
-func TestLastErrorRecordsListingFailures(t *testing.T) {
+// TestListingFailuresEmitEvents: the Store listing methods cannot return
+// errors, so a failing transport must surface as a dmfclient.list_error
+// event on the client's tracer — and the error-returning List* variants
+// must report the same failure in-band.
+func TestListingFailuresEmitEvents(t *testing.T) {
 	var fail atomic.Bool
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if fail.Load() {
@@ -26,32 +28,61 @@ func TestLastErrorRecordsListingFailures(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c, err := New(ts.URL)
+	tracer := obs.NewTracer()
+	var (
+		mu     sync.Mutex
+		events []obs.Event
+	)
+	tracer.OnEvent(func(ev obs.Event) {
+		if ev.Name != "dmfclient.list_error" {
+			return
+		}
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+
+	c, err := New(ts.URL, WithTracer(tracer), WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if apps := c.Applications(); len(apps) != 1 {
 		t.Fatalf("applications = %v", apps)
 	}
-	if err := c.LastError(); err != nil {
-		t.Fatalf("LastError after success = %v", err)
+	mu.Lock()
+	n := len(events)
+	mu.Unlock()
+	if n != 0 {
+		t.Fatalf("events after success = %d, want 0", n)
 	}
 
 	fail.Store(true)
 	if apps := c.Applications(); len(apps) != 0 {
 		t.Fatalf("failing listing returned %v", apps)
 	}
-	if err := c.LastError(); err == nil {
-		t.Fatal("LastError not recorded after transport failure")
-	}
 	if trials := c.Trials("a", "e"); len(trials) != 0 {
 		t.Fatalf("failing listing returned %v", trials)
 	}
+	mu.Lock()
+	got := append([]obs.Event(nil), events...)
+	mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("events after two failing listings = %d, want 2", len(got))
+	}
+	if got[0].Attrs["listing"] != "applications" || got[0].Err == nil {
+		t.Fatalf("first event = %+v", got[0])
+	}
+	if got[1].Attrs["listing"] != "trials" {
+		t.Fatalf("second event = %+v", got[1])
+	}
 
+	// The same failure is available in-band through the List* variants.
+	if _, err := c.ListApplications(); err == nil {
+		t.Fatal("ListApplications swallowed the transport error")
+	}
 	fail.Store(false)
-	_ = c.Experiments("a")
-	if err := c.LastError(); err != nil {
-		t.Fatalf("LastError not cleared by later success: %v", err)
+	if _, err := c.ListExperiments("a"); err != nil {
+		t.Fatalf("ListExperiments after recovery: %v", err)
 	}
 }
 
@@ -73,10 +104,10 @@ func TestNotFoundSentinel(t *testing.T) {
 	}
 }
 
-// TestLastErrorConcurrentAccess is the race regression test for the
-// LastError mutex: listing calls (which write lastErr) and LastError reads
-// must be safe to interleave from many goroutines. Run with -race.
-func TestLastErrorConcurrentAccess(t *testing.T) {
+// TestListingConcurrentAccess is the race regression test for the listing
+// path: concurrent listings, Stats reads and event emission must be safe
+// to interleave from many goroutines. Run with -race.
+func TestListingConcurrentAccess(t *testing.T) {
 	var fail atomic.Bool
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if fail.Load() {
@@ -88,8 +119,12 @@ func TestLastErrorConcurrentAccess(t *testing.T) {
 	}))
 	defer ts.Close()
 
+	tracer := obs.NewTracer()
+	var seen atomic.Int64
+	tracer.OnEvent(func(ev obs.Event) { seen.Add(1) })
+
 	// MaxAttempts 1 keeps the failing half of the workload fast.
-	c, err := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
+	c, err := New(ts.URL, WithTracer(tracer), WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,10 +142,13 @@ func TestLastErrorConcurrentAccess(t *testing.T) {
 				case 1:
 					_ = c.Experiments("a")
 				default:
-					_ = c.LastError()
+					_ = c.Stats()
 				}
 			}
 		}(i)
 	}
 	wg.Wait()
+	if seen.Load() == 0 {
+		t.Fatal("no listing failures observed; race coverage is vacuous")
+	}
 }

@@ -6,8 +6,9 @@ import (
 	"hash/fnv"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
+
+	"perfknow/internal/obs"
 )
 
 // RetryPolicy controls how the client retries failed requests.
@@ -40,10 +41,37 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
 }
 
-// WithRetryPolicy overrides the client's retry behavior. Zero fields fall
-// back to the defaults; set MaxAttempts to 1 to disable retries entirely.
+// WithRetryPolicy overrides the client's retry behavior wholesale. Zero
+// fields fall back to the defaults; set MaxAttempts to 1 to disable
+// retries entirely. The granular WithMaxAttempts/WithBackoff/WithRetrySeed
+// options compose with it in application order.
 func WithRetryPolicy(p RetryPolicy) Option {
 	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+// WithMaxAttempts bounds total tries including the first (1 disables
+// retries).
+func WithMaxAttempts(n int) Option {
+	return func(c *Client) {
+		c.retry.MaxAttempts = n
+		c.retry = c.retry.withDefaults()
+	}
+}
+
+// WithBackoff sets the exponential backoff's base delay and per-step cap
+// (zero values keep the defaults: 50ms and 2s).
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) {
+		c.retry.BaseDelay = base
+		c.retry.MaxDelay = max
+		c.retry = c.retry.withDefaults()
+	}
+}
+
+// WithRetrySeed seeds the deterministic retry jitter, decorrelating retry
+// storms across clients while keeping each client's schedule reproducible.
+func WithRetrySeed(seed uint64) Option {
+	return func(c *Client) { c.retry.Seed = seed }
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -121,19 +149,20 @@ type RetryStats struct {
 	Retries int64
 }
 
-type retryCounters struct {
-	attempts atomic.Int64
-	retries  atomic.Int64
-}
-
-// Stats reports how many attempts and retries this client has issued —
-// the client-side twin of the server's /metrics resilience counters.
+// Stats reports how many attempts and retries this client has issued — a
+// view over the client's obs.Registry counters
+// (`client_http_attempts_total`, `client_http_retries_total`), the
+// client-side twin of the server's /api/v1/metrics resilience counters.
 func (c *Client) Stats() RetryStats {
 	return RetryStats{
-		Attempts: c.counters.attempts.Load(),
-		Retries:  c.counters.retries.Load(),
+		Attempts: c.attempts.Value(),
+		Retries:  c.retries.Value(),
 	}
 }
+
+// Registry exposes the client's metrics registry (the one installed with
+// WithRegistry, or the private default).
+func (c *Client) Registry() *obs.Registry { return c.reg }
 
 // nextIdempotencyKey mints a fresh upload key: unique per client instance
 // and per logical upload, stable across that upload's retries.

@@ -2,86 +2,53 @@ package dmfserver
 
 import (
 	"net/http"
-	"sync"
-	"sync/atomic"
+	"strconv"
+	"strings"
 	"time"
 
-	"perfknow/internal/dmfwire"
 	"perfknow/internal/faults"
+	"perfknow/internal/obs"
 )
 
-// metricsRegistry accumulates per-route request statistics. It is
-// deliberately tiny — a map under a mutex — because the hot path adds one
-// lock acquisition per request, which is noise next to JSON encoding.
-// The resilience counters sit outside the mutex as atomics: they are
-// bumped from paths (load shedding, idempotent replay) that should not
-// contend with the per-route map.
-type metricsRegistry struct {
-	mu     sync.Mutex
-	start  time.Time
-	routes map[string]*routeStats
+// Per-route request telemetry lives in the server's obs.Registry:
+// `http_requests_total{route=...}`, `http_request_errors_total{route=...}`
+// and the `http_request_duration_ms{route=...}` histogram (whose Max
+// replaces the old routeStats.maxMicros). Updates are registry atomics;
+// the per-route handles are resolved once and cached in a sync.Map, so
+// the request hot path takes no mutex — the old metricsRegistry design
+// read and wrote maxMicros under the same lock every request took.
 
-	shed          atomic.Int64
-	retried       atomic.Int64
-	idemReplays   atomic.Int64
-	uploadsStored atomic.Int64
+// routeHandles bundles the resolved metric handles for one route label.
+type routeHandles struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	duration *obs.Histogram
 }
 
-type routeStats struct {
-	count       int64
-	errors      int64
-	totalMicros int64
-	maxMicros   int64
+// handlesFor returns the cached handles for route, resolving them from the
+// registry on first sight of the label.
+func (s *Server) handlesFor(route string) *routeHandles {
+	if h, ok := s.routeCache.Load(route); ok {
+		return h.(*routeHandles)
+	}
+	h := &routeHandles{
+		requests: s.reg.Counter(obs.Key("http_requests_total", "route", route)),
+		errors:   s.reg.Counter(obs.Key("http_request_errors_total", "route", route)),
+		duration: s.reg.Histogram(obs.Key("http_request_duration_ms", "route", route), nil),
+	}
+	actual, _ := s.routeCache.LoadOrStore(route, h)
+	return actual.(*routeHandles)
 }
 
-func newMetricsRegistry() *metricsRegistry {
-	return &metricsRegistry{start: time.Now(), routes: make(map[string]*routeStats)}
-}
-
-func (m *metricsRegistry) observe(route string, status int, d time.Duration) {
-	us := d.Microseconds()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rs := m.routes[route]
-	if rs == nil {
-		rs = &routeStats{}
-		m.routes[route] = rs
+// routeLabel normalizes a request to a bounded-cardinality route label.
+// The API surface is fixed, so method + path is already low cardinality —
+// except the trace-by-id path, whose id segment is folded away.
+func routeLabel(r *http.Request) string {
+	path := r.URL.Path
+	if strings.HasPrefix(path, "/api/v1/traces/") && len(path) > len("/api/v1/traces/") {
+		path = "/api/v1/traces/{id}"
 	}
-	rs.count++
-	if status >= 400 {
-		rs.errors++
-	}
-	rs.totalMicros += us
-	if us > rs.maxMicros {
-		rs.maxMicros = us
-	}
-}
-
-func (m *metricsRegistry) snapshot() dmfwire.MetricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := dmfwire.MetricsSnapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Requests:      make(map[string]dmfwire.RouteMetrics, len(m.routes)),
-		Resilience: dmfwire.ResilienceMetrics{
-			Shed:              m.shed.Load(),
-			RetriedRequests:   m.retried.Load(),
-			IdempotentReplays: m.idemReplays.Load(),
-			UploadsStored:     m.uploadsStored.Load(),
-		},
-	}
-	for route, rs := range m.routes {
-		rm := dmfwire.RouteMetrics{
-			Count:  rs.count,
-			Errors: rs.errors,
-			MaxMs:  float64(rs.maxMicros) / 1e3,
-		}
-		if rs.count > 0 {
-			rm.AvgMs = float64(rs.totalMicros) / float64(rs.count) / 1e3
-		}
-		out.Requests[route] = rm
-	}
-	return out
+	return r.Method + " " + path
 }
 
 // statusWriter captures the response status and byte count for logging and
@@ -108,14 +75,24 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// instrument wraps the router with request logging and metrics. The route
-// label is method + path, which for this fixed API is already low
-// cardinality.
+// instrument wraps the router with tracing, request logging and metrics.
+// Each request runs under a server span; a Traceparent header continues
+// the caller's trace, so client attempt spans become the parents of the
+// server-side tree (HTTP handler → script statements → repository I/O).
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if faults.Attempt(r.Header) > 0 {
-			s.metrics.retried.Add(1)
+			s.retried.Inc()
 		}
+		route := routeLabel(r)
+
+		ctx := obs.ContextWithTracer(r.Context(), s.tracer)
+		if traceID, spanID, ok := obs.Extract(r.Header); ok {
+			ctx = obs.ContextWithRemoteParent(ctx, traceID, spanID)
+		}
+		ctx, span := obs.StartSpan(ctx, "dmfserver "+route)
+		r = r.WithContext(ctx)
+
 		sw := &statusWriter{ResponseWriter: w}
 		begin := time.Now()
 		next.ServeHTTP(sw, r)
@@ -123,8 +100,17 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		route := r.Method + " " + r.URL.Path
-		s.metrics.observe(route, sw.status, elapsed)
+
+		h := s.handlesFor(route)
+		h.requests.Inc()
+		if sw.status >= 400 {
+			h.errors.Inc()
+		}
+		h.duration.Observe(float64(elapsed.Microseconds()) / 1e3)
+
+		span.SetAttr("status", strconv.Itoa(sw.status))
+		span.End()
+
 		s.log.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,

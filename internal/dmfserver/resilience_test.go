@@ -3,12 +3,14 @@ package dmfserver
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"perfknow/internal/dmfclient"
 	"perfknow/internal/faults"
+	"perfknow/internal/obs"
 	"perfknow/internal/perfdmf"
 )
 
@@ -80,18 +82,17 @@ func TestUploadExactlyOnceUnderRetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := snap.Resilience
-	if res.UploadsStored != 1 {
-		t.Errorf("uploads_stored = %d, want 1", res.UploadsStored)
+	if got := snap.Counters["uploads_stored_total"]; got != 1 {
+		t.Errorf("uploads_stored_total = %d, want 1", got)
 	}
-	if res.IdempotentReplays != 1 {
-		t.Errorf("idempotent_replays = %d, want 1", res.IdempotentReplays)
+	if got := snap.Counters["idempotent_replays_total"]; got != 1 {
+		t.Errorf("idempotent_replays_total = %d, want 1", got)
 	}
-	if res.RetriedRequests < 1 {
-		t.Errorf("retried_requests = %d, want >= 1", res.RetriedRequests)
+	if got := snap.Counters["requests_retried_total"]; got < 1 {
+		t.Errorf("requests_retried_total = %d, want >= 1", got)
 	}
-	if res.FaultsInjected["truncate"] != 1 {
-		t.Errorf("faults_injected = %v, want one truncate", res.FaultsInjected)
+	if got := snap.Counters[obs.Key("faults_injected_total", "kind", "truncate")]; got != 1 {
+		t.Errorf("faults_injected_total{kind=truncate} = %d, want 1 (counters %+v)", got, snap.Counters)
 	}
 }
 
@@ -240,18 +241,19 @@ func TestChaosConvergesByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := snap.Resilience
 	var injected int64
-	for _, n := range res.FaultsInjected {
-		injected += n
+	for key, n := range snap.Counters {
+		if strings.HasPrefix(key, "faults_injected_total{") {
+			injected += n
+		}
 	}
 	if injected == 0 {
 		t.Fatal("no faults injected; chaos run was vacuous")
 	}
-	if res.UploadsStored != nClients {
-		t.Errorf("uploads_stored = %d, want %d (exactly one store per client)",
-			res.UploadsStored, nClients)
+	if got := snap.Counters["uploads_stored_total"]; got != nClients {
+		t.Errorf("uploads_stored_total = %d, want %d (exactly one store per client)",
+			got, nClients)
 	}
-	t.Logf("chaos run: %d faults injected (%v), %d retried requests, %d idempotent replays",
-		injected, res.FaultsInjected, res.RetriedRequests, res.IdempotentReplays)
+	t.Logf("chaos run: %d faults injected, %d retried requests, %d idempotent replays",
+		injected, snap.Counters["requests_retried_total"], snap.Counters["idempotent_replays_total"])
 }

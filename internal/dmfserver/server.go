@@ -20,10 +20,15 @@
 //   - uploads carrying an Idempotency-Key header are deduplicated: a
 //     retried POST whose response was lost replays the original response
 //     instead of storing the trial again;
-//   - requests are logged as structured (slog) records;
-//   - GET /healthz answers liveness probes and GET /metrics reports
-//     request counts, latencies, repository size and resilience counters
-//     (shed, retried, idempotent replays, injected faults);
+//   - requests are logged as structured (slog) records and traced with
+//     internal/obs: a Traceparent header continues the caller's trace, so
+//     a remote diagnosis yields one tree from the client's attempt span
+//     down through script statements, rule firings and repository I/O;
+//     completed traces are served by GET /api/v1/traces[/{id}];
+//   - GET /healthz answers liveness probes and GET /api/v1/metrics serves
+//     the typed, versioned telemetry schema (request counts, latency
+//     histograms, repository size, resilience counters); the legacy
+//     GET /metrics alias answers with a Deprecation header;
 //   - the configured http.Server carries read/write timeouts and supports
 //     graceful shutdown with connection draining;
 //   - for chaos testing, Config.FaultInjector wires a seeded
@@ -46,6 +51,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"perfknow/internal/analysis"
@@ -53,6 +59,7 @@ import (
 	"perfknow/internal/diagnosis"
 	"perfknow/internal/dmfwire"
 	"perfknow/internal/faults"
+	"perfknow/internal/obs"
 	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 )
@@ -67,8 +74,7 @@ type (
 	AnalyzeResponse  = dmfwire.AnalyzeResponse
 	DiagnoseRequest  = dmfwire.DiagnoseRequest
 	DiagnoseResponse = dmfwire.DiagnoseResponse
-	MetricsSnapshot  = dmfwire.MetricsSnapshot
-	RouteMetrics     = dmfwire.RouteMetrics
+	Metrics          = dmfwire.Metrics
 )
 
 // Default hygiene limits, overridable through Config.
@@ -123,6 +129,13 @@ type Config struct {
 	FaultInjector faults.Injector
 	// Logger receives structured request logs (nil: slog.Default()).
 	Logger *slog.Logger
+	// Tracer collects request traces (nil: a fresh obs.NewTracer with the
+	// default ring-buffer bounds). Completed traces are served by
+	// GET /api/v1/traces.
+	Tracer *obs.Tracer
+	// Registry holds the server's metrics (nil: a fresh obs.NewRegistry).
+	// Share one to fold server metrics into an embedding process's surface.
+	Registry *obs.Registry
 }
 
 // Server is the perfdmfd HTTP service.
@@ -141,8 +154,19 @@ type Server struct {
 	injector      faults.Injector
 	idem          *idempotencyCache
 	log           *slog.Logger
-	metrics       *metricsRegistry
 	mux           *http.ServeMux
+
+	tracer *obs.Tracer
+	reg    *obs.Registry
+	// routeCache maps route label → *routeHandles so the per-request path
+	// resolves its counters without locking the registry.
+	routeCache sync.Map
+
+	// Resilience counters (handles into reg).
+	shed          *obs.Counter
+	retried       *obs.Counter
+	idemReplays   *obs.Counter
+	uploadsStored *obs.Counter
 }
 
 // New builds a Server. When cfg.RulesDir is empty the built-in knowledge
@@ -191,6 +215,17 @@ func New(cfg Config) (*Server, error) {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer()
+	}
+	if tracer.Service == "" {
+		tracer.Service = "perfdmfd"
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		repo:          cfg.Repo,
 		rulesDir:      rulesDir,
@@ -203,11 +238,47 @@ func New(cfg Config) (*Server, error) {
 		injector:      cfg.FaultInjector,
 		idem:          newIdempotencyCache(DefaultIdempotencyEntries),
 		log:           logger,
-		metrics:       newMetricsRegistry(),
+		tracer:        tracer,
+		reg:           reg,
+		shed:          reg.Counter("requests_shed_total"),
+		retried:       reg.Counter("requests_retried_total"),
+		idemReplays:   reg.Counter("idempotent_replays_total"),
+		uploadsStored: reg.Counter("uploads_stored_total"),
 	}
+	s.registerGauges()
 	s.routes()
 	return s, nil
 }
+
+// registerGauges wires the instantaneous values — repository size, limiter
+// state, trace-buffer depth, worker-pool utilization — into the registry
+// as functions evaluated at snapshot time.
+func (s *Server) registerGauges() {
+	s.reg.GaugeFunc("repository_applications", func() float64 {
+		apps, _, _ := s.repo.Size()
+		return float64(apps)
+	})
+	s.reg.GaugeFunc("repository_experiments", func() float64 {
+		_, exps, _ := s.repo.Size()
+		return float64(exps)
+	})
+	s.reg.GaugeFunc("repository_trials", func() float64 {
+		_, _, trials := s.repo.Size()
+		return float64(trials)
+	})
+	s.reg.GaugeFunc("analysis_slots_cap", func() float64 { return float64(s.limiter.Cap()) })
+	s.reg.GaugeFunc("analysis_slots_in_use", func() float64 { return float64(s.limiter.InUse()) })
+	s.reg.GaugeFunc("analysis_slots_waiting", func() float64 { return float64(s.limiter.Waiting()) })
+	s.reg.GaugeFunc("traces_buffered", func() float64 { return float64(s.tracer.Len()) })
+	parallel.RegisterMetrics(s.reg)
+}
+
+// Tracer returns the server's trace collector (for embedding processes
+// that want to observe or export server-side traces directly).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Close releases resources the Server owns — today the temporary assets
 // directory materialized when Config.RulesDir was empty. It is safe to call
@@ -246,7 +317,10 @@ func (s *Server) HTTPServer(addr string) *http.Server {
 func (s *Server) routes() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handleMetricsDeprecated)
+	mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /api/v1/traces/{id}", s.handleTraceGet)
 	mux.HandleFunc("GET /api/v1/applications", s.handleApplications)
 	mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /api/v1/trials", s.handleTrialList)
@@ -327,7 +401,7 @@ func (s *Server) gated(w http.ResponseWriter, r *http.Request, fn func(ctx conte
 	defer cancel()
 	if err := s.limiter.AcquireTimeout(ctx, s.admissionWait); err != nil {
 		if errors.Is(err, parallel.ErrSaturated) {
-			s.metrics.shed.Add(1)
+			s.shed.Inc()
 			w.Header().Set("Retry-After", shedRetryAfter)
 			writeError(w, http.StatusTooManyRequests, fmt.Errorf("server saturated, retry later: %w", err))
 		} else {
@@ -352,15 +426,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	apps, exps, trials := s.repo.Size()
-	snap := s.metrics.snapshot()
-	snap.Repository = dmfwire.RepoMetrics{Applications: apps, Experiments: exps, Trials: trials}
-	snap.AnalysisSlots = dmfwire.AnalysisSlots{Cap: s.limiter.Cap(), InUse: s.limiter.InUse()}
+// metricsBody assembles the versioned telemetry document: the registry
+// snapshot plus the fault injector's counters (test deployments only),
+// folded in as labeled counters at snapshot time.
+func (s *Server) metricsBody() *dmfwire.Metrics {
+	snap := s.reg.Snapshot()
 	if s.injector != nil {
-		snap.Resilience.FaultsInjected = s.injector.Counts()
+		for kind, n := range s.injector.Counts() {
+			snap.Counters[obs.Key("faults_injected_total", "kind", kind)] = n
+		}
 	}
-	writeJSON(w, http.StatusOK, snap)
+	return dmfwire.NewMetrics("perfdmfd", snap)
+}
+
+// handleMetrics serves the typed, versioned telemetry schema.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metricsBody())
+}
+
+// handleMetricsDeprecated serves the same body on the legacy /metrics
+// path, flagged with a Deprecation header and a pointer at the successor.
+// The route exists for one release; scrape /api/v1/metrics instead.
+func (s *Server) handleMetricsDeprecated(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</api/v1/metrics>; rel="successor-version"`)
+	writeJSON(w, http.StatusOK, s.metricsBody())
+}
+
+// --- traces -------------------------------------------------------------
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	sums := s.tracer.Summaries()
+	if sums == nil {
+		sums = []obs.TraceSummary{}
+	}
+	writeJSON(w, http.StatusOK, dmfwire.TraceList{Traces: sums})
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.tracer.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("trace %q: %w", id, perfdmf.ErrNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 // --- browsing ---------------------------------------------------------
@@ -393,7 +503,7 @@ func (s *Server) handleTrialGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing app, experiment or trial parameter"))
 		return
 	}
-	t, err := s.repo.GetTrial(app, exp, name)
+	t, err := s.repo.GetTrialContext(r.Context(), app, exp, name)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -407,7 +517,7 @@ func (s *Server) handleTrialDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing app, experiment or trial parameter"))
 		return
 	}
-	if err := s.repo.Delete(app, exp, name); err != nil {
+	if err := s.repo.DeleteContext(r.Context(), app, exp, name); err != nil {
 		writeError(w, errStatus(err), err)
 		return
 	}
@@ -423,7 +533,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		idemKey := r.Header.Get(dmfwire.HeaderIdempotencyKey)
 		if idemKey != "" {
 			if status, body, ok := s.idem.lookup(idemKey); ok {
-				s.metrics.idemReplays.Add(1)
+				s.idemReplays.Inc()
 				writeRaw(w, status, body)
 				return nil
 			}
@@ -478,10 +588,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		default:
 			return fmt.Errorf("unknown upload format %q (want json, tau or gprof)", format)
 		}
-		if err := s.repo.Save(t); err != nil {
+		if err := s.repo.SaveContext(ctx, t); err != nil {
 			return err
 		}
-		s.metrics.uploadsStored.Add(1)
+		s.uploadsStored.Inc()
 		body := encodeJSON(UploadSummary{
 			Application: t.App,
 			Experiment:  t.Experiment,
@@ -506,7 +616,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if err := s.decodeBody(w, r, &req); err != nil {
 			return err
 		}
-		t, err := s.repo.GetTrial(req.App, req.Experiment, req.Trial)
+		t, err := s.repo.GetTrialContext(ctx, req.App, req.Experiment, req.Trial)
 		if err != nil {
 			return err
 		}
@@ -514,16 +624,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		switch req.Op {
 		case "stats":
 			if req.Inclusive {
-				resp.Stats = analysis.InclusiveStats(t, req.Metric)
+				resp.Stats = analysis.InclusiveStatsCtx(ctx, t, req.Metric)
 			} else {
-				resp.Stats = analysis.ExclusiveStats(t, req.Metric)
+				resp.Stats = analysis.ExclusiveStatsCtx(ctx, t, req.Metric)
 			}
 		case "derive":
 			op, err := analysis.ParseOp(req.Operator)
 			if err != nil {
 				return err
 			}
-			out, metric, err := analysis.DeriveMetric(t, req.Lhs, req.Rhs, op)
+			out, metric, err := analysis.DeriveMetricCtx(ctx, t, req.Lhs, req.Rhs, op)
 			if err != nil {
 				return err
 			}
@@ -534,7 +644,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			if k <= 0 {
 				k = 2
 			}
-			c, err := analysis.KMeans(t, req.Metric, k, 100)
+			c, err := analysis.KMeansCtx(ctx, t, req.Metric, k, 100)
 			if err != nil {
 				return err
 			}
@@ -544,9 +654,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			if n <= 0 {
 				n = 10
 			}
-			resp.Events = analysis.TopN(t, req.Metric, n)
+			resp.Events = analysis.TopNCtx(ctx, t, req.Metric, n)
 		case "loadbalance":
-			resp.LoadBalance = analysis.LoadBalanceAnalysis(t, req.Metric)
+			resp.LoadBalance = analysis.LoadBalanceAnalysisCtx(ctx, t, req.Metric)
 		default:
 			return fmt.Errorf("unknown analysis op %q (want stats, derive, cluster, topn or loadbalance)", req.Op)
 		}

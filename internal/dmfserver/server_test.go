@@ -18,6 +18,8 @@ import (
 	"perfknow/internal/core"
 	"perfknow/internal/diagnosis"
 	"perfknow/internal/dmfclient"
+	"perfknow/internal/dmfwire"
+	"perfknow/internal/obs"
 	"perfknow/internal/perfdmf"
 )
 
@@ -336,18 +338,28 @@ func TestHealthAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Repository.Trials != 1 || snap.Repository.Applications != 1 {
-		t.Fatalf("repo metrics = %+v", snap.Repository)
+	if snap.SchemaVersion != dmfwire.MetricsSchemaVersion || snap.Service != "perfdmfd" {
+		t.Fatalf("schema = %d service = %q", snap.SchemaVersion, snap.Service)
 	}
-	if snap.AnalysisSlots.Cap != 3 {
-		t.Fatalf("slots = %+v", snap.AnalysisSlots)
+	if got := snap.Gauges["repository_trials"]; got != 1 {
+		t.Fatalf("repository_trials = %v (gauges %+v)", got, snap.Gauges)
 	}
-	rm, ok := snap.Requests["GET /api/v1/trial"]
-	if !ok || rm.Count != 1 {
-		t.Fatalf("request metrics = %+v", snap.Requests)
+	if got := snap.Gauges["repository_applications"]; got != 1 {
+		t.Fatalf("repository_applications = %v", got)
 	}
-	if rm.Errors != 0 || rm.MaxMs < 0 {
-		t.Fatalf("trial route metrics = %+v", rm)
+	if got := snap.Gauges["analysis_slots_cap"]; got != 3 {
+		t.Fatalf("analysis_slots_cap = %v", got)
+	}
+	key := obs.Key("http_requests_total", "route", "GET /api/v1/trial")
+	if got := snap.Counters[key]; got != 1 {
+		t.Fatalf("%s = %d (counters %+v)", key, got, snap.Counters)
+	}
+	if got := snap.Counters[obs.Key("http_request_errors_total", "route", "GET /api/v1/trial")]; got != 0 {
+		t.Fatalf("trial route errors = %d", got)
+	}
+	h, ok := snap.Histograms[obs.Key("http_request_duration_ms", "route", "GET /api/v1/trial")]
+	if !ok || h.Count != 1 || h.Max < 0 {
+		t.Fatalf("trial route duration histogram = %+v", h)
 	}
 }
 

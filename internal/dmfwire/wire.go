@@ -6,6 +6,7 @@ package dmfwire
 
 import (
 	"perfknow/internal/analysis"
+	"perfknow/internal/obs"
 	"perfknow/internal/perfdmf"
 	"perfknow/internal/rules"
 )
@@ -88,45 +89,54 @@ type DiagnoseResponse struct {
 	Recommendations []rules.Recommendation `json:"recommendations,omitempty"`
 }
 
-// RouteMetrics is the wire form of one route's request statistics.
-type RouteMetrics struct {
-	Count  int64   `json:"count"`
-	Errors int64   `json:"errors"`
-	AvgMs  float64 `json:"avg_ms"`
-	MaxMs  float64 `json:"max_ms"`
+// MetricsSchemaVersion identifies the telemetry schema served by
+// GET /api/v1/metrics. Bump only with a compatibility note in
+// docs/METRICS.md.
+const MetricsSchemaVersion = 1
+
+// Metrics is the GET /api/v1/metrics response body: a typed, versioned
+// flattening of the server's obs.Registry. Metric keys are stable API —
+// names carry their unit as a suffix (`_total` for counters, `_ms` / `_us`
+// for durations) and label sets are folded into the key
+// (`http_requests_total{route="GET /api/v1/trial"}`). The legacy /metrics
+// endpoint serves the same body with a Deprecation header.
+type Metrics struct {
+	SchemaVersion int    `json:"schema_version"`
+	Service       string `json:"service"`
+	// UptimeSeconds is how long the registry (≈ the process) has been up.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Counters are monotonically increasing totals.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges are instantaneous values (repository size, slots in use…).
+	Gauges map[string]float64 `json:"gauges"`
+	// Histograms hold fixed-bucket distributions; bucket keys are upper
+	// bounds ("le") as decimal strings plus "+Inf", values cumulative.
+	Histograms map[string]obs.HistogramValue `json:"histograms"`
 }
 
-// RepoMetrics reports the size of the served repository.
-type RepoMetrics struct {
-	Applications int `json:"applications"`
-	Experiments  int `json:"experiments"`
-	Trials       int `json:"trials"`
+// NewMetrics assembles the wire body from a registry snapshot.
+func NewMetrics(service string, snap obs.Snapshot) *Metrics {
+	return &Metrics{
+		SchemaVersion: MetricsSchemaVersion,
+		Service:       service,
+		UptimeSeconds: snap.UptimeSeconds,
+		Counters:      snap.Counters,
+		Gauges:        snap.Gauges,
+		Histograms:    snap.Histograms,
+	}
 }
 
-// AnalysisSlots reports the request-concurrency limiter state.
-type AnalysisSlots struct {
-	Cap   int `json:"cap"`
-	InUse int `json:"in_use"`
+// TraceList is the GET /api/v1/traces response body.
+type TraceList struct {
+	Traces []obs.TraceSummary `json:"traces"`
 }
 
-// ResilienceMetrics reports the server's fault-tolerance counters: how
-// much load was shed, how many incoming requests were client retries, how
-// many uploads were deduplicated by idempotency key versus actually
-// stored, and (when a fault injector is installed) how many faults of each
-// kind were injected.
-type ResilienceMetrics struct {
-	Shed              int64            `json:"shed"`
-	RetriedRequests   int64            `json:"retried_requests"`
-	IdempotentReplays int64            `json:"idempotent_replays"`
-	UploadsStored     int64            `json:"uploads_stored"`
-	FaultsInjected    map[string]int64 `json:"faults_injected,omitempty"`
-}
+// TraceResponse is the GET /api/v1/traces/{id} response body; the same
+// shape is written by `perfexplorer -trace out.json` (wrapped in a
+// TraceFile).
+type TraceResponse = obs.Trace
 
-// MetricsSnapshot is the GET /metrics response body.
-type MetricsSnapshot struct {
-	UptimeSeconds float64                 `json:"uptime_seconds"`
-	Repository    RepoMetrics             `json:"repository"`
-	AnalysisSlots AnalysisSlots           `json:"analysis_slots"`
-	Resilience    ResilienceMetrics       `json:"resilience"`
-	Requests      map[string]RouteMetrics `json:"requests"`
+// TraceFile is the on-disk format written by `perfexplorer -trace`.
+type TraceFile struct {
+	Traces []obs.Trace `json:"traces"`
 }

@@ -1,0 +1,84 @@
+package dmfwire
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"perfknow/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// TestMetricsGolden pins the GET /api/v1/metrics JSON schema. If this test
+// fails, the telemetry API changed: either revert the change or bump
+// MetricsSchemaVersion, update docs/METRICS.md, and regenerate with
+// `go test ./internal/dmfwire -run Golden -update-golden`.
+func TestMetricsGolden(t *testing.T) {
+	m := &Metrics{
+		SchemaVersion: MetricsSchemaVersion,
+		Service:       "perfdmfd",
+		UptimeSeconds: 12.5,
+		Counters: map[string]int64{
+			`http_requests_total{route="GET /api/v1/trial"}`:       7,
+			`http_request_errors_total{route="GET /api/v1/trial"}`: 1,
+			"requests_shed_total":                                  2,
+			"requests_retried_total":                               3,
+			"uploads_stored_total":                                 4,
+			"idempotent_replays_total":                             1,
+			`faults_injected_total{kind="truncate"}`:               5,
+		},
+		Gauges: map[string]float64{
+			"repository_applications": 1,
+			"repository_experiments":  2,
+			"repository_trials":       3,
+			"analysis_slots_cap":      4,
+			"analysis_slots_in_use":   0,
+			"traces_buffered":         2,
+		},
+		Histograms: map[string]obs.HistogramValue{
+			`http_request_duration_ms{route="GET /api/v1/trial"}`: {
+				Count: 7,
+				Sum:   21.5,
+				Max:   9.25,
+				Buckets: map[string]int64{
+					"1": 2, "5": 5, "10": 7, "+Inf": 7,
+				},
+			},
+		},
+	}
+	got, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "metrics_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("dmfwire.Metrics JSON drifted from golden schema.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The body must round-trip without loss.
+	var back Metrics
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != MetricsSchemaVersion || back.Counters["requests_shed_total"] != 2 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}

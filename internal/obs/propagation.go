@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+)
+
+// HeaderTraceparent carries trace context across process boundaries, in
+// the W3C trace-context wire format:
+//
+//	00-<32 hex trace id>-<16 hex span id>-<2 hex flags>
+//
+// Only version 00 is produced or accepted.
+const HeaderTraceparent = "Traceparent"
+
+// Inject writes the span's trace context into h. A nil span injects
+// nothing, so callers never guard.
+func Inject(h http.Header, sp *Span) {
+	if sp == nil {
+		return
+	}
+	h.Set(HeaderTraceparent, "00-"+sp.TraceID()+"-"+sp.SpanID()+"-01")
+}
+
+// Extract parses a Traceparent header value into (traceID, spanID).
+// ok is false for absent or malformed values.
+func Extract(h http.Header) (traceID, spanID string, ok bool) {
+	return ParseTraceparent(h.Get(HeaderTraceparent))
+}
+
+// ParseTraceparent validates and splits a traceparent value.
+func ParseTraceparent(v string) (traceID, spanID string, ok bool) {
+	parts := strings.Split(v, "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return "", "", false
+	}
+	traceID, spanID = parts[1], parts[2]
+	if len(traceID) != 32 || len(spanID) != 16 || !isHex(traceID) || !isHex(spanID) || traceID == strings.Repeat("0", 32) {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,359 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a process-wide metrics surface: named counters, gauges and
+// fixed-bucket histograms. Creation (Counter, Gauge, Histogram, …) takes a
+// lock; updates through the returned handles are lock-free atomics, so hot
+// paths resolve their handles once and then mutate without contention.
+//
+// Metric names embed their unit as a suffix (`_total`, `_ms`, `_us`) and
+// label sets are folded into the key with Key, e.g.
+// `http_requests_total{route="GET /api/v1/trial"}`. The flattened form is
+// the stable wire schema served by GET /api/v1/metrics.
+type Registry struct {
+	start time.Time
+
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry with its uptime clock started.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:      time.Now(),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() float64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+// Key folds alternating label key/value pairs into a metric name:
+// Key("http_requests_total", "route", "GET /x") ==
+// `http_requests_total{route="GET /x"}`. Labels are sorted by key so the
+// same set always produces the same string.
+func Key(name string, labels ...string) string {
+	if len(labels) < 2 {
+		return name
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(p.v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing integer. Handles are safe for
+// concurrent use and updates are a single atomic add.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (negative n is ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultDurationBucketsMs is the standard latency bucketing (in
+// milliseconds) used for request and operation durations.
+var DefaultDurationBucketsMs = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Histogram accumulates observations into fixed cumulative buckets. All
+// updates are atomics: one add per bucket boundary crossed, plus CAS loops
+// for the running sum and max.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; implicit +Inf last
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultDurationBucketsMs
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running total of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Max returns the largest observation seen (0 before any Observe).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Counter returns the counter registered under key, creating it on first
+// use. A nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(key string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[key]; c == nil {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under key, creating it on first use.
+func (r *Registry) Gauge(key string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[key]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[key]; g == nil {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at snapshot time —
+// for values the owner already tracks (repository size, slots in use).
+// Re-registering a key replaces the function.
+func (r *Registry) GaugeFunc(key string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFuncs[key] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under key, creating it with
+// the given bucket upper bounds on first use (nil bounds selects
+// DefaultDurationBucketsMs). Bounds are fixed at creation; later callers
+// get the existing histogram regardless of the bounds they pass.
+func (r *Registry) Histogram(key string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[key]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[key]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[key] = h
+	}
+	return h
+}
+
+// HistogramValue is the snapshot form of a histogram. Bucket keys are the
+// upper bounds rendered as decimal strings plus "+Inf"; values are
+// cumulative counts.
+type HistogramValue struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Max     float64          `json:"max"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every metric in the registry.
+type Snapshot struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Counters      map[string]int64          `json:"counters"`
+	Gauges        map[string]float64        `json:"gauges"`
+	Histograms    map[string]HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures the current value of every registered metric,
+// evaluating gauge functions as it goes.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramValue{},
+	}
+	if r == nil {
+		return s
+	}
+	s.UptimeSeconds = time.Since(r.start).Seconds()
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	funcs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for k, fn := range r.gaugeFuncs {
+		funcs[k] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.RUnlock()
+
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, fn := range funcs {
+		s.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		hv := HistogramValue{
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Max:     h.Max(),
+			Buckets: make(map[string]int64, len(h.bounds)+1),
+		}
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.buckets[i].Load()
+			hv.Buckets[formatBound(b)] = cum
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		hv.Buckets["+Inf"] = cum
+		s.Histograms[k] = hv
+	}
+	return s
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestKeyFormatting(t *testing.T) {
+	if got := Key("requests_total"); got != "requests_total" {
+		t.Errorf("bare key = %q", got)
+	}
+	got := Key("http_requests_total", "route", "GET /api/v1/trial")
+	want := `http_requests_total{route="GET /api/v1/trial"}`
+	if got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+	// Labels sort by key regardless of argument order.
+	a := Key("m", "b", "2", "a", "1")
+	b := Key("m", "a", "1", "b", "2")
+	if a != b || a != `m{a="1",b="2"}` {
+		t.Errorf("label sorting: %q vs %q", a, b)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("x_total") != c {
+		t.Error("same key must return the same handle")
+	}
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+	r.GaugeFunc("computed", func() float64 { return 42 })
+
+	snap := r.Snapshot()
+	if snap.Counters["x_total"] != 5 {
+		t.Errorf("snapshot counter = %d", snap.Counters["x_total"])
+	}
+	if snap.Gauges["depth"] != 1.5 || snap.Gauges["computed"] != 42 {
+		t.Errorf("snapshot gauges = %v", snap.Gauges)
+	}
+	if snap.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v", snap.UptimeSeconds)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_ms", []float64{10, 100})
+	for _, v := range []float64{1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 556 || h.Max() != 500 {
+		t.Errorf("count=%d sum=%v max=%v", h.Count(), h.Sum(), h.Max())
+	}
+	hv := r.Snapshot().Histograms["latency_ms"]
+	if hv.Buckets["10"] != 2 {
+		t.Errorf("le=10 bucket = %d, want 2 (cumulative)", hv.Buckets["10"])
+	}
+	if hv.Buckets["100"] != 3 {
+		t.Errorf("le=100 bucket = %d, want 3", hv.Buckets["100"])
+	}
+	if hv.Buckets["+Inf"] != 4 {
+		t.Errorf("+Inf bucket = %d, want 4", hv.Buckets["+Inf"])
+	}
+}
+
+func TestNilRegistryHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.GaugeFunc("c", func() float64 { return 1 })
+	r.Histogram("d", nil).Observe(1)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+// TestRegistryConcurrency hammers handle creation and updates from many
+// goroutines; run with -race to prove the lock-free paths are clean.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared_total").Inc()
+				r.Counter(Key("routed_total", "route", routeFor(w))).Inc()
+				r.Gauge("depth").Add(1)
+				r.Gauge("depth").Add(-1)
+				r.Histogram("lat_ms", nil).Observe(float64(i % 7))
+				if i%50 == 0 {
+					_ = r.Snapshot() // snapshot concurrently with writes
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*iters {
+		t.Errorf("shared counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("lat_ms", nil).Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	var routed int64
+	for k, v := range r.Snapshot().Counters {
+		if len(k) > 12 && k[:12] == "routed_total" {
+			routed += v
+		}
+	}
+	if routed != workers*iters {
+		t.Errorf("routed counters sum = %d, want %d", routed, workers*iters)
+	}
+}
+
+func routeFor(w int) string {
+	routes := []string{"GET /a", "GET /b", "POST /c", "DELETE /d"}
+	return routes[w%len(routes)]
+}

@@ -28,7 +28,39 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"perfknow/internal/obs"
 )
+
+// Pool telemetry. Counters are coarse-grained by design: one update per
+// fan-out call and one per worker goroutine — never per item — so
+// instrumentation adds nothing to the index-claiming hot path that
+// BenchmarkParallelSpeedup measures.
+var (
+	fanoutsTotal  atomic.Int64 // Each/ForEach invocations
+	workersTotal  atomic.Int64 // worker goroutines ever started
+	workersActive atomic.Int64 // worker goroutines currently running
+)
+
+// RegisterMetrics exposes the pool's utilization through reg:
+// `parallel_fanouts_total`, `parallel_workers_total` (both monotonic) and
+// `parallel_workers_active` (instantaneous), all read at snapshot time.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("parallel_fanouts_total", func() float64 { return float64(fanoutsTotal.Load()) })
+	reg.GaugeFunc("parallel_workers_total", func() float64 { return float64(workersTotal.Load()) })
+	reg.GaugeFunc("parallel_workers_active", func() float64 { return float64(workersActive.Load()) })
+}
+
+// workerSpan brackets one worker goroutine's lifetime (inline loops count
+// as one worker: the caller's goroutine is doing the work).
+func workerSpan() func() {
+	workersTotal.Add(1)
+	workersActive.Add(1)
+	return func() { workersActive.Add(-1) }
+}
 
 // defaultWorkers holds the process-wide default worker count. Zero means
 // "use GOMAXPROCS at call time". It is set by the CLIs' -j flag.
@@ -86,8 +118,10 @@ func Each(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	fanoutsTotal.Add(1)
 	w := capped(workers, n)
 	if w == 1 {
+		defer workerSpan()()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -103,6 +137,7 @@ func Each(n, workers int, fn func(i int)) {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			defer workerSpan()()
 			defer func() {
 				if r := recover(); r != nil {
 					pmu.Lock()
@@ -142,8 +177,10 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	fanoutsTotal.Add(1)
 	w := capped(workers, n)
 	if w == 1 {
+		defer workerSpan()()
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -179,6 +216,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			defer workerSpan()()
 			for {
 				if stopped.Load() || ctx.Err() != nil {
 					return
@@ -228,7 +266,8 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
 // run analysis at once. It complements Each/ForEach (which bound fan-out
 // within one call) by bounding concurrency across independent callers.
 type Limiter struct {
-	sem chan struct{}
+	sem     chan struct{}
+	waiting atomic.Int64
 }
 
 // NewLimiter returns a limiter admitting at most n concurrent holders.
@@ -252,6 +291,8 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	l.waiting.Add(1)
+	defer l.waiting.Add(-1)
 	select {
 	case l.sem <- struct{}{}:
 		return nil
@@ -282,6 +323,8 @@ func (l *Limiter) AcquireTimeout(ctx context.Context, wait time.Duration) error 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	l.waiting.Add(1)
+	defer l.waiting.Add(-1)
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
@@ -317,6 +360,11 @@ func (l *Limiter) Release() {
 // InUse returns the number of currently held slots (racy by nature; for
 // metrics and tests).
 func (l *Limiter) InUse() int { return len(l.sem) }
+
+// Waiting returns the number of callers currently blocked in Acquire or
+// AcquireTimeout — the admission queue depth (racy by nature; for
+// metrics and tests).
+func (l *Limiter) Waiting() int { return int(l.waiting.Load()) }
 
 // Map runs fn(i) for every i in [0, n) and returns the results in index
 // order. Error and cancellation semantics match ForEach; on error the

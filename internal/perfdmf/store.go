@@ -1,5 +1,7 @@
 package perfdmf
 
+import "context"
+
 // Store is the repository surface that PerfExplorer sessions, command-line
 // tools and services program against: saving, loading, deleting and
 // browsing trials in the Application → Experiment → Trial hierarchy.
@@ -29,4 +31,46 @@ type Store interface {
 	Trials(app, experiment string) []string
 }
 
-var _ Store = (*Repository)(nil)
+// ContextStore is the optional extension of Store implemented by stores
+// that honor context cancellation and tracing: the context carries the
+// deadline and (when tracing is on) the obs span under which the store
+// operation should appear. Callers that hold a context should prefer
+// these; StoreWithContext falls back to the plain methods otherwise.
+type ContextStore interface {
+	Store
+	SaveContext(ctx context.Context, t *Trial) error
+	GetTrialContext(ctx context.Context, app, experiment, trial string) (*Trial, error)
+	DeleteContext(ctx context.Context, app, experiment, trial string) error
+}
+
+// SaveWithContext saves through the ContextStore extension when s provides
+// it, else through plain Save.
+func SaveWithContext(ctx context.Context, s Store, t *Trial) error {
+	if cs, ok := s.(ContextStore); ok {
+		return cs.SaveContext(ctx, t)
+	}
+	return s.Save(t)
+}
+
+// GetTrialWithContext loads through the ContextStore extension when s
+// provides it, else through plain GetTrial.
+func GetTrialWithContext(ctx context.Context, s Store, app, experiment, trial string) (*Trial, error) {
+	if cs, ok := s.(ContextStore); ok {
+		return cs.GetTrialContext(ctx, app, experiment, trial)
+	}
+	return s.GetTrial(app, experiment, trial)
+}
+
+// DeleteWithContext deletes through the ContextStore extension when s
+// provides it, else through plain Delete.
+func DeleteWithContext(ctx context.Context, s Store, app, experiment, trial string) error {
+	if cs, ok := s.(ContextStore); ok {
+		return cs.DeleteContext(ctx, app, experiment, trial)
+	}
+	return s.Delete(app, experiment, trial)
+}
+
+var (
+	_ Store        = (*Repository)(nil)
+	_ ContextStore = (*Repository)(nil)
+)

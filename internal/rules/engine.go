@@ -1,10 +1,13 @@
 package rules
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+
+	"perfknow/internal/obs"
 )
 
 // Engine is the working memory plus rule base. Typical use:
@@ -135,6 +138,25 @@ type activation struct {
 // order), fires it, and repeats — so consequences that assert or retract
 // facts influence subsequent matching exactly as in a production system.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with observability: when ctx carries an obs tracer, a
+// `rules.run` span wraps the whole loop and every rule firing gets a
+// `rules.fire` child span carrying the rule name — so a diagnosis trace
+// shows which knowledge fired, in order, with timings.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	ctx, runSpan := obs.StartSpan(ctx, "rules.run")
+	res, err := e.run(ctx)
+	if res != nil {
+		runSpan.SetAttr("fired", fmt.Sprintf("%d", len(res.Fired)))
+	}
+	runSpan.SetError(err)
+	runSpan.End()
+	return res, err
+}
+
+func (e *Engine) run(ctx context.Context) (*Result, error) {
 	for cycle := 0; ; cycle++ {
 		if cycle >= e.MaxCycles {
 			return nil, fmt.Errorf("rules: no quiescence after %d cycles (rule loop?)", e.MaxCycles)
@@ -158,17 +180,25 @@ func (e *Engine) Run() (*Result, error) {
 		}
 		e.fired[next.key] = true
 		e.firedLog = append(e.firedLog, next.rule.Name)
-		ctx := &Context{Engine: e, Rule: next.rule, Bindings: next.bindings}
+		_, fireSpan := obs.StartSpan(ctx, "rules.fire", "rule", next.rule.Name)
+		rctx := &Context{Engine: e, Rule: next.rule, Bindings: next.bindings}
+		var fireErr error
 		if next.rule.Action != nil {
-			if err := next.rule.Action(ctx); err != nil {
-				return nil, fmt.Errorf("rules: rule %q action: %w", next.rule.Name, err)
+			if err := next.rule.Action(rctx); err != nil {
+				fireErr = fmt.Errorf("rules: rule %q action: %w", next.rule.Name, err)
 			}
 		} else {
 			for _, c := range next.rule.Consequences {
-				if err := c.Execute(ctx); err != nil {
-					return nil, fmt.Errorf("rules: rule %q consequence: %w", next.rule.Name, err)
+				if err := c.Execute(rctx); err != nil {
+					fireErr = fmt.Errorf("rules: rule %q consequence: %w", next.rule.Name, err)
+					break
 				}
 			}
+		}
+		fireSpan.SetError(fireErr)
+		fireSpan.End()
+		if fireErr != nil {
+			return nil, fireErr
 		}
 	}
 	e.mu.Lock()

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"perfknow/internal/obs"
 )
 
 // Value is any script value: float64, string, bool, nil, *List, *Map,
@@ -110,6 +112,10 @@ type Interp struct {
 	steps    int
 	ctx      context.Context
 	done     <-chan struct{}
+	// curCtx is the context of the top-level statement span currently
+	// executing, when tracing is on; Context() hands it to host bindings so
+	// their spans (repository I/O, analysis ops) nest under the statement.
+	curCtx context.Context
 }
 
 // SetContext arranges for script execution to stop with ctx.Err() once ctx
@@ -154,15 +160,89 @@ func (in *Interp) SetGlobal(name string, v Value) { in.globals.define(name, v) }
 // Global reads a global binding.
 func (in *Interp) Global(name string) (Value, bool) { return in.globals.get(name) }
 
-// Run parses and executes src.
+// Context returns the context host bindings should use for work done on
+// behalf of the running script: the current top-level statement's span
+// context when tracing is on, else the context from SetContext, else
+// Background. Never nil.
+func (in *Interp) Context() context.Context {
+	if in.curCtx != nil {
+		return in.curCtx
+	}
+	if in.ctx != nil {
+		return in.ctx
+	}
+	return context.Background()
+}
+
+// Run parses and executes src. When the context installed with SetContext
+// carries an obs tracer, each top-level statement executes under a
+// `script.stmt` span (statement kind and line as attributes) — top-level
+// only, so a loop of a million iterations costs one span, not a million.
 func (in *Interp) Run(src string) error {
 	stmts, err := parse(src)
 	if err != nil {
 		return err
 	}
 	in.steps = 0
-	_, err = in.execBlock(stmts, newEnv(in.globals))
-	return err
+	e := newEnv(in.globals)
+	base := in.ctx
+	if base == nil {
+		base = context.Background()
+	}
+	if obs.TracerFrom(base) == nil {
+		_, err = in.execBlock(stmts, e)
+		return err
+	}
+	for _, s := range stmts {
+		kind, line := stmtInfo(s)
+		sctx, sp := obs.StartSpan(base, "script.stmt",
+			"stmt", kind, "line", strconv.Itoa(line))
+		in.curCtx = sctx
+		c, err := in.exec(s, e)
+		sp.SetError(err)
+		sp.End()
+		in.curCtx = nil
+		if err != nil {
+			return err
+		}
+		if c.kind != ctlNone {
+			break
+		}
+	}
+	return nil
+}
+
+// stmtInfo labels a statement for its trace span.
+func stmtInfo(s stmt) (kind string, line int) {
+	switch st := s.(type) {
+	case *assignStmt:
+		return "assign", st.Line
+	case *exprStmt:
+		if call, ok := st.X.(*callExpr); ok {
+			if id, ok := call.Fn.(*identExpr); ok {
+				return "call " + id.Name, st.Line
+			}
+			if attr, ok := call.Fn.(*attrExpr); ok {
+				return "call ." + attr.Name, st.Line
+			}
+		}
+		return "expr", st.Line
+	case *ifStmt:
+		return "if", st.Line
+	case *forStmt:
+		return "for", st.Line
+	case *whileStmt:
+		return "while", st.Line
+	case *funcStmt:
+		return "func " + st.Name, st.Line
+	case *returnStmt:
+		return "return", st.Line
+	case *breakStmt:
+		return "break", st.Line
+	case *continueStmt:
+		return "continue", st.Line
+	}
+	return "stmt", 0
 }
 
 // RunFile executes a script file.

@@ -54,6 +54,7 @@ import (
 	"perfknow/internal/dmfwire"
 	"perfknow/internal/faults"
 	"perfknow/internal/machine"
+	"perfknow/internal/obs"
 	"perfknow/internal/openuh"
 	"perfknow/internal/perfdmf"
 	"perfknow/internal/power"
@@ -126,15 +127,77 @@ func DialRepository(baseURL string, opts ...RemoteOption) (*RemoteRepository, er
 	return dmfclient.New(baseURL, opts...)
 }
 
-// Client resilience knobs (see internal/dmfclient and internal/faults).
+// Client construction knobs — functional options for DialRepository (see
+// internal/dmfclient and internal/faults).
 var (
 	// DefaultRetryPolicy is the retry budget DialRepository starts from.
 	DefaultRetryPolicy = dmfclient.DefaultRetryPolicy
-	// WithRetryPolicy overrides a RemoteRepository's retry behavior.
+	// WithRetryPolicy overrides a RemoteRepository's retry behavior wholesale.
 	WithRetryPolicy = dmfclient.WithRetryPolicy
+	// WithMaxAttempts bounds total tries per request, including the first.
+	WithMaxAttempts = dmfclient.WithMaxAttempts
+	// WithBackoff sets the retry backoff's base delay and per-step cap.
+	WithBackoff = dmfclient.WithBackoff
+	// WithRetrySeed decorrelates retry jitter across clients.
+	WithRetrySeed = dmfclient.WithRetrySeed
+	// WithTimeout sets the per-attempt request timeout.
+	WithTimeout = dmfclient.WithTimeout
+	// WithTracer traces every client request (retries as sibling spans) and
+	// publishes swallowed listing errors as events.
+	WithTracer = dmfclient.WithTracer
+	// WithMetricsRegistry shares a metrics registry with the client.
+	WithMetricsRegistry = dmfclient.WithRegistry
 	// NewFaultSchedule builds the seeded deterministic fault injector; plug
 	// it into ProfileServerConfig.FaultInjector to chaos-test a service.
 	NewFaultSchedule = faults.NewSchedule
+)
+
+// Self-observability (internal/obs): the tool traces and meters itself with
+// the same structured-data discipline it applies to application profiles.
+type (
+	// Tracer collects spans into bounded, queryable traces.
+	Tracer = obs.Tracer
+	// Span is one in-flight traced operation (nil is a valid no-op span).
+	Span = obs.Span
+	// Trace is one completed span tree.
+	Trace = obs.Trace
+	// TraceSummary is the listing form of a trace (GET /api/v1/traces).
+	TraceSummary = obs.TraceSummary
+	// SpanData is the serialized form of a completed span.
+	SpanData = obs.SpanData
+	// TelemetryEvent is an out-of-band observation (span errors, swallowed
+	// listing failures); register observers with Tracer.OnEvent.
+	TelemetryEvent = obs.Event
+	// MetricsRegistry holds counters, gauges and histograms; shared by the
+	// profile server, the remote client and the parallel engine.
+	MetricsRegistry = obs.Registry
+	// ServiceMetrics is the versioned typed snapshot served by
+	// GET /api/v1/metrics.
+	ServiceMetrics = dmfwire.Metrics
+)
+
+// NewTracer returns a tracer whose spans are stamped with service (e.g.
+// "perfexplorer"); install it on a context with ContextWithTracer or on a
+// remote client with WithTracer.
+func NewTracer(service string) *Tracer {
+	t := obs.NewTracer()
+	t.Service = service
+	return t
+}
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Tracing entry points.
+var (
+	// ContextWithTracer arranges for StartSpan calls beneath the context to
+	// record into the tracer.
+	ContextWithTracer = obs.ContextWithTracer
+	// StartSpan opens a span beneath the context's current span.
+	StartSpan = obs.StartSpan
+	// TrialFromTrace re-ingests a trace as a profile trial, so the rules
+	// engine can diagnose the analysis system with its own knowledge base.
+	TrialFromTrace = perfdmf.TrialFromTrace
 )
 
 // NewTrial creates an empty trial.
