@@ -17,10 +17,16 @@
 // in-flight requests for up to -drain before exiting. With -addr ending in
 // ":0" the kernel picks a free port; -addr-file writes the bound address
 // to a file so scripts and tests can find the server.
+//
+// With -fsck the daemon does not serve at all: it verifies the repository
+// (recovering orphaned temp files, quarantining corrupt trial files),
+// prints the fsck report as JSON on stdout, and exits 0 if the store is
+// clean or 1 otherwise — the offline twin of GET /api/v1/fsck.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -62,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		drain     = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		admission = fs.Duration("admission-wait", dmfserver.DefaultAdmissionWait,
 			"how long a request may wait for an analysis slot before being shed with 429 (negative = shed immediately)")
+		fsck = fs.Bool("fsck", false,
+			"verify the repository (recover temp files, quarantine corrupt trials), print the report as JSON and exit: 0 if clean, 1 otherwise")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +81,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	repo, err := perfdmf.OpenRepository(*repoDir)
 	if err != nil {
 		return fail(logger, err)
+	}
+	if *fsck {
+		rep, err := repo.Verify()
+		if err != nil {
+			return fail(logger, err)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(rep); err != nil {
+			return fail(logger, err)
+		}
+		if !rep.Clean() {
+			return 1
+		}
+		return 0
 	}
 	srv, err := dmfserver.New(dmfserver.Config{
 		Repo:           repo,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -150,6 +151,69 @@ func TestDaemonDebugListener(t *testing.T) {
 	defer resp2.Body.Close()
 	if resp2.StatusCode == http.StatusOK {
 		t.Fatal("pprof reachable on the API address")
+	}
+}
+
+// TestDaemonFsck: `perfdmfd -fsck` verifies the repository offline,
+// prints the JSON report, and exits 0 on a clean store / 1 on a damaged
+// one — without ever opening a listener.
+func TestDaemonFsck(t *testing.T) {
+	repoDir := t.TempDir()
+	repo, err := perfdmf.OpenRepository(repoDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := perfdmf.NewTrial("app", "exp", "t1", 1)
+	tr.AddMetric(perfdmf.TimeMetric)
+	e := tr.EnsureEvent("main")
+	e.Calls[0] = 1
+	e.SetValue(perfdmf.TimeMetric, 0, 100, 100)
+	if err := repo.Save(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-repo", repoDir, "-fsck"}, &out, &errb, nil); code != 0 {
+		t.Fatalf("fsck on clean store: exit %d, stderr %s", code, errb.String())
+	}
+	var rep perfdmf.FsckReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("fsck output is not a JSON report: %v\n%s", err, out.String())
+	}
+	if rep.Trials != 1 || !rep.Clean() {
+		t.Fatalf("clean-store report = %+v", rep)
+	}
+
+	// Damage the trial file: the next fsck must quarantine it and exit 1.
+	var trialPath string
+	err = filepath.Walk(repoDir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && strings.HasSuffix(p, ".json") {
+			trialPath = p
+		}
+		return err
+	})
+	if err != nil || trialPath == "" {
+		t.Fatalf("trial file not found under %s (err=%v)", repoDir, err)
+	}
+	data, err := os.ReadFile(trialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(trialPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if code := run([]string{"-repo", repoDir, "-fsck"}, &out, &errb, nil); code != 1 {
+		t.Fatalf("fsck on damaged store: exit %d, want 1", code)
+	}
+	rep = perfdmf.FsckReport{}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("fsck output is not a JSON report: %v\n%s", err, out.String())
+	}
+	if len(rep.Quarantined) != 1 || rep.Trials != 0 {
+		t.Fatalf("damaged-store report = %+v", rep)
 	}
 }
 

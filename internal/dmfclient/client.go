@@ -587,6 +587,23 @@ func (c *Client) Metrics() (*dmfwire.Metrics, error) {
 	return &m, nil
 }
 
+// Fsck asks the server to run a full consistency scan of its repository
+// (GET /api/v1/fsck) and returns the report: readable trials, legacy-
+// format trials, quarantined files, recovered temp files, scan errors and
+// whether the store is in read-only degraded mode.
+func (c *Client) Fsck() (*dmfwire.FsckReport, error) {
+	return c.FsckContext(context.Background())
+}
+
+// FsckContext is Fsck bounded by ctx.
+func (c *Client) FsckContext(ctx context.Context) (*dmfwire.FsckReport, error) {
+	var rep dmfwire.FsckReport
+	if err := c.doCtx(ctx, http.MethodGet, "/api/v1/fsck", nil, nil, reqMeta{idempotent: true}, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
 // Traces lists the server's completed traces (GET /api/v1/traces).
 func (c *Client) Traces() ([]obs.TraceSummary, error) {
 	var resp dmfwire.TraceList

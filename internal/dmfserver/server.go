@@ -75,6 +75,7 @@ type (
 	DiagnoseRequest  = dmfwire.DiagnoseRequest
 	DiagnoseResponse = dmfwire.DiagnoseResponse
 	Metrics          = dmfwire.Metrics
+	FsckReport       = dmfwire.FsckReport
 )
 
 // Default hygiene limits, overridable through Config.
@@ -270,6 +271,9 @@ func (s *Server) registerGauges() {
 	s.reg.GaugeFunc("analysis_slots_in_use", func() float64 { return float64(s.limiter.InUse()) })
 	s.reg.GaugeFunc("analysis_slots_waiting", func() float64 { return float64(s.limiter.Waiting()) })
 	s.reg.GaugeFunc("traces_buffered", func() float64 { return float64(s.tracer.Len()) })
+	// Durability health: store_quarantined / store_recovered_tmp /
+	// store_fsync_errors counters and the store_readonly gauge.
+	s.repo.Instrument(s.reg)
 	parallel.RegisterMetrics(s.reg)
 }
 
@@ -319,6 +323,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetricsDeprecated)
 	mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/v1/fsck", s.handleFsck)
 	mux.HandleFunc("GET /api/v1/traces", s.handleTraceList)
 	mux.HandleFunc("GET /api/v1/traces/{id}", s.handleTraceGet)
 	mux.HandleFunc("GET /api/v1/applications", s.handleApplications)
@@ -366,15 +371,37 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // errStatus maps service errors onto HTTP status codes. Not-found is
 // detected via the perfdmf.ErrNotFound sentinel, never by message text, so
 // a script or rule error that merely mentions "not found" stays a 400.
+// Read-only degraded mode (the volume stopped accepting writes) is 503 —
+// the request is valid, the server is temporarily unable to honour it —
+// and a corrupt stored trial is 500: the damage is server-side.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, perfdmf.ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, perfdmf.ErrReadOnly):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, perfdmf.ErrCorrupt):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// readOnlyRetryAfter is the Retry-After hint (seconds) sent with 503s
+// caused by read-only degraded mode: space has to be freed and the next
+// fsck probe has to notice, so the hint is minutes, not the 429's second.
+const readOnlyRetryAfter = "60"
+
+// writeServiceError maps err through errStatus and, for read-only
+// rejections, attaches the Retry-After hint so well-behaved clients back
+// off instead of hammering a full volume.
+func writeServiceError(w http.ResponseWriter, err error) {
+	if errors.Is(err, perfdmf.ErrReadOnly) {
+		w.Header().Set("Retry-After", readOnlyRetryAfter)
+	}
+	writeError(w, errStatus(err), err)
 }
 
 // decodeBody parses a JSON request body under the configured size cap.
@@ -411,7 +438,7 @@ func (s *Server) gated(w http.ResponseWriter, r *http.Request, fn func(ctx conte
 	}
 	defer s.limiter.Release()
 	if err := fn(ctx); err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 	}
 }
 
@@ -422,8 +449,34 @@ func coords(r *http.Request) (app, experiment, trial string) {
 
 // --- health and metrics -----------------------------------------------
 
+// handleHealthz answers liveness and readiness in one probe. A healthy
+// server reports {"status":"ok"}; a repository in read-only degraded mode
+// (the volume stopped accepting writes) turns the probe into 503 +
+// {"status":"degraded","read_only":true} so load balancers route uploads
+// elsewhere while reads keep working.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.repo.ReadOnly() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":    "degraded",
+			"read_only": true,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleFsck runs a full consistency scan of the repository and serves the
+// report. The scan walks and checksums every trial file, so it is gated
+// through the analysis limiter like the other heavy endpoints.
+func (s *Server) handleFsck(w http.ResponseWriter, r *http.Request) {
+	s.gated(w, r, func(ctx context.Context) error {
+		rep, err := s.repo.Verify()
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, rep)
+		return nil
+	})
 }
 
 // metricsBody assembles the versioned telemetry document: the registry
@@ -505,7 +558,7 @@ func (s *Server) handleTrialGet(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := s.repo.GetTrialContext(r.Context(), app, exp, name)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, t)
@@ -518,7 +571,7 @@ func (s *Server) handleTrialDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.repo.DeleteContext(r.Context(), app, exp, name); err != nil {
-		writeError(w, errStatus(err), err)
+		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})

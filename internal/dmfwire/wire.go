@@ -89,6 +89,12 @@ type DiagnoseResponse struct {
 	Recommendations []rules.Recommendation `json:"recommendations,omitempty"`
 }
 
+// FsckReport is the GET /api/v1/fsck response body and the output of
+// `perfdmfd -fsck`: the result of a full consistency scan of the on-disk
+// repository (readable trials, legacy-format trials, quarantined files,
+// recovered temp files, scan errors, read-only state).
+type FsckReport = perfdmf.FsckReport
+
 // MetricsSchemaVersion identifies the telemetry schema served by
 // GET /api/v1/metrics. Bump only with a compatibility note in
 // docs/METRICS.md.

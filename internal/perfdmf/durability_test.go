@@ -1,0 +1,636 @@
+package perfdmf
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+
+	"perfknow/internal/vfs"
+)
+
+// miniTrial builds a minimal valid trial at the given coordinates.
+func miniTrial(app, exp, name string, val float64) *Trial {
+	tr := NewTrial(app, exp, name, 1)
+	tr.AddMetric(TimeMetric)
+	e := tr.EnsureEvent("main")
+	e.Calls[0] = 1
+	e.SetValue(TimeMetric, 0, val, val)
+	return tr
+}
+
+// trialFiles walks root and returns rel path → contents for every regular
+// file with the given suffix ("" = all files).
+func trialFiles(t *testing.T, root, suffix string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if suffix != "" && !strings.HasSuffix(p, suffix) {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, p)
+		out[filepath.ToSlash(rel)] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// onlyKey returns the single key of m.
+func onlyKey(t *testing.T, m map[string][]byte) string {
+	t.Helper()
+	if len(m) != 1 {
+		t.Fatalf("want exactly one file, have %v", len(m))
+	}
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// --- envelope ----------------------------------------------------------
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte(`{"application":"a","name":"t"}`)
+	env := encodeEnvelope(payload)
+	got, legacy, err := decodeEnvelope(env)
+	if err != nil || legacy || !bytes.Equal(got, payload) {
+		t.Fatalf("decode(encode(p)) = %q, legacy=%v, err=%v", got, legacy, err)
+	}
+}
+
+func TestEnvelopeLegacyPassThrough(t *testing.T) {
+	legacyJSON := []byte("  \n{\"application\":\"a\"}")
+	got, legacy, err := decodeEnvelope(legacyJSON)
+	if err != nil || !legacy || !bytes.Equal(got, legacyJSON) {
+		t.Fatalf("legacy decode = %q, legacy=%v, err=%v", got, legacy, err)
+	}
+}
+
+func TestEnvelopeCorruptionDetected(t *testing.T) {
+	env := encodeEnvelope([]byte(`{"application":"a","x":"yyyyyyyyyyyyyyyy"}`))
+	cases := map[string][]byte{
+		"flipped payload byte":  flipByte(env, len(envelopeMagic)+5),
+		"flipped crc digit":     flipByte(env, len(env)-10),
+		"truncated mid-payload": env[:len(env)/2],
+		"truncated trailer":     env[:len(env)-4],
+		"empty":                 {},
+		"junk":                  []byte("not json at all"),
+		"magic only":            []byte(envelopeMagic),
+	}
+	for name, data := range cases {
+		if _, _, err := decodeEnvelope(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xff
+	return out
+}
+
+// --- envelope on disk, legacy compatibility ----------------------------
+
+// Save must write the checksummed envelope, and a pre-existing plain-JSON
+// trial file must stay readable and be rewritten into the envelope on the
+// next save.
+func TestLegacyPlainJSONCompatibility(t *testing.T) {
+	dir := t.TempDir()
+	tr := miniTrial("app", "exp", "t1", 100)
+
+	// Plant a legacy (pre-envelope) trial file by hand, exactly where the
+	// repository would look for it.
+	data, err := json.MarshalIndent(tr, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, safe("app"), safe("exp"), safe("t1")+".json")
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.GetTrial("app", "exp", "t1")
+	if err != nil {
+		t.Fatalf("legacy trial unreadable: %v", err)
+	}
+	if got.Events[0].Inclusive[TimeMetric][0] != 100 {
+		t.Fatal("legacy trial decoded wrong")
+	}
+	rep, err := repo.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 1 || rep.Legacy != 1 {
+		t.Fatalf("Verify = %d trials / %d legacy, want 1/1", rep.Trials, rep.Legacy)
+	}
+
+	// The next save upgrades the file to the envelope in place.
+	got.Events[0].SetValue(TimeMetric, 0, 200, 200)
+	if err := repo.Save(got); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(onDisk, []byte(envelopeMagic)) {
+		t.Fatal("re-saved trial is not in the checksummed envelope")
+	}
+	rep, err = repo.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 1 || rep.Legacy != 0 {
+		t.Fatalf("post-upgrade Verify = %d trials / %d legacy, want 1/0", rep.Trials, rep.Legacy)
+	}
+}
+
+// A file written by the old underscore path scheme is still found through
+// the legacy-path fallback, and Delete removes it.
+func TestLegacyPathSchemeFallback(t *testing.T) {
+	dir := t.TempDir()
+	tr := miniTrial("my app", "exp one", "trial 1", 7)
+	data, err := json.MarshalIndent(tr, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old scheme: spaces replaced by underscores, plain JSON body.
+	lp := filepath.Join(dir, "my_app", "exp_one", "trial_1.json")
+	if err := os.MkdirAll(filepath.Dir(lp), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apps := repo.Applications(); len(apps) != 1 || apps[0] != "my app" {
+		t.Fatalf("Applications = %v, want [my app]", apps)
+	}
+	if _, err := repo.GetTrial("my app", "exp one", "trial 1"); err != nil {
+		t.Fatalf("legacy-path trial unreadable: %v", err)
+	}
+	if err := repo.Delete("my app", "exp one", "trial 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(lp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("legacy file survived Delete: %v", err)
+	}
+}
+
+// --- quarantine --------------------------------------------------------
+
+// A corrupted trial file is quarantined on read: GetTrial fails with the
+// ErrCorrupt sentinel, the file moves to .corrupt, and sibling trials and
+// listings are unaffected.
+func TestCorruptTrialQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Save(miniTrial("app", "exp", "good", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Save(miniTrial("app", "exp", "bad", 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the "bad" trial's file.
+	var badPath string
+	for rel := range trialFiles(t, dir, ".json") {
+		if strings.Contains(rel, "bad") {
+			badPath = filepath.Join(dir, filepath.FromSlash(rel))
+		}
+	}
+	raw, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(badPath, flipByte(raw, len(raw)/2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh repository (no cache) trips over the corruption.
+	repo2, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = repo2.GetTrial("app", "exp", "bad")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt read error = %v, want ErrCorrupt sentinel", err)
+	}
+	if _, err := os.Stat(badPath + ".corrupt"); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+	if _, err := os.Stat(badPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt file still in place after quarantine")
+	}
+	if q, _, _ := repo2.StoreStats(); q != 1 {
+		t.Fatalf("quarantined counter = %d, want 1", q)
+	}
+
+	// Siblings and listings still work; the quarantined trial is now a
+	// plain not-found for new readers.
+	if _, err := repo2.GetTrial("app", "exp", "good"); err != nil {
+		t.Fatalf("sibling trial broken by quarantine: %v", err)
+	}
+	if trials := repo2.Trials("app", "exp"); len(trials) != 1 || trials[0] != "good" {
+		t.Fatalf("Trials = %v, want [good]", trials)
+	}
+	if _, err := repo2.GetTrial("app", "exp", "bad"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("re-read of quarantined trial = %v, want ErrNotFound", err)
+	}
+
+	// The quarantine is visible to fsck.
+	rep, err := repo2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Trials != 1 {
+		t.Fatalf("Verify = %+v, want 1 quarantined / 1 healthy", rep)
+	}
+	if rep.Clean() {
+		t.Fatal("report with quarantined entries must not be Clean")
+	}
+}
+
+// Verify itself must quarantine damaged files it scans, without needing a
+// lookup to trip over them first.
+func TestVerifyQuarantinesProactively(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Save(miniTrial("app", "exp", "t1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, filepath.FromSlash(onlyKey(t, trialFiles(t, dir, ".json"))))
+	if err := os.WriteFile(p, []byte("%PDMF1\ngarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	repo2, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := repo2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Trials != 0 || len(rep.Errors) != 0 {
+		t.Fatalf("Verify = %+v, want exactly one quarantined entry", rep)
+	}
+	if _, err := os.Stat(p + ".corrupt"); err != nil {
+		t.Fatalf("Verify did not quarantine: %v", err)
+	}
+}
+
+// --- collision-free escaping -------------------------------------------
+
+// Names that collided under the old underscore scheme ("a/b" vs "a_b" vs
+// "a b") must now map to distinct files, with every trial surviving.
+func TestSafeEscapingCollisionFree(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a/b", "a_b", "a b", "a:b", "a\\b", "a%b", ".", ".."}
+	for i, name := range names {
+		if err := repo.Save(miniTrial("app", "exp", name, float64(i))); err != nil {
+			t.Fatalf("save %q: %v", name, err)
+		}
+	}
+	if got := len(trialFiles(t, dir, ".json")); got != len(names) {
+		t.Fatalf("%d names produced %d files — collisions remain", len(names), got)
+	}
+	repo2, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		got, err := repo2.GetTrial("app", "exp", name)
+		if err != nil {
+			t.Fatalf("GetTrial(%q): %v", name, err)
+		}
+		if v := got.Events[0].Inclusive[TimeMetric][0]; v != float64(i) {
+			t.Fatalf("trial %q holds value %v, want %d — overwritten by a colliding name", name, v, i)
+		}
+	}
+	if trials := repo2.Trials("app", "exp"); len(trials) != len(names) {
+		t.Fatalf("Trials lists %d names, want %d", len(trials), len(names))
+	}
+}
+
+// safe is injective over a hostile alphabet and never emits a path
+// separator or leading dot.
+func TestSafeInjective(t *testing.T) {
+	names := []string{"a", "a.", ".a", "..", ".", "a/b", "a\\b", "a b", "a_b",
+		"a%b", "a%2Fb", "%", "", "a:b", "con", "a\nb", "a\x00b", "ü"}
+	seen := map[string]string{}
+	for _, n := range names {
+		s := safe(n)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("safe(%q) == safe(%q) == %q", n, prev, s)
+		}
+		seen[s] = n
+		if strings.ContainsAny(s, "/\\") || strings.HasPrefix(s, ".") || s == "" {
+			t.Fatalf("safe(%q) = %q is not a safe path component", n, s)
+		}
+	}
+}
+
+// --- fault-driven error paths ------------------------------------------
+
+// Regression for the cache/disk divergence bug: a failed persist must not
+// leave the new trial visible in the cache, and the previous version must
+// survive on disk.
+func TestSaveFailureDoesNotPoisonCache(t *testing.T) {
+	dir := t.TempDir()
+	f := vfs.NewFaulty(vfs.OS{})
+	repo, err := OpenRepositoryFS(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Save(miniTrial("app", "exp", "t1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Inject(vfs.Fault{Op: vfs.OpWriteFile, Err: syscall.ENOSPC, Count: 1})
+	if err := repo.Save(miniTrial("app", "exp", "t1", 2)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("save under ENOSPC = %v, want ENOSPC", err)
+	}
+	// The failed version must not be served — neither from cache now, nor
+	// after a restart.
+	got, err := repo.GetTrial("app", "exp", "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got.Events[0].Inclusive[TimeMetric][0]; v != 1 {
+		t.Fatalf("GetTrial after failed save = %v, want the durable version 1", v)
+	}
+	repo2, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := repo2.GetTrial("app", "exp", "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got2.Events[0].Inclusive[TimeMetric][0]; v != 1 {
+		t.Fatalf("reopened trial = %v, want 1", v)
+	}
+}
+
+// The repository's error paths, driven through the fault-injecting VFS.
+func TestRepositoryFaultTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault vfs.Fault
+		run   func(t *testing.T, repo *Repository, f *vfs.Faulty, dir string)
+	}{
+		{
+			name:  "enospc mid-save leaves no residue",
+			fault: vfs.Fault{Op: vfs.OpWriteFile, Path: ".tmp", Err: syscall.ENOSPC, Torn: true, Count: 1},
+			run: func(t *testing.T, repo *Repository, f *vfs.Faulty, dir string) {
+				err := repo.Save(miniTrial("app", "exp", "new", 9))
+				if !errors.Is(err, syscall.ENOSPC) {
+					t.Fatalf("err = %v, want ENOSPC", err)
+				}
+				if n := len(trialFiles(t, dir, ".tmp")); n != 0 {
+					t.Fatalf("%d torn .tmp files left behind", n)
+				}
+				if _, err := repo.GetTrial("app", "exp", "new"); !errors.Is(err, ErrNotFound) {
+					t.Fatalf("half-saved trial visible: %v", err)
+				}
+			},
+		},
+		{
+			name:  "eio on read is an error, not corruption",
+			fault: vfs.Fault{Op: vfs.OpReadFile, Path: "seed", Err: syscall.EIO, Count: 1},
+			run: func(t *testing.T, repo *Repository, f *vfs.Faulty, dir string) {
+				_, err := repo.GetTrial("app", "exp", "seed")
+				if !errors.Is(err, syscall.EIO) {
+					t.Fatalf("err = %v, want EIO", err)
+				}
+				if errors.Is(err, ErrCorrupt) {
+					t.Fatal("transient EIO misclassified as corruption")
+				}
+				// The file must not have been quarantined.
+				if n := len(trialFiles(t, dir, ".corrupt")); n != 0 {
+					t.Fatal("EIO read quarantined a healthy file")
+				}
+				// The next read (fault exhausted) succeeds.
+				if _, err := repo.GetTrial("app", "exp", "seed"); err != nil {
+					t.Fatalf("retry after EIO failed: %v", err)
+				}
+			},
+		},
+		{
+			name:  "rename failure aborts publish",
+			fault: vfs.Fault{Op: vfs.OpRename, Err: syscall.EACCES, Count: 1},
+			run: func(t *testing.T, repo *Repository, f *vfs.Faulty, dir string) {
+				err := repo.Save(miniTrial("app", "exp", "seed", 9))
+				if !errors.Is(err, syscall.EACCES) {
+					t.Fatalf("err = %v, want EACCES", err)
+				}
+				if n := len(trialFiles(t, dir, ".tmp")); n != 0 {
+					t.Fatalf("%d .tmp files left after failed rename", n)
+				}
+				// The previous version survives.
+				got, err := repo.GetTrial("app", "exp", "seed")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v := got.Events[0].Inclusive[TimeMetric][0]; v != 1 {
+					t.Fatalf("seed trial = %v, want 1", v)
+				}
+			},
+		},
+		{
+			name:  "fsync failure is counted",
+			fault: vfs.Fault{Op: vfs.OpSyncDir, Err: vfs.ErrFsync, Count: 1},
+			run: func(t *testing.T, repo *Repository, f *vfs.Faulty, dir string) {
+				err := repo.Save(miniTrial("app", "exp", "new", 9))
+				if !errors.Is(err, vfs.ErrFsync) {
+					t.Fatalf("err = %v, want ErrFsync", err)
+				}
+				if _, _, fsyncs := repo.StoreStats(); fsyncs != 1 {
+					t.Fatalf("fsync error counter = %d, want 1", fsyncs)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			f := vfs.NewFaulty(vfs.OS{})
+			repo, err := OpenRepositoryFS(dir, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := repo.Save(miniTrial("app", "exp", "seed", 1)); err != nil {
+				t.Fatal(err)
+			}
+			// Read the error paths cold: drop the cache by reopening.
+			repo, err = OpenRepositoryFS(dir, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Inject(tc.fault)
+			tc.run(t, repo, f, dir)
+		})
+	}
+}
+
+// Persistent ENOSPC flips the repository into read-only degraded mode;
+// Verify probes the volume and clears the mode once writes work again.
+func TestReadOnlyDegradedMode(t *testing.T) {
+	dir := t.TempDir()
+	f := vfs.NewFaulty(vfs.OS{})
+	repo, err := OpenRepositoryFS(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Save(miniTrial("app", "exp", "t1", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Inject(vfs.Fault{Op: vfs.OpWriteFile, Err: syscall.ENOSPC})
+	for i := 0; i < readOnlyAfterENOSPC; i++ {
+		if err := repo.Save(miniTrial("app", "exp", "t2", 2)); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("save %d = %v, want ENOSPC", i, err)
+		}
+	}
+	if !repo.ReadOnly() {
+		t.Fatal("repository not read-only after persistent ENOSPC")
+	}
+	// Saves now fail fast with the sentinel, without touching the disk.
+	if err := repo.Save(miniTrial("app", "exp", "t3", 3)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("save in degraded mode = %v, want ErrReadOnly", err)
+	}
+	// Reads and deletes still work (deletes release space).
+	if _, err := repo.GetTrial("app", "exp", "t1"); err != nil {
+		t.Fatalf("read in degraded mode: %v", err)
+	}
+	if err := repo.Delete("app", "exp", "t1"); err != nil {
+		t.Fatalf("delete in degraded mode: %v", err)
+	}
+	rep, err := repo.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ReadOnly {
+		t.Fatal("Verify must report degraded mode while the volume is full")
+	}
+
+	// Space comes back: the next Verify probe re-enables writes.
+	f.Clear()
+	rep, err = repo.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReadOnly || repo.ReadOnly() {
+		t.Fatal("degraded mode not cleared after successful probe")
+	}
+	if err := repo.Save(miniTrial("app", "exp", "t4", 4)); err != nil {
+		t.Fatalf("save after recovery: %v", err)
+	}
+}
+
+// Opening a repository recovers orphaned temp files from interrupted
+// saves.
+func TestOpenRecoversOrphanedTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Save(miniTrial("app", "exp", "t1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a torn temp file beside the real trial.
+	p := filepath.Join(dir, filepath.FromSlash(onlyKey(t, trialFiles(t, dir, ".json"))))
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, []byte("%PDMF1\n{\"trunca"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	repo2, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("orphaned .tmp survived the open-time recovery sweep")
+	}
+	if _, rec, _ := repo2.StoreStats(); rec != 1 {
+		t.Fatalf("recovered_tmp counter = %d, want 1", rec)
+	}
+	if _, err := repo2.GetTrial("app", "exp", "t1"); err != nil {
+		t.Fatalf("real trial unaffected by recovery: %v", err)
+	}
+}
+
+// Concurrent saves, reads, deletes and fsck runs must be race-free,
+// including the durability counters (run under -race in CI).
+func TestDurabilityConcurrency(t *testing.T) {
+	dir := t.TempDir()
+	f := vfs.NewFaulty(vfs.OS{})
+	// A sprinkling of transient faults exercises the error paths too.
+	f.Inject(vfs.Fault{Op: vfs.OpWriteFile, Err: syscall.EIO, Skip: 5, Count: 3})
+	repo, err := OpenRepositoryFS(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := []string{"w", "x", "y", "z"}[g]
+			for i := 0; i < 20; i++ {
+				_ = repo.Save(miniTrial("app", "exp", name, float64(i)))
+				_, _ = repo.GetTrial("app", "exp", name)
+				if i%7 == 0 {
+					_ = repo.Delete("app", "exp", name)
+				}
+				if i%9 == 0 {
+					_, _ = repo.Verify()
+				}
+				repo.Trials("app", "exp")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, err := repo.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package perfdmf
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrCorrupt is the sentinel wrapped by trial reads that hit a damaged
+// file: a checksum mismatch, a truncated envelope, undecodable JSON or an
+// invalid trial. Match it with errors.Is. A corrupt trial is quarantined
+// (renamed to <file>.corrupt) by the repository, so one damaged file
+// degrades a single lookup instead of poisoning listings or analyses.
+var ErrCorrupt = errors.New("trial data corrupt")
+
+// Trial files are stored in a checksummed envelope so torn writes and
+// bit rot are detected instead of silently parsed:
+//
+//	%PDMF1\n
+//	<payload: the trial JSON, byte-exact>
+//	\n%PDMF1 crc32c=XXXXXXXX len=NNN\n
+//
+// The trailer repeats the magic, then carries the CRC32-C of the payload
+// (8 lowercase hex digits) and the payload length in decimal. Both the
+// header and the trailer must be intact and agree with the payload for a
+// read to succeed — a file cut off anywhere, or altered anywhere, fails
+// the check. Files that do not start with the magic are treated as
+// legacy plain-JSON trials (the pre-envelope format) and remain
+// readable; they are rewritten into the envelope on their next save.
+const (
+	envelopeMagic   = "%PDMF1\n"
+	envelopeTrailer = "\n%PDMF1 crc32c="
+)
+
+var envelopeTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeEnvelope wraps payload in the checksummed trial envelope.
+func encodeEnvelope(payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Grow(len(envelopeMagic) + len(payload) + len(envelopeTrailer) + 24)
+	buf.WriteString(envelopeMagic)
+	buf.Write(payload)
+	fmt.Fprintf(&buf, "%s%08x len=%d\n", envelopeTrailer, crc32.Checksum(payload, envelopeTable), len(payload))
+	return buf.Bytes()
+}
+
+// decodeEnvelope validates data and returns the enclosed payload.
+// legacy reports that data was not an envelope at all but plausible
+// plain JSON (the pre-envelope on-disk format), returned as-is. Any
+// structural or checksum failure wraps ErrCorrupt.
+func decodeEnvelope(data []byte) (payload []byte, legacy bool, err error) {
+	if !bytes.HasPrefix(data, []byte(envelopeMagic)) {
+		// Legacy plain-JSON file: tolerate leading whitespace, require a
+		// JSON object so arbitrary junk is still flagged as corruption.
+		trimmed := bytes.TrimLeft(data, " \t\r\n")
+		if len(trimmed) > 0 && trimmed[0] == '{' {
+			return data, true, nil
+		}
+		return nil, false, fmt.Errorf("%w: no envelope magic and not plain JSON", ErrCorrupt)
+	}
+	body := data[len(envelopeMagic):]
+	i := bytes.LastIndex(body, []byte(envelopeTrailer))
+	if i < 0 {
+		return nil, false, fmt.Errorf("%w: envelope trailer missing (truncated file?)", ErrCorrupt)
+	}
+	payload = body[:i]
+	var sum uint32
+	var n int
+	tail := body[i+len(envelopeTrailer):]
+	if _, err := fmt.Sscanf(string(tail), "%08x len=%d\n", &sum, &n); err != nil {
+		return nil, false, fmt.Errorf("%w: malformed envelope trailer", ErrCorrupt)
+	}
+	if n != len(payload) {
+		return nil, false, fmt.Errorf("%w: envelope length %d, payload has %d bytes", ErrCorrupt, n, len(payload))
+	}
+	if got := crc32.Checksum(payload, envelopeTable); got != sum {
+		return nil, false, fmt.Errorf("%w: crc32c mismatch (stored %08x, computed %08x)", ErrCorrupt, sum, got)
+	}
+	return payload, false, nil
+}

@@ -2,6 +2,7 @@ package perfdmf
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 )
@@ -44,6 +45,46 @@ func FuzzParseGprof(f *testing.F) {
 		}
 		if err := WriteCSV(io.Discard, tr); err != nil {
 			t.Fatalf("parsed trial fails re-export: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeEnvelope(f *testing.F) {
+	// A valid envelope, a legacy plain-JSON body, and near-misses around
+	// every structural element the decoder checks: magic, trailer, hex
+	// checksum, length field.
+	f.Add(encodeEnvelope([]byte(`{"application":"a"}`)))
+	f.Add([]byte(`{"application":"a","experiment":"e","name":"t"}`))
+	f.Add([]byte("%PDMF1\n{}\n%PDMF1 crc32c=00000000 len=2\n"))
+	f.Add([]byte("%PDMF1\n{}"))
+	f.Add([]byte("%PDMF1\n{}\n%PDMF1 crc32c=zzzzzzzz len=2\n"))
+	f.Add([]byte("%PDMF1\n{}\n%PDMF1 crc32c=00000000 len=999\n"))
+	f.Add([]byte("   \t\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, legacy, err := decodeEnvelope(data)
+		if err != nil {
+			// Every decode failure must expose the ErrCorrupt sentinel so
+			// callers can distinguish damage from I/O errors.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		if legacy {
+			// Legacy passthrough returns the input verbatim.
+			if !bytes.Equal(payload, data) {
+				t.Fatal("legacy decode altered the payload")
+			}
+			return
+		}
+		// A successful envelope decode must round-trip: re-encoding the
+		// payload yields an envelope that decodes to the same payload.
+		again, legacy2, err := decodeEnvelope(encodeEnvelope(payload))
+		if err != nil || legacy2 {
+			t.Fatalf("re-encoded payload does not decode cleanly: legacy=%v err=%v", legacy2, err)
+		}
+		if !bytes.Equal(again, payload) {
+			t.Fatal("envelope round-trip changed the payload")
 		}
 	})
 }

@@ -9,7 +9,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
+
+	"perfknow/internal/vfs"
 )
 
 // ErrNotFound is the sentinel wrapped by GetTrial (and by dmfclient when
@@ -17,17 +21,51 @@ import (
 // it with errors.Is, never by substring.
 var ErrNotFound = errors.New("trial not found")
 
+// ErrReadOnly is the sentinel wrapped by Save when the repository has
+// entered read-only degraded mode after persistent out-of-space failures.
+// Reads and deletes still work (deletes release space); a successful
+// Verify probe re-enables writes.
+var ErrReadOnly = errors.New("repository is read-only (out of space)")
+
+// readOnlyAfterENOSPC is how many consecutive ENOSPC save failures flip
+// the repository into read-only degraded mode: one torn write on a nearly
+// full disk is retryable, a streak means the volume is genuinely full.
+const readOnlyAfterENOSPC = 2
+
 // Repository stores trials in the Application → Experiment → Trial
 // hierarchy. A repository may be purely in-memory (root == "") or backed by
 // a directory tree root/app/experiment/trial.json; file-backed repositories
 // keep an in-memory cache of everything loaded or saved.
 //
-// Directory and file names on disk are sanitized (see safe), but the
-// repository always presents the original names: listings are built from
-// the cache keys and from the application/experiment/name header of each
-// trial JSON file, never from the sanitized path components. Note that two
-// distinct names may sanitize to the same path ("a b" and "a_b" collide);
-// the last Save wins on disk.
+// The storage path is built for crash safety and corruption tolerance:
+//
+//   - Save writes the trial into a checksummed envelope (see envelope.go),
+//     first to a temp file that is fsynced, then atomically renamed into
+//     place, then the parent directory is fsynced — so after a crash every
+//     trial file is bytewise either its old or its new version, never a
+//     blend. The in-memory cache is updated only after the bytes are
+//     durable, so a failed save never makes GetTrial serve data that would
+//     vanish on restart.
+//   - Reads validate the envelope. A damaged file (torn, bit-rotted,
+//     undecodable, invalid) is quarantined — renamed to <file>.corrupt —
+//     and the read fails wrapping ErrCorrupt; sibling trials and listings
+//     are unaffected. Legacy plain-JSON files (the pre-envelope format)
+//     remain readable and are rewritten into the envelope on next save.
+//   - Opening runs a recovery sweep that deletes orphaned .tmp files left
+//     by interrupted saves. Verify runs a full fsck on demand.
+//   - Persistent ENOSPC on save flips the repository into read-only
+//     degraded mode (ErrReadOnly); Verify probes the volume and clears the
+//     mode once space is back.
+//
+// All filesystem access goes through a vfs.FS, so tests drive the error
+// paths and crash points deterministically with vfs.Faulty.
+//
+// Directory and file names on disk are sanitized with a collision-free
+// percent-escaping (see safe), but the repository always presents the
+// original names: listings are built from the cache keys and from the
+// application/experiment/name header of each trial file, never from the
+// sanitized path components. Files written by older versions, which used a
+// lossy underscore scheme, are still found through a legacy-path fallback.
 //
 // The repository enforces copy-on-read at its boundary: Save stores a
 // private Clone of the trial and GetTrial returns a Clone, so callers may
@@ -38,11 +76,20 @@ var ErrNotFound = errors.New("trial not found")
 type Repository struct {
 	mu    sync.RWMutex
 	root  string
+	fsys  vfs.FS
 	cache map[string]*Trial // key: app/experiment/trial
 
 	// headers caches the (app, experiment, name) header of on-disk trial
 	// files so listings do not re-read unchanged files. Guarded by mu.
 	headers map[string]headerEntry
+
+	readOnly     atomic.Bool
+	enospcStreak atomic.Int32
+
+	// Durability counters, mirrored into an obs.Registry by Instrument.
+	quarantined  storeCounter
+	recoveredTmp storeCounter
+	fsyncErrors  storeCounter
 }
 
 // trialHeader is the identifying prefix of a trial JSON file.
@@ -64,25 +111,64 @@ func NewRepository() *Repository {
 	return &Repository{cache: make(map[string]*Trial)}
 }
 
-// OpenRepository returns a repository backed by the directory root,
-// creating it if needed.
+// OpenRepository returns a repository backed by the directory root on the
+// real filesystem, creating it if needed, after running the crash-recovery
+// sweep (orphaned temp files from interrupted saves are removed).
 func OpenRepository(root string) (*Repository, error) {
-	if err := os.MkdirAll(root, 0o755); err != nil {
+	return OpenRepositoryFS(root, vfs.OS{})
+}
+
+// OpenRepositoryFS is OpenRepository over an explicit filesystem. Tests
+// use it with a vfs.Faulty to drive error paths and crash points; serving
+// code should use OpenRepository.
+func OpenRepositoryFS(root string, fsys vfs.FS) (*Repository, error) {
+	if err := fsys.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("perfdmf: open repository: %w", err)
 	}
-	return &Repository{
+	r := &Repository{
 		root:    root,
+		fsys:    fsys,
 		cache:   make(map[string]*Trial),
 		headers: make(map[string]headerEntry),
-	}, nil
+	}
+	r.recoverTmp(nil)
+	return r, nil
 }
 
 func key(app, experiment, trial string) string {
 	return app + "\x00" + experiment + "\x00" + trial
 }
 
-// safe makes a name usable as a path component.
+// safe makes a name usable as a path component, injectively: letters,
+// digits, '-', '_' and non-leading '.' pass through, every other byte
+// (including '%' itself) becomes %XX. Because '%' never appears bare,
+// two distinct names can never map to the same component — unlike the
+// old underscore scheme where "a b" and "a_b" collided and the last save
+// silently overwrote the other. Leading dots are escaped so no component
+// can be ".", ".." or hidden.
 func safe(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_':
+			b.WriteByte(c)
+		case c == '.' && i > 0:
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	if b.Len() == 0 {
+		return "%" // empty component marker; a literal "%" escapes to %25
+	}
+	return b.String()
+}
+
+// safeLegacy is the pre-escaping sanitizer, kept only to locate files
+// written by older repository versions.
+func safeLegacy(name string) string {
 	r := strings.NewReplacer("/", "_", "\\", "_", ":", "_", " ", "_")
 	return r.Replace(name)
 }
@@ -91,21 +177,55 @@ func (r *Repository) path(app, experiment, trial string) string {
 	return filepath.Join(r.root, safe(app), safe(experiment), safe(trial)+".json")
 }
 
+func (r *Repository) legacyPath(app, experiment, trial string) string {
+	return filepath.Join(r.root, safeLegacy(app), safeLegacy(experiment), safeLegacy(trial)+".json")
+}
+
+// ReadOnly reports whether the repository is in read-only degraded mode
+// (persistent ENOSPC on save). Use Verify to probe the volume and clear
+// the mode once space is available again.
+func (r *Repository) ReadOnly() bool { return r.readOnly.Load() }
+
 // Save stores the trial (validating first) and persists it when the
 // repository is file-backed. The cache keeps a private copy, so mutating t
 // after Save does not affect what later GetTrial calls observe.
+//
+// Persistence is crash-safe (temp file + fsync + atomic rename + directory
+// fsync) and the cache is only updated after the bytes are durable: a
+// failed save leaves GetTrial serving the previous version, never a trial
+// that would vanish on restart.
 func (r *Repository) Save(t *Trial) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.cache[key(t.App, t.Experiment, t.Name)] = t.Clone()
 	if r.root == "" {
+		r.cache[key(t.App, t.Experiment, t.Name)] = t.Clone()
 		return nil
 	}
+	if r.readOnly.Load() {
+		return fmt.Errorf("perfdmf: save trial %q/%q/%q: %w", t.App, t.Experiment, t.Name, ErrReadOnly)
+	}
+	if err := r.persist(t); err != nil {
+		// The on-disk state is now uncertain (the rename may or may not
+		// have happened before a directory-sync failure), so drop any
+		// cached copy: reads fall back to the disk, the source of truth.
+		delete(r.cache, key(t.App, t.Experiment, t.Name))
+		r.noteWriteError(err)
+		return err
+	}
+	r.enospcStreak.Store(0)
+	r.cache[key(t.App, t.Experiment, t.Name)] = t.Clone()
+	return nil
+}
+
+// persist writes the trial durably: envelope → fsynced temp file → atomic
+// rename → parent directory fsync. Callers hold r.mu.
+func (r *Repository) persist(t *Trial) error {
 	p := r.path(t.App, t.Experiment, t.Name)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	dir := filepath.Dir(p)
+	if err := r.fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("perfdmf: save trial: %w", err)
 	}
 	data, err := json.MarshalIndent(t, "", " ")
@@ -113,15 +233,79 @@ func (r *Repository) Save(t *Trial) error {
 		return fmt.Errorf("perfdmf: encode trial: %w", err)
 	}
 	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := r.fsys.WriteFile(tmp, encodeEnvelope(data), 0o644); err != nil {
+		_ = r.fsys.Remove(tmp) // clear the torn temp; recovery sweeps catch the rest
 		return fmt.Errorf("perfdmf: write trial: %w", err)
 	}
-	return os.Rename(tmp, p)
+	if err := r.fsys.Rename(tmp, p); err != nil {
+		_ = r.fsys.Remove(tmp)
+		return fmt.Errorf("perfdmf: publish trial: %w", err)
+	}
+	if err := r.fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("perfdmf: sync trial dir: %w", err)
+	}
+	// Drop a legacy-scheme file for the SAME coordinates so it cannot
+	// resurrect this trial after a future delete. The legacy path of one
+	// name can be the current path of another ("a b" → "a_b.json", which
+	// is also where trial "a_b" lives), so the file is only removed when
+	// its embedded header matches this trial.
+	if lp, ok := r.legacyTwin(t.App, t.Experiment, t.Name); ok {
+		if err := r.fsys.Remove(lp); err == nil {
+			delete(r.headers, lp)
+		}
+	}
+	return nil
+}
+
+// legacyTwin reports whether a file written by the old underscore path
+// scheme exists for these exact coordinates. Lock-free (callers hold
+// r.mu): reads the file directly instead of going through the header
+// cache.
+func (r *Repository) legacyTwin(app, experiment, trial string) (string, bool) {
+	lp := r.legacyPath(app, experiment, trial)
+	if lp == r.path(app, experiment, trial) {
+		return "", false
+	}
+	data, err := r.fsys.ReadFile(lp)
+	if err != nil {
+		return "", false
+	}
+	payload, _, err := decodeEnvelope(data)
+	if err != nil {
+		return "", false
+	}
+	var h trialHeader
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return "", false
+	}
+	if h.App != app || h.Experiment != experiment || h.Name != trial {
+		return "", false
+	}
+	return lp, true
+}
+
+// noteWriteError classifies a persistence failure: fsync failures feed the
+// durability counter, and a streak of ENOSPC flips read-only mode.
+func (r *Repository) noteWriteError(err error) {
+	if errors.Is(err, vfs.ErrFsync) {
+		r.fsyncErrors.inc()
+	}
+	if errors.Is(err, syscall.ENOSPC) {
+		if r.enospcStreak.Add(1) >= readOnlyAfterENOSPC {
+			r.readOnly.Store(true)
+		}
+	} else {
+		r.enospcStreak.Store(0)
+	}
 }
 
 // GetTrial loads a trial by its (application, experiment, name) coordinates.
 // The returned trial is a private copy: callers may mutate it freely
 // without affecting the repository (copy-on-read).
+//
+// A damaged file — failed checksum, truncated envelope, undecodable JSON,
+// invalid trial — is quarantined to <file>.corrupt and the error wraps
+// ErrCorrupt; other trials and listings are unaffected.
 func (r *Repository) GetTrial(app, experiment, trial string) (*Trial, error) {
 	r.mu.RLock()
 	t, ok := r.cache[key(app, experiment, trial)]
@@ -132,19 +316,43 @@ func (r *Repository) GetTrial(app, experiment, trial string) (*Trial, error) {
 	if r.root == "" {
 		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w", app, experiment, trial, ErrNotFound)
 	}
-	data, err := os.ReadFile(r.path(app, experiment, trial))
+	p := r.path(app, experiment, trial)
+	viaLegacy := false
+	data, err := r.fsys.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		if lp := r.legacyPath(app, experiment, trial); lp != p {
+			if d, lerr := r.fsys.ReadFile(lp); lerr == nil {
+				data, err, p = d, nil, lp
+				viaLegacy = true
+			}
+		}
+	}
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			err = ErrNotFound
 		}
 		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w", app, experiment, trial, err)
 	}
+	payload, _, err := decodeEnvelope(data)
+	if err != nil {
+		r.quarantine(p)
+		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w", app, experiment, trial, err)
+	}
 	t = &Trial{}
-	if err := json.Unmarshal(data, t); err != nil {
-		return nil, fmt.Errorf("perfdmf: decode trial %q/%q/%q: %w", app, experiment, trial, err)
+	if err := json.Unmarshal(payload, t); err != nil {
+		r.quarantine(p)
+		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w: %v", app, experiment, trial, ErrCorrupt, err)
 	}
 	if err := t.Validate(); err != nil {
-		return nil, err
+		r.quarantine(p)
+		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w: %v", app, experiment, trial, ErrCorrupt, err)
+	}
+	// The legacy path of one name can be the current path of another
+	// ("a b" and "a_b" both map to a_b.json under the old scheme), so a
+	// legacy fallback hit only counts when the file's own coordinates
+	// match what was asked for.
+	if viaLegacy && (t.App != app || t.Experiment != experiment || t.Name != trial) {
+		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w", app, experiment, trial, ErrNotFound)
 	}
 	r.mu.Lock()
 	r.cache[key(t.App, t.Experiment, t.Name)] = t
@@ -152,9 +360,24 @@ func (r *Repository) GetTrial(app, experiment, trial string) (*Trial, error) {
 	return t.Clone(), nil
 }
 
-// Delete removes a trial from the cache and, when file-backed, from disk.
-// Emptied experiment and application directories are pruned so they stop
-// appearing in listings.
+// quarantine moves a damaged trial file aside to <path>.corrupt so the
+// next listing or fsck sees it flagged instead of tripping over it again.
+// Best-effort: a failing rename leaves the file in place, and the read
+// that triggered the quarantine still fails with ErrCorrupt.
+func (r *Repository) quarantine(path string) {
+	if err := r.fsys.Rename(path, path+".corrupt"); err != nil {
+		return
+	}
+	r.quarantined.inc()
+	r.mu.Lock()
+	delete(r.headers, path)
+	r.mu.Unlock()
+}
+
+// Delete removes a trial from the cache and, when file-backed, from disk
+// (including a legacy-scheme file for the same coordinates). Emptied
+// experiment and application directories are pruned so they stop appearing
+// in listings. Delete works in read-only degraded mode: it releases space.
 func (r *Repository) Delete(app, experiment, trial string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -163,23 +386,36 @@ func (r *Repository) Delete(app, experiment, trial string) error {
 		return nil
 	}
 	p := r.path(app, experiment, trial)
-	delete(r.headers, p)
-	err := os.Remove(p)
-	if os.IsNotExist(err) {
-		err = nil
+	targets := []string{p}
+	// A legacy-scheme file is only this trial's twin when its embedded
+	// header matches — the same path may belong to a different name.
+	if lp, ok := r.legacyTwin(app, experiment, trial); ok {
+		targets = append(targets, lp)
 	}
-	if err != nil {
-		return err
+	removed := false
+	for _, target := range targets {
+		delete(r.headers, target)
+		err := r.fsys.Remove(target)
+		if err == nil {
+			removed = true
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
 	}
-	// Prune now-empty parents; os.Remove fails harmlessly when a
-	// directory still has entries.
 	expDir := filepath.Dir(p)
+	if removed {
+		if err := r.fsys.SyncDir(expDir); err != nil {
+			r.fsyncErrors.inc()
+		}
+	}
+	// Prune now-empty parents; Remove fails harmlessly when a directory
+	// still has entries.
 	appDir := filepath.Dir(expDir)
 	if expDir != r.root {
-		_ = os.Remove(expDir)
+		_ = r.fsys.Remove(expDir)
 	}
 	if appDir != r.root && appDir != expDir {
-		_ = os.Remove(appDir)
+		_ = r.fsys.Remove(appDir)
 	}
 	return nil
 }
@@ -263,20 +499,38 @@ func (r *Repository) Size() (apps, experiments, trials int) {
 // (application, experiment, name) coordinates recorded inside each trial
 // file. Unchanged files are served from a stat-validated header cache, so
 // repeated listings cost one ReadDir walk plus a stat per trial.
+// Quarantined (.corrupt) and in-flight (.tmp) files are skipped, so one
+// damaged trial never breaks a listing.
 func (r *Repository) diskHeaders() []trialHeader {
 	if r.root == "" {
 		return nil
 	}
 	var out []trialHeader
-	appDirs, err := os.ReadDir(r.root)
+	r.walkTrialDirs(func(dir string, files []os.DirEntry) {
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+				continue
+			}
+			if h, ok := r.header(filepath.Join(dir, f.Name())); ok {
+				out = append(out, h)
+			}
+		}
+	})
+	return out
+}
+
+// walkTrialDirs invokes fn for every experiment directory (the level
+// holding trial files), passing its sorted entries.
+func (r *Repository) walkTrialDirs(fn func(dir string, files []os.DirEntry)) {
+	appDirs, err := r.fsys.ReadDir(r.root)
 	if err != nil {
-		return nil
+		return
 	}
 	for _, ad := range appDirs {
 		if !ad.IsDir() {
 			continue
 		}
-		expDirs, err := os.ReadDir(filepath.Join(r.root, ad.Name()))
+		expDirs, err := r.fsys.ReadDir(filepath.Join(r.root, ad.Name()))
 		if err != nil {
 			continue
 		}
@@ -285,26 +539,18 @@ func (r *Repository) diskHeaders() []trialHeader {
 				continue
 			}
 			dir := filepath.Join(r.root, ad.Name(), ed.Name())
-			files, err := os.ReadDir(dir)
+			files, err := r.fsys.ReadDir(dir)
 			if err != nil {
 				continue
 			}
-			for _, f := range files {
-				if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
-					continue
-				}
-				if h, ok := r.header(filepath.Join(dir, f.Name())); ok {
-					out = append(out, h)
-				}
-			}
+			fn(dir, files)
 		}
 	}
-	return out
 }
 
 // header returns the cached or freshly decoded header of one trial file.
 func (r *Repository) header(path string) (trialHeader, bool) {
-	fi, err := os.Stat(path)
+	fi, err := r.fsys.Stat(path)
 	if err != nil {
 		return trialHeader{}, false
 	}
@@ -314,12 +560,16 @@ func (r *Repository) header(path string) (trialHeader, bool) {
 	if ok && e.size == fi.Size() && e.modTime.Equal(fi.ModTime()) {
 		return e.hdr, true
 	}
-	data, err := os.ReadFile(path)
+	data, err := r.fsys.ReadFile(path)
+	if err != nil {
+		return trialHeader{}, false
+	}
+	payload, _, err := decodeEnvelope(data)
 	if err != nil {
 		return trialHeader{}, false
 	}
 	var h trialHeader
-	if err := json.Unmarshal(data, &h); err != nil || h.Name == "" {
+	if err := json.Unmarshal(payload, &h); err != nil || h.Name == "" {
 		return trialHeader{}, false
 	}
 	r.mu.Lock()
@@ -328,15 +578,20 @@ func (r *Repository) header(path string) (trialHeader, bool) {
 	return h, true
 }
 
-// ReadTrialFile loads a single trial from a native JSON snapshot (the file
-// format Save writes), without needing a repository.
+// ReadTrialFile loads a single trial from a native snapshot (the file
+// format Save writes — checksummed envelope or legacy plain JSON),
+// without needing a repository.
 func ReadTrialFile(path string) (*Trial, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("perfdmf: read trial: %w", err)
 	}
+	payload, _, err := decodeEnvelope(data)
+	if err != nil {
+		return nil, fmt.Errorf("perfdmf: decode trial %s: %w", path, err)
+	}
 	t := &Trial{}
-	if err := json.Unmarshal(data, t); err != nil {
+	if err := json.Unmarshal(payload, t); err != nil {
 		return nil, fmt.Errorf("perfdmf: decode trial %s: %w", path, err)
 	}
 	if err := t.Validate(); err != nil {

@@ -1,0 +1,244 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation of a Faulty filesystem after
+// its crash point has been reached: the simulated process is dead and no
+// further I/O happens. Reopen the directory with a fresh FS (usually OS)
+// to model the post-crash restart.
+var ErrCrashed = errors.New("vfs: simulated crash")
+
+// Op names one FS operation kind for fault targeting.
+type Op string
+
+// The operation kinds a Fault can target.
+const (
+	OpMkdirAll  Op = "mkdirall"
+	OpReadFile  Op = "readfile"
+	OpWriteFile Op = "writefile"
+	OpRename    Op = "rename"
+	OpRemove    Op = "remove"
+	OpReadDir   Op = "readdir"
+	OpStat      Op = "stat"
+	OpSyncDir   Op = "syncdir"
+)
+
+// Fault is one deterministic injection rule: when an operation of kind Op
+// whose path contains Path runs, return Err instead of performing it.
+type Fault struct {
+	// Op is the operation kind to intercept.
+	Op Op
+	// Path is a substring the operation's path must contain ("" matches
+	// every path). For Rename both the old and new path are matched.
+	Path string
+	// Err is returned to the caller. Wrap or use syscall errors
+	// (syscall.ENOSPC, syscall.EIO) so errors.Is matching works upstream.
+	Err error
+	// Skip lets this many matching calls through before injecting.
+	Skip int
+	// Count bounds how many times the fault fires (0 = every matching
+	// call, forever).
+	Count int
+	// Torn makes an intercepted WriteFile first persist a prefix of the
+	// data (a short/torn write) before reporting Err, modeling a write
+	// that ran out of space or power partway through.
+	Torn bool
+}
+
+// Faulty wraps an inner FS (usually OS over a temp directory) and injects
+// faults deterministically: targeted errors via Inject, and a crash point
+// via CrashAt that halts the operation stream after N operations. All
+// state transitions are under one mutex, so a given schedule replays
+// identically — the foundation of the crash-point sweep in the repository
+// tests.
+type Faulty struct {
+	inner FS
+
+	mu      sync.Mutex
+	ops     int
+	crashAt int
+	crashed bool
+	faults  []Fault
+}
+
+// NewFaulty wraps inner with no faults armed.
+func NewFaulty(inner FS) *Faulty {
+	return &Faulty{inner: inner, crashAt: -1}
+}
+
+// Inject arms a fault rule. Rules are consulted in insertion order; the
+// first live match fires.
+func (f *Faulty) Inject(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, fault)
+}
+
+// Clear disarms all fault rules (the crash point is kept).
+func (f *Faulty) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nil
+}
+
+// CrashAt arms the crash point: the operation with 0-based index n (and
+// every operation after it) fails with ErrCrashed and does not run. A
+// WriteFile at the crash point first persists a torn prefix of its data,
+// so the sweep also covers partially written temp files. n < 0 disarms.
+func (f *Faulty) CrashAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+	f.crashed = false
+}
+
+// Ops returns how many operations have been attempted so far (including
+// faulted ones). Run a workload fault-free first to learn its op count,
+// then sweep CrashAt over [0, Ops()).
+func (f *Faulty) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *Faulty) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// TornLen is the number of bytes a torn WriteFile persists out of n.
+func TornLen(n int) int { return n / 2 }
+
+// gate runs the bookkeeping for one operation: crash-point check, then
+// fault-rule matching. It returns the error to report (nil = perform the
+// operation), and whether a torn prefix write should be persisted first.
+func (f *Faulty) gate(op Op, paths ...string) (err error, torn bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed, false
+	}
+	idx := f.ops
+	f.ops++
+	if f.crashAt >= 0 && idx >= f.crashAt {
+		f.crashed = true
+		return ErrCrashed, op == OpWriteFile
+	}
+	for i := range f.faults {
+		r := &f.faults[i]
+		if r.Op != op || !matches(r.Path, paths) {
+			continue
+		}
+		if r.Skip > 0 {
+			r.Skip--
+			return nil, false
+		}
+		if r.Count < 0 {
+			continue // exhausted
+		}
+		if r.Count > 0 {
+			r.Count--
+			if r.Count == 0 {
+				r.Count = -1 // mark exhausted; 0 means unlimited
+			}
+		}
+		return r.Err, r.Torn && op == OpWriteFile
+	}
+	return nil, false
+}
+
+func matches(substr string, paths []string) bool {
+	if substr == "" {
+		return true
+	}
+	for _, p := range paths {
+		if strings.Contains(p, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// MkdirAll implements FS.
+func (f *Faulty) MkdirAll(path string, perm fs.FileMode) error {
+	if err, _ := f.gate(OpMkdirAll, path); err != nil {
+		return fmt.Errorf("mkdirall %s: %w", path, err)
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadFile implements FS.
+func (f *Faulty) ReadFile(path string) ([]byte, error) {
+	if err, _ := f.gate(OpReadFile, path); err != nil {
+		return nil, fmt.Errorf("readfile %s: %w", path, err)
+	}
+	return f.inner.ReadFile(path)
+}
+
+// WriteFile implements FS. An injected torn fault (and every WriteFile at
+// the crash point) persists the first TornLen bytes through the inner FS
+// before reporting the error, so the on-disk state a crashed write leaves
+// behind is actually present for recovery code to trip over.
+func (f *Faulty) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	err, torn := f.gate(OpWriteFile, path)
+	if err == nil {
+		return f.inner.WriteFile(path, data, perm)
+	}
+	if torn {
+		_ = f.inner.WriteFile(path, data[:TornLen(len(data))], perm)
+	}
+	return fmt.Errorf("writefile %s: %w", path, err)
+}
+
+// Rename implements FS.
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if err, _ := f.gate(OpRename, oldpath, newpath); err != nil {
+		return fmt.Errorf("rename %s: %w", oldpath, err)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *Faulty) Remove(path string) error {
+	if err, _ := f.gate(OpRemove, path); err != nil {
+		return fmt.Errorf("remove %s: %w", path, err)
+	}
+	return f.inner.Remove(path)
+}
+
+// ReadDir implements FS.
+func (f *Faulty) ReadDir(path string) ([]fs.DirEntry, error) {
+	if err, _ := f.gate(OpReadDir, path); err != nil {
+		return nil, fmt.Errorf("readdir %s: %w", path, err)
+	}
+	return f.inner.ReadDir(path)
+}
+
+// Stat implements FS.
+func (f *Faulty) Stat(path string) (fs.FileInfo, error) {
+	if err, _ := f.gate(OpStat, path); err != nil {
+		return nil, fmt.Errorf("stat %s: %w", path, err)
+	}
+	return f.inner.Stat(path)
+}
+
+// SyncDir implements FS.
+func (f *Faulty) SyncDir(path string) error {
+	if err, _ := f.gate(OpSyncDir, path); err != nil {
+		return fmt.Errorf("syncdir %s: %w", path, err)
+	}
+	return f.inner.SyncDir(path)
+}
+
+var (
+	_ FS = OS{}
+	_ FS = (*Faulty)(nil)
+)

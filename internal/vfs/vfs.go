@@ -1,0 +1,113 @@
+// Package vfs abstracts the filesystem operations the PerfDMF repository
+// performs, so the durability of its storage path can be proven instead of
+// assumed: production code runs on OS (real files, real fsync) while tests
+// run on Faulty, a deterministic fault-injecting wrapper that synthesizes
+// short/torn writes, ENOSPC, EIO, rename failures and whole-process
+// crashes at any point in the operation stream.
+//
+// The interface is deliberately coarse — whole-file reads and writes, not
+// streaming handles — because that is exactly the granularity the
+// repository uses and the granularity at which crash-consistency is
+// reasoned about: a WriteFile either leaves the full bytes, a torn prefix,
+// or nothing; a Rename either happened or did not.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// ErrFsync tags failures that happened while flushing data to stable
+// storage (file fsync inside WriteFile, or SyncDir). Callers that track
+// durability health match it with errors.Is.
+var ErrFsync = errors.New("fsync failed")
+
+// FS is the set of filesystem operations the repository needs. Every
+// method maps onto one logical storage operation; fault injectors count
+// and intercept calls at this granularity.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadFile returns the full contents of a file.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile creates or truncates path, writes data and flushes it to
+	// stable storage (fsync) before closing. A sync failure is reported
+	// wrapped in ErrFsync.
+	WriteFile(path string, data []byte, perm fs.FileMode) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file or empty directory.
+	Remove(path string) error
+	// ReadDir lists a directory, sorted by filename.
+	ReadDir(path string) ([]fs.DirEntry, error)
+	// Stat describes a file.
+	Stat(path string) (fs.FileInfo, error)
+	// SyncDir flushes a directory's metadata (entry creation, rename,
+	// removal) to stable storage. A failure is reported wrapped in
+	// ErrFsync. On platforms where directories cannot be fsynced the
+	// implementation may degrade to a no-op.
+	SyncDir(path string) error
+}
+
+// OS is the production FS: the real filesystem with real durability
+// barriers.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// WriteFile implements FS: create, write, fsync, close. Unlike
+// os.WriteFile it does not return until the bytes are on stable storage
+// (or the sync failure is reported), so a crash immediately after a
+// successful WriteFile cannot lose the contents.
+func (OS) WriteFile(path string, data []byte, perm fs.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: %s: %v", ErrFsync, path, err)
+	}
+	return f.Close()
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+
+// Stat implements FS.
+func (OS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+// SyncDir implements FS: fsync the directory so entry operations (the
+// rename that published a trial, the removal that deleted one) survive a
+// crash. Filesystems that do not support fsync on directories (EINVAL)
+// are tolerated silently.
+func (OS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, errors.ErrUnsupported) {
+			return nil
+		}
+		return fmt.Errorf("%w: %s: %v", ErrFsync, path, err)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// The OS filesystem must round-trip file contents and survive the basic
+// directory lifecycle the repository performs.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS{}
+	sub := filepath.Join(dir, "a", "b")
+	if err := fs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(sub, "f.txt")
+	if err := fs.WriteFile(p+".tmp", []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(p+".tmp", p); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(p)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	ents, err := fs.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "f.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if _, err := fs.Stat(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Stat after Remove = %v, want not-exist", err)
+	}
+}
+
+// Injected faults must fire on the matching op/path, respect Skip and
+// Count, and leave other operations untouched.
+func TestFaultyTargetedInjection(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{})
+	f.Inject(Fault{Op: OpWriteFile, Path: "victim", Err: syscall.ENOSPC, Skip: 1, Count: 1})
+
+	victim := filepath.Join(dir, "victim.txt")
+	other := filepath.Join(dir, "other.txt")
+
+	// Skip: 1 lets the first matching write through.
+	if err := f.WriteFile(victim, []byte("v1"), 0o644); err != nil {
+		t.Fatalf("skipped call failed: %v", err)
+	}
+	// The second matching write fails with the injected errno.
+	if err := f.WriteFile(victim, []byte("v2"), 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	// Count: 1 is now exhausted; the third write succeeds again.
+	if err := f.WriteFile(victim, []byte("v3"), 0o644); err != nil {
+		t.Fatalf("post-exhaustion call failed: %v", err)
+	}
+	// A non-matching path is never touched.
+	if err := f.WriteFile(other, []byte("x"), 0o644); err != nil {
+		t.Fatalf("non-matching call failed: %v", err)
+	}
+	if data, _ := f.ReadFile(victim); string(data) != "v3" {
+		t.Fatalf("victim contents = %q, want v3", data)
+	}
+}
+
+// A torn fault persists exactly the first TornLen bytes before failing.
+func TestFaultyTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{})
+	f.Inject(Fault{Op: OpWriteFile, Err: syscall.EIO, Torn: true, Count: 1})
+	p := filepath.Join(dir, "torn.txt")
+	payload := []byte("0123456789")
+	if err := f.WriteFile(p, payload, 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := payload[:TornLen(len(payload))]; string(data) != string(want) {
+		t.Fatalf("torn file holds %q, want %q", data, want)
+	}
+}
+
+// After the crash point every operation fails with ErrCrashed and has no
+// effect; a WriteFile at the crash point leaves a torn prefix.
+func TestFaultyCrashPoint(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{})
+	f.CrashAt(2)
+
+	a := filepath.Join(dir, "a")
+	b := filepath.Join(dir, "b")
+	c := filepath.Join(dir, "c")
+	if err := f.WriteFile(a, []byte("aa"), 0o644); err != nil { // op 0
+		t.Fatal(err)
+	}
+	if err := f.WriteFile(b, []byte("bb"), 0o644); err != nil { // op 1
+		t.Fatal(err)
+	}
+	// Op 2 is the crash point: torn prefix persisted, ErrCrashed reported.
+	if err := f.WriteFile(c, []byte("cccc"), 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("Crashed() = false after crash point")
+	}
+	if data, _ := os.ReadFile(c); string(data) != "cc" {
+		t.Fatalf("crash-point write left %q, want torn prefix \"cc\"", data)
+	}
+	// Everything after the crash is dead, even reads, and has no effect.
+	if _, err := f.ReadFile(a); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash = %v, want ErrCrashed", err)
+	}
+	if err := f.Remove(a); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("remove after crash = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(a); err != nil {
+		t.Fatalf("post-crash Remove must not run: %v", err)
+	}
+}
+
+// Ops counts every attempted operation so a sweep can enumerate crash
+// points; the same workload yields the same count.
+func TestFaultyOpsDeterministic(t *testing.T) {
+	run := func() int {
+		dir := t.TempDir()
+		f := NewFaulty(OS{})
+		p := filepath.Join(dir, "x")
+		_ = f.MkdirAll(dir, 0o755)
+		_ = f.WriteFile(p+".tmp", []byte("v"), 0o644)
+		_ = f.Rename(p+".tmp", p)
+		_ = f.SyncDir(dir)
+		_, _ = f.ReadFile(p)
+		return f.Ops()
+	}
+	n1, n2 := run(), run()
+	if n1 != n2 || n1 != 5 {
+		t.Fatalf("op counts %d, %d; want 5, 5", n1, n2)
+	}
+}

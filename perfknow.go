@@ -111,6 +111,20 @@ const TimeMetric = perfdmf.TimeMetric
 // requested trial does not exist; match with errors.Is.
 var ErrNotFound = perfdmf.ErrNotFound
 
+// ErrCorrupt is wrapped by trial reads that hit a damaged file (checksum
+// mismatch, truncation, undecodable JSON); the repository quarantines the
+// file to <name>.corrupt so siblings keep working. Match with errors.Is.
+var ErrCorrupt = perfdmf.ErrCorrupt
+
+// ErrReadOnly is returned by Repository.Save while the store is in
+// read-only degraded mode (persistent out-of-space); Repository.Verify
+// probes the volume and clears the mode once writes succeed again.
+var ErrReadOnly = perfdmf.ErrReadOnly
+
+// FsckReport is the result of Repository.Verify — the consistency scan
+// behind `perfdmfd -fsck` and GET /api/v1/fsck.
+type FsckReport = perfdmf.FsckReport
+
 // NewRepository returns an in-memory profile repository.
 func NewRepository() *Repository { return perfdmf.NewRepository() }
 
