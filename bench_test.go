@@ -149,8 +149,63 @@ end
 	}
 }
 
+// BenchmarkRuleEngineJoinNaive is the same workload with the original
+// scan-everything matcher, kept as the denominator for the Rete speedup
+// (compare with benchstat; the CI gate only watches the un-suffixed name).
+func BenchmarkRuleEngineJoinNaive(b *testing.B) {
+	src := `
+rule "join"
+when
+    a : Imbalance ( e : eventName, ratio > 0.25 )
+    n : Nesting ( inner == e, o : outer )
+    c : Correlation ( innerEvent == e, value < -0.9 )
+then
+    recommend("scheduling", "fix " + e + " in " + o)
+end
+`
+	for i := 0; i < b.N; i++ {
+		eng := perfknow.NewRuleEngine()
+		eng.Naive = true
+		if err := eng.LoadString(src); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 30; j++ {
+			name := fmt.Sprintf("loop_%d", j)
+			eng.Assert(perfknow.NewFact("Imbalance", map[string]any{"eventName": name, "ratio": 0.3}))
+			eng.Assert(perfknow.NewFact("Nesting", map[string]any{"inner": name, "outer": "main"}))
+			eng.Assert(perfknow.NewFact("Correlation", map[string]any{"innerEvent": name, "value": -0.95}))
+		}
+		res, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Fired) != 30 {
+			b.Fatalf("fired %d", len(res.Fired))
+		}
+	}
+}
+
 func BenchmarkScriptInterpreter(b *testing.B) {
 	s := perfknow.NewSession(nil)
+	src := `
+total = 0
+for i in range(1000) {
+    if i % 3 == 0 { total = total + i }
+}
+`
+	for i := 0; i < b.N; i++ {
+		if err := s.RunScript(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScriptTreeWalker runs the interpreter benchmark workload through
+// the original tree-walking evaluator, kept as the denominator for the
+// closure-compiler speedup.
+func BenchmarkScriptTreeWalker(b *testing.B) {
+	s := perfknow.NewSession(nil)
+	s.Interp.TreeWalk = true
 	src := `
 total = 0
 for i in range(1000) {

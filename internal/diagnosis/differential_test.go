@@ -1,0 +1,220 @@
+package diagnosis
+
+// End-to-end differential harness: every shipped analysis script runs
+// through all four engine combinations — {compiled, tree-walking} script
+// interpreter × {Rete, naive} rule matcher — and the session output bytes,
+// fired-rule log and recommendations must be identical. This is the
+// assets-level proof that the closure compiler and the Rete network are
+// pure optimizations.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"perfknow/internal/apps/genidlest"
+	"perfknow/internal/apps/msa"
+	"perfknow/internal/core"
+	"perfknow/internal/openuh"
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/sim"
+)
+
+// diffOutcome captures everything observable from one script run.
+type diffOutcome struct {
+	out   string
+	fired []string
+	recs  []string
+	err   string
+}
+
+// runUnder executes scenario in a fresh session with the engine toggles
+// set, and captures the observable outcome.
+func runUnder(t *testing.T, treeWalk, naive bool, scenario func(t *testing.T, s *core.Session) error) diffOutcome {
+	t.Helper()
+	s, buf, _ := session(t)
+	s.Interp.TreeWalk = treeWalk
+	s.Engine.Naive = naive
+	err := scenario(t, s)
+	o := diffOutcome{out: buf.String()}
+	if err != nil {
+		o.err = err.Error()
+	}
+	if res := s.LastResult(); res != nil {
+		o.fired = append(o.fired, res.Fired...)
+		for _, r := range res.Recommendations {
+			o.recs = append(o.recs, r.Category+": "+r.Text)
+		}
+	}
+	return o
+}
+
+// diffScript runs scenario under all four engine combinations and fails on
+// the first observable divergence from the default (compiled × Rete).
+func diffScript(t *testing.T, scenario func(t *testing.T, s *core.Session) error) {
+	t.Helper()
+	type combo struct {
+		name     string
+		treeWalk bool
+		naive    bool
+	}
+	combos := []combo{
+		{"compiled+rete", false, false},
+		{"treewalk+rete", true, false},
+		{"compiled+naive", false, true},
+		{"treewalk+naive", true, true},
+	}
+	want := runUnder(t, combos[0].treeWalk, combos[0].naive, scenario)
+	if want.out == "" && want.err == "" {
+		t.Fatalf("scenario produced no output and no error; nothing to compare")
+	}
+	for _, c := range combos[1:] {
+		got := runUnder(t, c.treeWalk, c.naive, scenario)
+		if got.err != want.err {
+			t.Fatalf("%s error = %q, want %q", c.name, got.err, want.err)
+		}
+		if got.out != want.out {
+			t.Fatalf("%s output diverges:\n--- %s\n%s\n--- compiled+rete\n%s", c.name, c.name, got.out, want.out)
+		}
+		if fmt.Sprint(got.fired) != fmt.Sprint(want.fired) {
+			t.Fatalf("%s fired = %v, want %v", c.name, got.fired, want.fired)
+		}
+		if fmt.Sprint(got.recs) != fmt.Sprint(want.recs) {
+			t.Fatalf("%s recommendations = %v, want %v", c.name, got.recs, want.recs)
+		}
+	}
+}
+
+func saveGen(t *testing.T, s *core.Session, threads int, opt bool) *perfdmf.Trial {
+	t.Helper()
+	tr := genTrial(t, genidlest.OpenMP, threads, opt)
+	if err := s.Repo.Save(tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDifferentialAssetScripts(t *testing.T) {
+	t.Run("LoadBalanceStatic", func(t *testing.T) {
+		diffScript(t, func(t *testing.T, s *core.Session) error {
+			tr, err := msa.Run(altix(), msa.Params{
+				Sequences: 64, MeanLen: 120, LenJitter: 60, Seed: 42,
+				Threads: 16, Schedule: sim.Schedule{Kind: sim.StaticSched},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Repo.Save(tr); err != nil {
+				t.Fatal(err)
+			}
+			SetArgs(s, []string{tr.App, tr.Experiment, tr.Name})
+			return s.RunScript(ScriptLoadBalance)
+		})
+	})
+
+	t.Run("Inefficiency", func(t *testing.T) {
+		diffScript(t, func(t *testing.T, s *core.Session) error {
+			tr := saveGen(t, s, 16, false)
+			SetArgs(s, []string{tr.App, tr.Experiment, tr.Name})
+			return s.RunScript(ScriptInefficiency)
+		})
+	})
+
+	t.Run("StallDecomposition", func(t *testing.T) {
+		diffScript(t, func(t *testing.T, s *core.Session) error {
+			tr := saveGen(t, s, 16, false)
+			SetArgs(s, []string{tr.App, tr.Experiment, tr.Name})
+			return s.RunScript(ScriptStallDecomposition)
+		})
+	})
+
+	t.Run("StallsPerCycle", func(t *testing.T) {
+		diffScript(t, func(t *testing.T, s *core.Session) error {
+			tr := saveGen(t, s, 16, false)
+			SetArgs(s, []string{tr.App, tr.Experiment, tr.Name})
+			return s.RunScript(ScriptStallsPerCycle)
+		})
+	})
+
+	t.Run("MemoryAnalysisWithBaseline", func(t *testing.T) {
+		diffScript(t, func(t *testing.T, s *core.Session) error {
+			tr := saveGen(t, s, 16, false)
+			base := genTrial(t, genidlest.OpenMP, 1, false)
+			base.Name = "base_1"
+			if err := s.Repo.Save(base); err != nil {
+				t.Fatal(err)
+			}
+			SetArgs(s, []string{tr.App, tr.Experiment, tr.Name, "base_1"})
+			return s.RunScript(ScriptMemoryAnalysis)
+		})
+	})
+
+	t.Run("PowerLevels", func(t *testing.T) {
+		diffScript(t, func(t *testing.T, s *core.Session) error {
+			for _, lvl := range []openuh.OptLevel{openuh.O0, openuh.O1, openuh.O2, openuh.O3} {
+				cfg := genidlest.DefaultConfig(genidlest.Rib90(), genidlest.MPI, 16)
+				cfg.OptLevel = lvl
+				tr, err := genidlest.Run(altix(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr.Name = lvl.String()
+				if err := s.Repo.Save(tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			SetArgs(s, []string{"Fluid Dynamic", "rib 90rib"})
+			return s.RunScript(ScriptPowerLevels)
+		})
+	})
+
+	t.Run("Synchronization", func(t *testing.T) {
+		diffScript(t, func(t *testing.T, s *core.Session) error {
+			tr := perfdmf.NewTrial("app", "sync", "t", 4)
+			tr.AddMetric(perfdmf.TimeMetric)
+			tr.AddMetric("CPU_CYCLES")
+			tr.AddMetric("OMP_CRITICAL_CYCLES")
+			main := tr.EnsureEvent("main")
+			locky := tr.EnsureEvent("update_shared")
+			for th := 0; th < 4; th++ {
+				main.SetValue(perfdmf.TimeMetric, th, 1000, 100)
+				main.SetValue("CPU_CYCLES", th, 1500000, 150000)
+				locky.SetValue(perfdmf.TimeMetric, th, 600, 600)
+				locky.SetValue("CPU_CYCLES", th, 900000, 900000)
+				locky.SetValue("OMP_CRITICAL_CYCLES", th, 360000, 360000)
+			}
+			if err := s.Repo.Save(tr); err != nil {
+				t.Fatal(err)
+			}
+			SetArgs(s, []string{"app", "sync", "t"})
+			return s.RunScript(ScriptSynchronization)
+		})
+	})
+
+	t.Run("ThreadClusters", func(t *testing.T) {
+		diffScript(t, func(t *testing.T, s *core.Session) error {
+			tr := saveGen(t, s, 16, false)
+			SetArgs(s, []string{tr.App, tr.Experiment, tr.Name, "2"})
+			return s.RunScript(ScriptThreadClusters)
+		})
+	})
+}
+
+// TestDifferentialAssetScriptsNonEmpty pins that the scenarios above
+// actually exercise the knowledge base: the headline scripts must fire at
+// least one rule under the default engines, or the differential comparison
+// would be vacuous.
+func TestDifferentialAssetScriptsNonEmpty(t *testing.T) {
+	o := runUnder(t, false, false, func(t *testing.T, s *core.Session) error {
+		tr := saveGen(t, s, 16, false)
+		SetArgs(s, []string{tr.App, tr.Experiment, tr.Name})
+		return s.RunScript(ScriptInefficiency)
+	})
+	if o.err != "" {
+		t.Fatalf("inefficiency script failed: %s", o.err)
+	}
+	if len(o.fired) == 0 || !strings.Contains(o.out, "higher than average inefficiency") {
+		t.Fatalf("inefficiency scenario fired nothing:\n%s", o.out)
+	}
+	t.Logf("fired=%d", len(o.fired))
+}

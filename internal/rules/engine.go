@@ -33,6 +33,18 @@ type Engine struct {
 	fired    map[string]bool // refraction memory: rule + fact tuple ids
 	firedLog []string
 
+	// net is the incremental Rete-style match network (rete.go), built
+	// lazily on the first Run and kept up to date by Assert/Retract.
+	// naiveMode flips permanently when the network defers a match error,
+	// so the error surfaces with exactly the naive matcher's semantics.
+	net       *reteNet
+	naiveMode bool
+
+	// Naive forces the original scan-everything matcher. The behavior is
+	// identical either way (the differential tests prove it); the flag
+	// exists for those tests, for benchmarks, and as an escape hatch.
+	Naive bool
+
 	// MaxCycles bounds the match-fire loop to guard against rules that
 	// assert endlessly. The default (1000) is far above any real knowledge
 	// base in this repository.
@@ -67,6 +79,9 @@ func (e *Engine) Assert(f *Fact) *Fact {
 	e.nextID++
 	f.id = e.nextID
 	e.facts = append(e.facts, f)
+	if e.net != nil {
+		e.net.assert(f)
+	}
 	return f
 }
 
@@ -77,6 +92,9 @@ func (e *Engine) Retract(f *Fact) {
 	for i, x := range e.facts {
 		if x == f {
 			e.facts = append(e.facts[:i], e.facts[i+1:]...)
+			if e.net != nil {
+				e.net.retract(f)
+			}
 			return
 		}
 	}
@@ -161,19 +179,9 @@ func (e *Engine) run(ctx context.Context) (*Result, error) {
 		if cycle >= e.MaxCycles {
 			return nil, fmt.Errorf("rules: no quiescence after %d cycles (rule loop?)", e.MaxCycles)
 		}
-		acts, err := e.matchAll()
+		next, err := e.selectActivation()
 		if err != nil {
 			return nil, err
-		}
-		var next *activation
-		for i := range acts {
-			a := &acts[i]
-			if e.fired[a.key] {
-				continue
-			}
-			if next == nil || better(a, next) {
-				next = a
-			}
 		}
 		if next == nil {
 			break
@@ -181,7 +189,10 @@ func (e *Engine) run(ctx context.Context) (*Result, error) {
 		e.fired[next.key] = true
 		e.firedLog = append(e.firedLog, next.rule.Name)
 		_, fireSpan := obs.StartSpan(ctx, "rules.fire", "rule", next.rule.Name)
-		rctx := &Context{Engine: e, Rule: next.rule, Bindings: next.bindings}
+		// Clone the bindings so a consequence mutating its Context cannot
+		// taint an agenda entry that outlives the firing (the naive matcher
+		// rebuilt envs every cycle, which hid mutations the same way).
+		rctx := &Context{Engine: e, Rule: next.rule, Bindings: next.bindings.clone()}
 		var fireErr error
 		if next.rule.Action != nil {
 			if err := next.rule.Action(rctx); err != nil {
@@ -209,6 +220,65 @@ func (e *Engine) run(ctx context.Context) (*Result, error) {
 	}
 	e.mu.Unlock()
 	return res, nil
+}
+
+// selectActivation returns the highest-priority unfired activation, or nil
+// at quiescence. The Rete agenda and the naive matcher produce the same
+// activation set with the same keys, and better() is a total order, so the
+// choice is identical regardless of which path computed it.
+func (e *Engine) selectActivation() (*activation, error) {
+	if !e.Naive && !e.naiveMode {
+		e.mu.Lock()
+		e.ensureNetLocked()
+		if e.net.err == nil {
+			var next *activation
+			for _, a := range e.net.agenda {
+				if e.fired[a.key] {
+					continue
+				}
+				if next == nil || better(a, next) {
+					next = a
+				}
+			}
+			e.mu.Unlock()
+			return next, nil
+		}
+		// The network deferred a Pattern.match error. Which error a Run
+		// reports depends on the naive matcher's deterministic rule/env/fact
+		// order, so fall back to it permanently — e.facts is authoritative,
+		// so behavior (including the error text) is exactly the original.
+		e.naiveMode = true
+		e.net = nil
+		e.mu.Unlock()
+	}
+	acts, err := e.matchAll()
+	if err != nil {
+		return nil, err
+	}
+	var next *activation
+	for i := range acts {
+		a := &acts[i]
+		if e.fired[a.key] {
+			continue
+		}
+		if next == nil || better(a, next) {
+			next = a
+		}
+	}
+	return next, nil
+}
+
+// ensureNetLocked (re)builds the Rete network when missing or stale (rules
+// added since the last build), replaying working memory in assertion order.
+// Caller holds e.mu.
+func (e *Engine) ensureNetLocked() {
+	if e.net != nil && e.net.ruleCount == len(e.rules) {
+		return
+	}
+	e.net = buildNet(e.rules)
+	for _, f := range e.facts {
+		e.net.assert(f)
+	}
 }
 
 func better(a, b *activation) bool {
@@ -303,6 +373,8 @@ func (e *Engine) Reset() {
 	e.recommendations = nil
 	e.fired = make(map[string]bool)
 	e.firedLog = nil
+	e.net = nil
+	e.naiveMode = false
 }
 
 // SortedOutput returns the output lines sorted (useful in tests where

@@ -1,0 +1,357 @@
+package rules
+
+// rete.go replaces per-cycle re-matching with a Rete-style network so
+// firing cost scales with working-memory *deltas* instead of
+// working-memory size: alpha memories hold the facts of each type in
+// assertion order, beta join nodes hold partial matches (tokens) per rule
+// per pattern level, and assert/retract incrementally extend or kill
+// tokens. Complete tokens land on an agenda keyed exactly like the naive
+// matcher's activations, and conflict resolution picks from the agenda
+// with the same better() total order — so the firing order is reproduced
+// exactly.
+//
+// Invariants that keep the network byte-identical to matchAll():
+//
+//   - Token identity is the tuple of positive-pattern fact IDs in pattern
+//     order, so agenda keys (rule + "|" + tupleKey) match the naive keys
+//     and the refraction memory works unchanged across engines.
+//   - Negated/Exists patterns contribute no bindings and no tuple IDs: a
+//     parent token tracks how many facts currently satisfy the pattern
+//     (negMatches) and owns at most one pass-through child, created or
+//     killed on the 0<->1 transitions.
+//   - Pattern.match errors cannot be raised eagerly at assert time without
+//     changing *which* error a Run reports (the naive matcher discovers
+//     errors in deterministic rule/env/fact order). The network therefore
+//     records the first error (net.err) and the engine falls back to the
+//     naive matcher permanently for that engine — e.facts stays
+//     authoritative, so results and error text are identical.
+//   - A fact asserted while it extends one pattern of a rule must not also
+//     join through tokens created by that same assertion (the classic
+//     double-join hazard); tokens carry a birth epoch and an assertion
+//     only extends tokens born before it.
+//
+// Network shape for a rule with patterns P0..Pn-1 (× = join on shared
+// bindings via Pattern.match):
+//
+//	alpha[T0] ──┐
+//	            ├─× root ─ mems[0] ──┐
+//	alpha[T1] ──┼─────────×──────────┴─ mems[1] ── ... ── mems[n-1]
+//	alpha[T2] ──┘                                            │
+//	                                                      agenda
+
+import "fmt"
+
+type reteNet struct {
+	ruleCount int
+	nodes     []*rnode
+	typeIndex map[string][]patRef
+	alpha     map[string][]*Fact
+	agenda    map[string]*activation
+	factToks  map[*Fact][]*rtoken
+	epoch     int
+	err       error // first deferred Pattern.match error
+}
+
+// patRef addresses one pattern position in one rule's network node.
+type patRef struct {
+	node *rnode
+	j    int
+}
+
+// rnode is the per-rule beta network: the root pseudo-token plus one token
+// memory per pattern level.
+type rnode struct {
+	rule  *Rule
+	order int
+	root  *rtoken
+	mems  [][]*rtoken
+}
+
+// rtoken is a partial match of patterns 0..level (level -1 for the root).
+type rtoken struct {
+	node       *rnode
+	parent     *rtoken
+	fact       *Fact // positive-pattern anchor; nil for root and pass-through tokens
+	env        Bindings
+	ids        []int64
+	level      int
+	birth      int
+	negMatches int // matches of the NEXT pattern when it is Negated/Exists
+	passChild  *rtoken
+	children   []*rtoken
+	actKey     string // agenda key when this token is a complete activation
+	dead       bool
+}
+
+func buildNet(rules []*Rule) *reteNet {
+	n := &reteNet{
+		ruleCount: len(rules),
+		typeIndex: make(map[string][]patRef),
+		alpha:     make(map[string][]*Fact),
+		agenda:    make(map[string]*activation),
+		factToks:  make(map[*Fact][]*rtoken),
+	}
+	for ri, r := range rules {
+		node := &rnode{
+			rule:  r,
+			order: ri,
+			mems:  make([][]*rtoken, len(r.Patterns)),
+		}
+		node.root = &rtoken{node: node, env: Bindings{}, level: -1}
+		for j := range r.Patterns {
+			n.typeIndex[r.Patterns[j].Type] = append(n.typeIndex[r.Patterns[j].Type], patRef{node: node, j: j})
+		}
+		n.nodes = append(n.nodes, node)
+	}
+	return n
+}
+
+func (n *reteNet) fail(err error, r *Rule) {
+	if n.err == nil {
+		n.err = fmt.Errorf("rules: rule %q: %w", r.Name, err)
+	}
+}
+
+// parents returns the token memory feeding pattern j.
+func (n *reteNet) parents(node *rnode, j int) []*rtoken {
+	if j == 0 {
+		return []*rtoken{node.root}
+	}
+	return node.mems[j-1]
+}
+
+// assert feeds a newly asserted fact through every pattern position of its
+// type: positive patterns join it against existing parent tokens, and
+// Negated/Exists patterns bump the counters of parent tokens it satisfies.
+func (n *reteNet) assert(f *Fact) {
+	n.alpha[f.Type] = append(n.alpha[f.Type], f)
+	n.epoch++
+	for _, pr := range n.typeIndex[f.Type] {
+		p := &pr.node.rule.Patterns[pr.j]
+		for _, t := range n.parents(pr.node, pr.j) {
+			if t.dead || t.birth >= n.epoch {
+				continue // tokens born from this very assertion already saw f
+			}
+			if p.Negated || p.Exists {
+				_, ok, err := p.match(f, t.env)
+				if err != nil {
+					n.fail(err, pr.node.rule)
+					continue
+				}
+				if !ok {
+					continue
+				}
+				t.negMatches++
+				if t.negMatches == 1 {
+					if p.Negated {
+						if t.passChild != nil {
+							n.kill(t.passChild)
+							t.passChild = nil
+						}
+					} else if t.passChild == nil {
+						n.makePass(t, pr.j)
+					}
+				}
+				continue
+			}
+			env, ok, err := p.match(f, t.env)
+			if err != nil {
+				n.fail(err, pr.node.rule)
+				continue
+			}
+			if ok {
+				n.extend(t, pr.j, f, env)
+			}
+		}
+	}
+}
+
+// retract removes a fact: tokens anchored on it die (with their subtrees),
+// and Negated/Exists counters it contributed to are decremented, toggling
+// pass-through children on the 1->0 transitions.
+func (n *reteNet) retract(f *Fact) {
+	list := n.alpha[f.Type]
+	found := false
+	for i, x := range list {
+		if x == f {
+			n.alpha[f.Type] = append(list[:i], list[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return // never asserted (or already retracted): nothing to undo
+	}
+	// Snapshot and drop the anchor list first: kill() edits factToks
+	// entries, and mutating the slice mid-range would skip tokens.
+	toks := n.factToks[f]
+	delete(n.factToks, f)
+	for _, t := range toks {
+		if !t.dead {
+			removeTok(&t.parent.children, t)
+			n.kill(t)
+		}
+	}
+	for _, pr := range n.typeIndex[f.Type] {
+		p := &pr.node.rule.Patterns[pr.j]
+		if !p.Negated && !p.Exists {
+			continue
+		}
+		for _, t := range n.parents(pr.node, pr.j) {
+			if t.dead {
+				continue
+			}
+			_, ok, err := p.match(f, t.env)
+			if err != nil {
+				n.fail(err, pr.node.rule)
+				continue
+			}
+			if !ok {
+				continue
+			}
+			t.negMatches--
+			if t.negMatches == 0 {
+				if p.Negated {
+					n.makePass(t, pr.j)
+				} else if t.passChild != nil {
+					n.kill(t.passChild)
+					t.passChild = nil
+				}
+			}
+		}
+	}
+}
+
+// extend creates the token joining parent t with fact f at pattern j and
+// propagates it through the remaining patterns.
+func (n *reteNet) extend(t *rtoken, j int, f *Fact, env Bindings) {
+	ids := make([]int64, len(t.ids)+1)
+	copy(ids, t.ids)
+	ids[len(t.ids)] = f.id
+	child := &rtoken{
+		node:   t.node,
+		parent: t,
+		fact:   f,
+		env:    env,
+		ids:    ids,
+		level:  j,
+		birth:  n.epoch,
+	}
+	t.children = append(t.children, child)
+	t.node.mems[j] = append(t.node.mems[j], child)
+	n.factToks[f] = append(n.factToks[f], child)
+	n.propagate(child)
+}
+
+// makePass creates the pass-through token for a satisfied Negated/Exists
+// pattern: same bindings, same tuple IDs, one level deeper.
+func (n *reteNet) makePass(t *rtoken, j int) {
+	child := &rtoken{
+		node:   t.node,
+		parent: t,
+		env:    t.env,
+		ids:    t.ids,
+		level:  j,
+		birth:  n.epoch,
+	}
+	t.passChild = child
+	t.node.mems[j] = append(t.node.mems[j], child)
+	n.propagate(child)
+}
+
+// propagate pushes a fresh token through the patterns after its level,
+// scanning the alpha memories: positive patterns fan out into joins,
+// Negated/Exists patterns seed the counter and maybe a pass-through child,
+// and a token past the last pattern becomes an activation.
+func (n *reteNet) propagate(t *rtoken) {
+	r := t.node
+	j := t.level + 1
+	if j == len(r.rule.Patterns) {
+		if j > 0 { // a rule with no patterns never fires
+			n.complete(t)
+		}
+		return
+	}
+	p := &r.rule.Patterns[j]
+	if p.Negated || p.Exists {
+		count := 0
+		for _, f := range n.alpha[p.Type] {
+			_, ok, err := p.match(f, t.env)
+			if err != nil {
+				n.fail(err, r.rule)
+				continue
+			}
+			if ok {
+				count++
+			}
+		}
+		t.negMatches = count
+		if (p.Negated && count == 0) || (p.Exists && count > 0) {
+			n.makePass(t, j)
+		}
+		return
+	}
+	for _, f := range n.alpha[p.Type] {
+		env, ok, err := p.match(f, t.env)
+		if err != nil {
+			n.fail(err, r.rule)
+			continue
+		}
+		if ok {
+			n.extend(t, j, f, env)
+		}
+	}
+}
+
+// complete puts a fully matched token on the agenda under the same key the
+// naive matcher would compute.
+func (n *reteNet) complete(t *rtoken) {
+	key := t.node.rule.Name + "|" + tupleKey(t.ids)
+	t.actKey = key
+	n.agenda[key] = &activation{
+		rule:     t.node.rule,
+		bindings: t.env,
+		key:      key,
+		order:    t.node.order,
+	}
+}
+
+// kill marks a token subtree dead, removing every token from its memory
+// and its activation (if complete) from the agenda.
+func (n *reteNet) kill(t *rtoken) {
+	if t.dead {
+		return
+	}
+	t.dead = true
+	removeTok(&t.node.mems[t.level], t)
+	if t.actKey != "" {
+		delete(n.agenda, t.actKey)
+	}
+	if t.fact != nil {
+		if toks, ok := n.factToks[t.fact]; ok {
+			for i, x := range toks {
+				if x == t {
+					n.factToks[t.fact] = append(toks[:i], toks[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	for _, c := range t.children {
+		n.kill(c)
+	}
+	t.children = nil
+	if t.passChild != nil {
+		n.kill(t.passChild)
+		t.passChild = nil
+	}
+}
+
+func removeTok(list *[]*rtoken, t *rtoken) {
+	for i, x := range *list {
+		if x == t {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			return
+		}
+	}
+}

@@ -63,12 +63,19 @@ func (m *Module) Member(name string) (Value, bool) {
 	return v, ok
 }
 
-// Function is a user-defined script function.
+// Function is a user-defined script function. Tree-walked functions carry
+// Body/Closure; compiled functions carry compiled/defFrame instead. Interp.call
+// dispatches on whichever is present, so functions defined under one engine
+// can be invoked from the other (globals persist across Run calls, and the
+// engine flag may be flipped between them).
 type Function struct {
 	Name    string
 	Params  []string
 	Body    []stmt
 	Closure *env
+
+	compiled *compiledFn
+	defFrame *frame // frame chain captured at the definition site
 }
 
 type env struct {
@@ -101,22 +108,51 @@ func (e *env) set(name string, v Value) {
 
 func (e *env) define(name string, v Value) { e.vars[name] = v }
 
+// setIfExists assigns to an existing binding in this scope chain and reports
+// whether one was found; unlike set it never defines the name.
+func (e *env) setIfExists(name string, v Value) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
 // Interp runs scripts. Globals persist across Run calls, so an embedding
 // application can bind its API once and execute many scripts.
+//
+// By default Run lowers the parsed AST to Go closures (see compile.go) with
+// names resolved to frame slots at compile time; setting TreeWalk executes
+// the AST directly instead. The two engines are behaviorally identical —
+// the tree-walker is kept as the differential-testing oracle.
 type Interp struct {
 	globals *env
 	Stdout  io.Writer
 	// MaxSteps bounds statement executions to catch runaway scripts;
 	// 0 means no limit.
 	MaxSteps int
+	// TreeWalk selects the AST-walking evaluator instead of the closure
+	// compiler. Both count steps, trace, and fail identically.
+	TreeWalk bool
 	steps    int
 	ctx      context.Context
 	done     <-chan struct{}
+	// progs caches compiled programs by source text so repeated Run calls
+	// (the common embedding pattern: one session, many scripts) skip the
+	// parse and compile entirely.
+	progs map[string]*program
 	// curCtx is the context of the top-level statement span currently
 	// executing, when tracing is on; Context() hands it to host bindings so
 	// their spans (repository I/O, analysis ops) nest under the statement.
 	curCtx context.Context
 }
+
+// Steps reports how many statements the last (or current) Run has executed —
+// both engines maintain the identical count, which the differential harness
+// asserts.
+func (in *Interp) Steps() int { return in.steps }
 
 // SetContext arranges for script execution to stop with ctx.Err() once ctx
 // is cancelled or times out. Cancellation is cooperative: it is checked at
@@ -131,16 +167,18 @@ func (in *Interp) SetContext(ctx context.Context) {
 	}
 }
 
-// checkBudget enforces the step bound and cooperative cancellation; it is
+// checkBudgetAt enforces the step bound and cooperative cancellation; it is
 // called once per executed statement (and once per while-loop iteration).
-func (in *Interp) checkBudget() error {
+// The position of the statement being charged is carried into the error so
+// a budget blow-up or cancellation points at the offending source location.
+func (in *Interp) checkBudgetAt(line, col int) error {
 	if in.MaxSteps > 0 && in.steps > in.MaxSteps {
-		return fmt.Errorf("script: execution exceeded %d steps", in.MaxSteps)
+		return fmt.Errorf("script: line %d, col %d: execution exceeded %d steps", line, col, in.MaxSteps)
 	}
 	if in.done != nil {
 		select {
 		case <-in.done:
-			return fmt.Errorf("script: cancelled: %w", in.ctx.Err())
+			return fmt.Errorf("script: line %d, col %d: cancelled: %w", line, col, in.ctx.Err())
 		default:
 		}
 	}
@@ -179,6 +217,9 @@ func (in *Interp) Context() context.Context {
 // `script.stmt` span (statement kind and line as attributes) — top-level
 // only, so a loop of a million iterations costs one span, not a million.
 func (in *Interp) Run(src string) error {
+	if !in.TreeWalk {
+		return in.runCompiled(src)
+	}
 	stmts, err := parse(src)
 	if err != nil {
 		return err
@@ -287,7 +328,8 @@ func (in *Interp) execBlock(stmts []stmt, e *env) (control, error) {
 
 func (in *Interp) exec(s stmt, e *env) (control, error) {
 	in.steps++
-	if err := in.checkBudget(); err != nil {
+	line, col := s.pos()
+	if err := in.checkBudgetAt(line, col); err != nil {
 		return control{}, err
 	}
 	switch st := s.(type) {
@@ -337,7 +379,7 @@ func (in *Interp) exec(s stmt, e *env) (control, error) {
 				return c, nil
 			}
 			in.steps++
-			if err := in.checkBudget(); err != nil {
+			if err := in.checkBudgetAt(st.Line, st.Col); err != nil {
 				return control{}, err
 			}
 		}
@@ -353,7 +395,11 @@ func (in *Interp) exec(s stmt, e *env) (control, error) {
 		for i, item := range items {
 			scope := newEnv(e)
 			if st.Key != "" {
-				scope.define(st.Key, keys[i])
+				var kv Value
+				if keys != nil {
+					kv = keys[i]
+				}
+				scope.define(st.Key, kv)
 			}
 			scope.define(st.Var, item)
 			c, err := in.execBlock(st.Body, scope)
@@ -398,15 +444,21 @@ func (in *Interp) assignIndex(target *indexExpr, v Value, e *env) error {
 	if err != nil {
 		return err
 	}
+	return setIndex(container, idx, v, target.Line)
+}
+
+// setIndex stores v at container[idx]; shared by both engines so the error
+// texts cannot drift apart.
+func setIndex(container, idx, v Value, line int) error {
 	switch c := container.(type) {
 	case *List:
 		i, ok := idx.(float64)
 		if !ok {
-			return errAt(target.Line, "list index must be a number")
+			return errAt(line, "list index must be a number")
 		}
 		n := int(i)
 		if n < 0 || n >= len(c.Items) {
-			return errAt(target.Line, "list index %d out of range [0,%d)", n, len(c.Items))
+			return errAt(line, "list index %d out of range [0,%d)", n, len(c.Items))
 		}
 		c.Items[n] = v
 		return nil
@@ -414,13 +466,15 @@ func (in *Interp) assignIndex(target *indexExpr, v Value, e *env) error {
 		c.Entries[ToString(idx)] = v
 		return nil
 	}
-	return errAt(target.Line, "cannot index-assign into %s", typeName(container))
+	return errAt(line, "cannot index-assign into %s", typeName(container))
 }
 
 func iterate(v Value, line int) (items []Value, keys []Value, err error) {
 	switch c := v.(type) {
 	case *List:
-		return c.Items, make([]Value, len(c.Items)), nil
+		// Lists have no keys; callers treat a nil keys slice as all-nil
+		// key values, so the hot list case allocates nothing.
+		return c.Items, nil, nil
 	case *Map:
 		ks := make([]string, 0, len(c.Entries))
 		for k := range c.Entries {
@@ -560,7 +614,14 @@ func (in *Interp) evalBin(ex *binExpr, e *env) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch ex.Op {
+	return applyBin(ex.Op, l, r, ex.Line)
+}
+
+// applyBin applies a non-short-circuit binary operator to two evaluated
+// operands. Both engines route through it, so operator semantics and error
+// texts are identical by construction.
+func applyBin(op string, l, r Value, line int) (Value, error) {
+	switch op {
 	case "+":
 		if ls, ok := l.(string); ok {
 			return ls + ToString(r), nil
@@ -581,25 +642,25 @@ func (in *Interp) evalBin(ex *binExpr, e *env) (Value, error) {
 	ln, lok := l.(float64)
 	rn, rok := r.(float64)
 	if !lok || !rok {
-		return nil, errAt(ex.Line, "operator %q needs numbers, got %s and %s", ex.Op, typeName(l), typeName(r))
+		return nil, errAt(line, "operator %q needs numbers, got %s and %s", op, typeName(l), typeName(r))
 	}
-	switch ex.Op {
+	switch op {
 	case "+":
-		return ln + rn, nil
+		return boxFloat(ln + rn), nil
 	case "-":
-		return ln - rn, nil
+		return boxFloat(ln - rn), nil
 	case "*":
-		return ln * rn, nil
+		return boxFloat(ln * rn), nil
 	case "/":
 		if rn == 0 {
-			return nil, errAt(ex.Line, "division by zero")
+			return nil, errAt(line, "division by zero")
 		}
-		return ln / rn, nil
+		return boxFloat(ln / rn), nil
 	case "%":
 		if rn == 0 {
-			return nil, errAt(ex.Line, "modulo by zero")
+			return nil, errAt(line, "modulo by zero")
 		}
-		return math.Mod(ln, rn), nil
+		return boxFloat(math.Mod(ln, rn)), nil
 	case "<":
 		return ln < rn, nil
 	case ">":
@@ -609,7 +670,7 @@ func (in *Interp) evalBin(ex *binExpr, e *env) (Value, error) {
 	case ">=":
 		return ln >= rn, nil
 	}
-	return nil, errAt(ex.Line, "unknown operator %q", ex.Op)
+	return nil, errAt(line, "unknown operator %q", op)
 }
 
 func (in *Interp) call(fn Value, args []Value, line int) (Value, error) {
@@ -623,6 +684,9 @@ func (in *Interp) call(fn Value, args []Value, line int) (Value, error) {
 	case *Function:
 		if len(args) != len(f.Params) {
 			return nil, errAt(line, "%s expects %d arguments, got %d", f.Name, len(f.Params), len(args))
+		}
+		if f.compiled != nil {
+			return in.callCompiled(f, args)
 		}
 		scope := newEnv(f.Closure)
 		for i, p := range f.Params {
@@ -871,8 +935,11 @@ func (in *Interp) installBuiltins() {
 			return nil, fmt.Errorf("range expects 1 or 2 arguments")
 		}
 		out := NewList()
+		if n := hi - lo; n > 0 && n < 1<<24 {
+			out.Items = make([]Value, 0, int(math.Ceil(n)))
+		}
 		for i := lo; i < hi; i++ {
-			out.Items = append(out.Items, i)
+			out.Items = append(out.Items, boxFloat(i))
 		}
 		return out, nil
 	}))

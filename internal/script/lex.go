@@ -48,6 +48,7 @@ type token struct {
 	text string
 	num  float64
 	line int
+	col  int // 1-based column of the token's first character
 }
 
 func (t token) String() string {
@@ -62,11 +63,15 @@ func (t token) String() string {
 }
 
 type scriptLexer struct {
-	src  string
-	pos  int
-	line int
-	toks []token
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the current line's first character
+	toks      []token
 }
+
+// col returns the 1-based column of byte offset pos on the current line.
+func (l *scriptLexer) col(pos int) int { return pos - l.lineStart + 1 }
 
 func lexScript(src string) ([]token, error) {
 	l := &scriptLexer{src: src, line: 1}
@@ -77,10 +82,11 @@ func lexScript(src string) ([]token, error) {
 		case c == '\n':
 			// Newlines are statement terminators only outside brackets.
 			if parenDepth == 0 {
-				l.emit(token{kind: tNewline, text: "\\n", line: l.line})
+				l.emit(token{kind: tNewline, text: "\\n", line: l.line, col: l.col(l.pos)})
 			}
 			l.line++
 			l.pos++
+			l.lineStart = l.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
 		case c == '#':
@@ -112,8 +118,8 @@ func lexScript(src string) ([]token, error) {
 			}
 		}
 	}
-	l.emit(token{kind: tNewline, text: "\\n", line: l.line})
-	l.emit(token{kind: tEOF, line: l.line})
+	l.emit(token{kind: tNewline, text: "\\n", line: l.line, col: l.col(l.pos)})
+	l.emit(token{kind: tEOF, line: l.line, col: l.col(l.pos)})
 	return l.toks, nil
 }
 
@@ -134,6 +140,7 @@ func isScriptIdentChar(c byte) bool {
 }
 
 func (l *scriptLexer) lexString(quote byte) error {
+	startCol := l.col(l.pos)
 	l.pos++
 	var sb strings.Builder
 	for l.pos < len(l.src) {
@@ -156,7 +163,7 @@ func (l *scriptLexer) lexString(quote byte) error {
 		}
 		if c == quote {
 			l.pos++
-			l.emit(token{kind: tString, text: sb.String(), line: l.line})
+			l.emit(token{kind: tString, text: sb.String(), line: l.line, col: startCol})
 			return nil
 		}
 		if c == '\n' {
@@ -173,16 +180,18 @@ func (l *scriptLexer) lexString(quote byte) error {
 // sources directly in analysis scripts.
 func (l *scriptLexer) lexTripleString() error {
 	startLine := l.line
+	startCol := l.col(l.pos)
 	l.pos += 3
 	start := l.pos
 	for l.pos+2 < len(l.src) {
 		if l.src[l.pos] == '"' && l.src[l.pos+1] == '"' && l.src[l.pos+2] == '"' {
-			l.emit(token{kind: tString, text: l.src[start:l.pos], line: startLine})
+			l.emit(token{kind: tString, text: l.src[start:l.pos], line: startLine, col: startCol})
 			l.pos += 3
 			return nil
 		}
 		if l.src[l.pos] == '\n' {
 			l.line++
+			l.lineStart = l.pos + 1
 		}
 		l.pos++
 	}
@@ -221,7 +230,7 @@ func (l *scriptLexer) lexNumber() {
 		}
 		l.pos = start + len(text)
 	}
-	l.emit(token{kind: tNumber, text: text, num: n, line: l.line})
+	l.emit(token{kind: tNumber, text: text, num: n, line: l.line, col: l.col(start)})
 }
 
 func (l *scriptLexer) lexIdent() {
@@ -234,7 +243,7 @@ func (l *scriptLexer) lexIdent() {
 	if keywords[text] {
 		kind = tKeyword
 	}
-	l.emit(token{kind: kind, text: text, line: l.line})
+	l.emit(token{kind: kind, text: text, line: l.line, col: l.col(start)})
 }
 
 // lexOp lexes an operator/punctuation token and returns the bracket-depth
@@ -244,28 +253,29 @@ func (l *scriptLexer) lexOp() (bool, int) {
 	if l.pos+1 < len(l.src) {
 		two = l.src[l.pos : l.pos+2]
 	}
+	col := l.col(l.pos)
 	switch two {
 	case "==", "!=", "<=", ">=":
-		l.emit(token{kind: tOp, text: two, line: l.line})
+		l.emit(token{kind: tOp, text: two, line: l.line, col: col})
 		l.pos += 2
 		return true, 0
 	}
 	c := l.src[l.pos]
 	switch c {
 	case '+', '-', '*', '/', '%', '<', '>', '=', ',', '.', ':', ';':
-		l.emit(token{kind: tOp, text: string(c), line: l.line})
+		l.emit(token{kind: tOp, text: string(c), line: l.line, col: col})
 		l.pos++
 		return true, 0
 	case '(', '[':
-		l.emit(token{kind: tOp, text: string(c), line: l.line})
+		l.emit(token{kind: tOp, text: string(c), line: l.line, col: col})
 		l.pos++
 		return true, 1
 	case ')', ']':
-		l.emit(token{kind: tOp, text: string(c), line: l.line})
+		l.emit(token{kind: tOp, text: string(c), line: l.line, col: col})
 		l.pos++
 		return true, -1
 	case '{', '}':
-		l.emit(token{kind: tOp, text: string(c), line: l.line})
+		l.emit(token{kind: tOp, text: string(c), line: l.line, col: col})
 		l.pos++
 		return true, 0
 	}

@@ -2,13 +2,22 @@ package script
 
 import "fmt"
 
-// AST node types. Every node carries the source line for error reporting.
+// AST node types. Every node carries the source line and column for error
+// reporting.
 
-type node struct{ Line int }
+type node struct{ Line, Col int }
+
+// pos reports the node's source position; all statements and expressions
+// embed node, so both interpreters can report exact positions for budget
+// and cancellation errors.
+func (n node) pos() (line, col int) { return n.Line, n.Col }
 
 // Statements.
 
-type stmt interface{ stmtNode() }
+type stmt interface {
+	stmtNode()
+	pos() (line, col int)
+}
 
 type assignStmt struct {
 	node
@@ -215,7 +224,7 @@ func (p *scriptParser) endStmt() error {
 }
 
 func (p *scriptParser) parseStmt() (stmt, error) {
-	line := p.cur().line
+	line, col := p.cur().line, p.cur().col
 	switch {
 	case p.atKeyword("if"):
 		return p.parseIf()
@@ -238,19 +247,19 @@ func (p *scriptParser) parseStmt() (stmt, error) {
 		if err := p.endStmt(); err != nil {
 			return nil, err
 		}
-		return &returnStmt{node{line}, v}, nil
+		return &returnStmt{node{line, col}, v}, nil
 	case p.atKeyword("break"):
 		p.advance()
 		if err := p.endStmt(); err != nil {
 			return nil, err
 		}
-		return &breakStmt{node{line}}, nil
+		return &breakStmt{node{line, col}}, nil
 	case p.atKeyword("continue"):
 		p.advance()
 		if err := p.endStmt(); err != nil {
 			return nil, err
 		}
-		return &continueStmt{node{line}}, nil
+		return &continueStmt{node{line, col}}, nil
 	}
 	// Expression or assignment.
 	x, err := p.parseExpr()
@@ -271,12 +280,12 @@ func (p *scriptParser) parseStmt() (stmt, error) {
 		if err := p.endStmt(); err != nil {
 			return nil, err
 		}
-		return &assignStmt{node{line}, x, v}, nil
+		return &assignStmt{node{line, col}, x, v}, nil
 	}
 	if err := p.endStmt(); err != nil {
 		return nil, err
 	}
-	return &exprStmt{node{line}, x}, nil
+	return &exprStmt{node{line, col}, x}, nil
 }
 
 func (p *scriptParser) parseBlock() ([]stmt, error) {
@@ -301,7 +310,7 @@ func (p *scriptParser) parseBlock() ([]stmt, error) {
 }
 
 func (p *scriptParser) parseIf() (stmt, error) {
-	line := p.cur().line
+	line, col := p.cur().line, p.cur().col
 	p.advance() // if / elif
 	cond, err := p.parseExpr()
 	if err != nil {
@@ -311,7 +320,7 @@ func (p *scriptParser) parseIf() (stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &ifStmt{node{line}, cond, then, nil}
+	out := &ifStmt{node{line, col}, cond, then, nil}
 	p.skipNewlinesBeforeElse()
 	if p.atKeyword("elif") {
 		nested, err := p.parseIf()
@@ -342,7 +351,7 @@ func (p *scriptParser) skipNewlinesBeforeElse() {
 }
 
 func (p *scriptParser) parseFor() (stmt, error) {
-	line := p.cur().line
+	line, col := p.cur().line, p.cur().col
 	p.advance() // for
 	v1 := p.cur()
 	if v1.kind != tIdent {
@@ -371,11 +380,11 @@ func (p *scriptParser) parseFor() (stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &forStmt{node{line}, varName, key, iter, body}, nil
+	return &forStmt{node{line, col}, varName, key, iter, body}, nil
 }
 
 func (p *scriptParser) parseWhile() (stmt, error) {
-	line := p.cur().line
+	line, col := p.cur().line, p.cur().col
 	p.advance()
 	cond, err := p.parseExpr()
 	if err != nil {
@@ -385,11 +394,11 @@ func (p *scriptParser) parseWhile() (stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &whileStmt{node{line}, cond, body}, nil
+	return &whileStmt{node{line, col}, cond, body}, nil
 }
 
 func (p *scriptParser) parseFunc() (stmt, error) {
-	line := p.cur().line
+	line, col := p.cur().line, p.cur().col
 	p.advance()
 	name := p.cur()
 	if name.kind != tIdent {
@@ -416,7 +425,7 @@ func (p *scriptParser) parseFunc() (stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &funcStmt{node{line}, name.text, params, body}, nil
+	return &funcStmt{node{line, col}, name.text, params, body}, nil
 }
 
 // Expression grammar: or → and → not → comparison → additive →
@@ -430,13 +439,13 @@ func (p *scriptParser) parseOr() (expr, error) {
 		return nil, err
 	}
 	for p.atKeyword("or") {
-		line := p.cur().line
+		line, col := p.cur().line, p.cur().col
 		p.advance()
 		right, err := p.parseAnd()
 		if err != nil {
 			return nil, err
 		}
-		left = &binExpr{node{line}, "or", left, right}
+		left = &binExpr{node{line, col}, "or", left, right}
 	}
 	return left, nil
 }
@@ -447,26 +456,26 @@ func (p *scriptParser) parseAnd() (expr, error) {
 		return nil, err
 	}
 	for p.atKeyword("and") {
-		line := p.cur().line
+		line, col := p.cur().line, p.cur().col
 		p.advance()
 		right, err := p.parseNot()
 		if err != nil {
 			return nil, err
 		}
-		left = &binExpr{node{line}, "and", left, right}
+		left = &binExpr{node{line, col}, "and", left, right}
 	}
 	return left, nil
 }
 
 func (p *scriptParser) parseNot() (expr, error) {
 	if p.atKeyword("not") {
-		line := p.cur().line
+		line, col := p.cur().line, p.cur().col
 		p.advance()
 		x, err := p.parseNot()
 		if err != nil {
 			return nil, err
 		}
-		return &unaryExpr{node{line}, "not", x}, nil
+		return &unaryExpr{node{line, col}, "not", x}, nil
 	}
 	return p.parseComparison()
 }
@@ -483,13 +492,13 @@ func (p *scriptParser) parseComparison() (expr, error) {
 		default:
 			return left, nil
 		}
-		line := p.cur().line
+		line, col := p.cur().line, p.cur().col
 		p.advance()
 		right, err := p.parseAdditive()
 		if err != nil {
 			return nil, err
 		}
-		left = &binExpr{node{line}, op, left, right}
+		left = &binExpr{node{line, col}, op, left, right}
 	}
 	return left, nil
 }
@@ -501,13 +510,13 @@ func (p *scriptParser) parseAdditive() (expr, error) {
 	}
 	for p.atOp("+") || p.atOp("-") {
 		op := p.cur().text
-		line := p.cur().line
+		line, col := p.cur().line, p.cur().col
 		p.advance()
 		right, err := p.parseMultiplicative()
 		if err != nil {
 			return nil, err
 		}
-		left = &binExpr{node{line}, op, left, right}
+		left = &binExpr{node{line, col}, op, left, right}
 	}
 	return left, nil
 }
@@ -519,26 +528,26 @@ func (p *scriptParser) parseMultiplicative() (expr, error) {
 	}
 	for p.atOp("*") || p.atOp("/") || p.atOp("%") {
 		op := p.cur().text
-		line := p.cur().line
+		line, col := p.cur().line, p.cur().col
 		p.advance()
 		right, err := p.parseUnary()
 		if err != nil {
 			return nil, err
 		}
-		left = &binExpr{node{line}, op, left, right}
+		left = &binExpr{node{line, col}, op, left, right}
 	}
 	return left, nil
 }
 
 func (p *scriptParser) parseUnary() (expr, error) {
 	if p.atOp("-") {
-		line := p.cur().line
+		line, col := p.cur().line, p.cur().col
 		p.advance()
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err
 		}
-		return &unaryExpr{node{line}, "-", x}, nil
+		return &unaryExpr{node{line, col}, "-", x}, nil
 	}
 	return p.parsePostfix()
 }
@@ -551,16 +560,16 @@ func (p *scriptParser) parsePostfix() (expr, error) {
 	for {
 		switch {
 		case p.atOp("."):
-			line := p.cur().line
+			line, col := p.cur().line, p.cur().col
 			p.advance()
 			name := p.cur()
 			if name.kind != tIdent && name.kind != tKeyword {
 				return nil, p.errf("expected attribute name, got %s", name)
 			}
 			p.advance()
-			x = &attrExpr{node{line}, x, name.text}
+			x = &attrExpr{node{line, col}, x, name.text}
 		case p.atOp("("):
-			line := p.cur().line
+			line, col := p.cur().line, p.cur().col
 			p.advance()
 			var args []expr
 			for !p.atOp(")") {
@@ -576,9 +585,9 @@ func (p *scriptParser) parsePostfix() (expr, error) {
 				}
 			}
 			p.advance() // )
-			x = &callExpr{node{line}, x, args}
+			x = &callExpr{node{line, col}, x, args}
 		case p.atOp("["):
-			line := p.cur().line
+			line, col := p.cur().line, p.cur().col
 			p.advance()
 			i, err := p.parseExpr()
 			if err != nil {
@@ -587,7 +596,7 @@ func (p *scriptParser) parsePostfix() (expr, error) {
 			if err := p.expectOp("]"); err != nil {
 				return nil, err
 			}
-			x = &indexExpr{node{line}, x, i}
+			x = &indexExpr{node{line, col}, x, i}
 		default:
 			return x, nil
 		}
@@ -596,23 +605,23 @@ func (p *scriptParser) parsePostfix() (expr, error) {
 
 func (p *scriptParser) parsePrimary() (expr, error) {
 	t := p.cur()
-	line := t.line
+	line, col := t.line, t.col
 	switch {
 	case t.kind == tNumber:
 		p.advance()
-		return &numLit{node{line}, t.num}, nil
+		return &numLit{node{line, col}, t.num}, nil
 	case t.kind == tString:
 		p.advance()
-		return &strLit{node{line}, t.text}, nil
+		return &strLit{node{line, col}, t.text}, nil
 	case t.kind == tKeyword && (t.text == "true" || t.text == "false"):
 		p.advance()
-		return &boolLit{node{line}, t.text == "true"}, nil
+		return &boolLit{node{line, col}, t.text == "true"}, nil
 	case t.kind == tKeyword && t.text == "nil":
 		p.advance()
-		return &nilLit{node{line}}, nil
+		return &nilLit{node{line, col}}, nil
 	case t.kind == tIdent:
 		p.advance()
-		return &identExpr{node{line}, t.text}, nil
+		return &identExpr{node{line, col}, t.text}, nil
 	case t.kind == tOp && t.text == "(":
 		p.advance()
 		x, err := p.parseExpr()
@@ -639,7 +648,7 @@ func (p *scriptParser) parsePrimary() (expr, error) {
 			}
 		}
 		p.advance()
-		return &listLit{node{line}, items}, nil
+		return &listLit{node{line, col}, items}, nil
 	case t.kind == tOp && t.text == "{":
 		p.advance()
 		var keys, vals []expr
@@ -664,7 +673,7 @@ func (p *scriptParser) parsePrimary() (expr, error) {
 			}
 		}
 		p.advance()
-		return &mapLit{node{line}, keys, vals}, nil
+		return &mapLit{node{line, col}, keys, vals}, nil
 	}
 	return nil, p.errf("unexpected token %s in expression", t)
 }

@@ -1,14 +1,21 @@
 #!/bin/sh
 # bench_baseline.sh — record or compare benchmark baselines.
 #
-#   scripts/bench_baseline.sh record    run all benchmarks once and write
-#                                       BENCH_baseline.json (name -> ns/op,
-#                                       allocs/op) at the repo root
-#   scripts/bench_baseline.sh compare   run all benchmarks once and warn for
-#                                       every benchmark whose ns/op regressed
-#                                       more than 20% against the baseline;
-#                                       exits 1 when any regressed (CI runs
-#                                       this as a non-blocking step)
+#   scripts/bench_baseline.sh record [-pkg PATTERN] [-out FILE]
+#       run the benchmarks once and write FILE (default
+#       BENCH_baseline.json at the repo root): one line per benchmark
+#       with ns/op and allocs/op
+#   scripts/bench_baseline.sh compare [-pkg PATTERN] [-compare OLD.json]
+#       run the benchmarks once and warn for every benchmark whose ns/op
+#       regressed more than 20% against OLD.json (default
+#       BENCH_baseline.json); exits 1 when any regressed (CI runs this
+#       as a non-blocking step)
+#
+# -pkg restricts the run to one package pattern (e.g. -pkg ./internal/rules)
+# so a focused baseline doesn't pay for the full evaluation suite.
+# -benchtime N passes through to go test (default 1x; use e.g. 10x for
+# steady-state numbers that exclude one-time warmup such as script
+# compilation).
 #
 # The JSON is one benchmark per line so the comparison can be done with awk
 # alone — no jq dependency.
@@ -16,10 +23,40 @@ set -eu
 
 cd "$(dirname "$0")/.."
 mode="${1:-record}"
+[ $# -gt 0 ] && shift
 baseline="BENCH_baseline.json"
+out=""
+pkg="./..."
+benchtime="1x"
+
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-pkg)
+		pkg="$2"
+		shift 2
+		;;
+	-benchtime)
+		benchtime="$2"
+		shift 2
+		;;
+	-out)
+		out="$2"
+		shift 2
+		;;
+	-compare)
+		baseline="$2"
+		shift 2
+		;;
+	*)
+		echo "unknown option: $1" >&2
+		exit 2
+		;;
+	esac
+done
+[ -n "$out" ] || out="$baseline"
 
 run_benchmarks() {
-	go test -bench=. -benchmem -benchtime=1x -run='^$' ./... 2>/dev/null |
+	go test -bench=. -benchmem -benchtime="$benchtime" -run='^$' "$pkg" 2>/dev/null |
 		awk '$1 ~ /^Benchmark/ && $4 == "ns/op" {
 			name = $1
 			sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
@@ -42,8 +79,8 @@ to_json() {
 
 case "$mode" in
 record)
-	run_benchmarks | to_json >"$baseline"
-	echo "wrote $baseline ($(grep -c ns_per_op "$baseline") benchmarks)"
+	run_benchmarks | to_json >"$out"
+	echo "wrote $out ($(grep -c ns_per_op "$out") benchmarks)"
 	;;
 compare)
 	if [ ! -f "$baseline" ]; then
@@ -83,7 +120,7 @@ compare)
 		}' "$baseline"
 	;;
 *)
-	echo "usage: $0 [record|compare]" >&2
+	echo "usage: $0 [record|compare] [-pkg PATTERN] [-benchtime N] [-out FILE] [-compare OLD.json]" >&2
 	exit 2
 	;;
 esac
