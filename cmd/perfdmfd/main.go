@@ -22,6 +22,13 @@
 // (recovering orphaned temp files, quarantining corrupt trial files),
 // prints the fsck report as JSON on stdout, and exits 0 if the store is
 // clean or 1 otherwise — the offline twin of GET /api/v1/fsck.
+//
+// With -peers the daemon joins a static cluster: every member is started
+// with the same -peers/-replicas/-ring-epoch/-vnodes/-ring-seed, serves
+// the resulting ring descriptor at GET /api/v1/cluster, and publishes
+// cluster_ring_* gauges in /api/v1/metrics. Data placement and
+// replication are entirely client-side (see perfexplorer -cluster and
+// docs/CLUSTER.md); the daemon itself stays a plain single-node store.
 package main
 
 import (
@@ -37,10 +44,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"perfknow/internal/dmfserver"
+	"perfknow/internal/dmfwire"
 	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 )
@@ -70,6 +79,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			"how long a request may wait for an analysis slot before being shed with 429 (negative = shed immediately)")
 		fsck = fs.Bool("fsck", false,
 			"verify the repository (recover temp files, quarantine corrupt trials), print the report as JSON and exit: 0 if clean, 1 otherwise")
+		peers = fs.String("peers", "",
+			"comma-separated base URLs of every cluster member (including this one); empty = standalone")
+		replicas  = fs.Int("replicas", 2, "cluster replication factor R (with -peers)")
+		ringEpoch = fs.Uint64("ring-epoch", 1, "cluster membership epoch; bump when -peers changes (with -peers)")
+		vnodes    = fs.Int("vnodes", 64, "virtual nodes per peer on the placement ring (with -peers)")
+		ringSeed  = fs.Uint64("ring-seed", 0, "placement hash seed; must match on every member (with -peers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -97,6 +112,26 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		}
 		return 0
 	}
+	// With -peers the daemon declares itself a member of a static cluster:
+	// every member is started with the identical descriptor, serves it at
+	// GET /api/v1/cluster, and cluster-routing clients (perfexplorer
+	// -cluster, cluster.ShardedStore) cross-check it before placing data.
+	var ring *dmfwire.Ring
+	if *peers != "" {
+		r := dmfwire.Ring{
+			Epoch:    *ringEpoch,
+			Replicas: *replicas,
+			VNodes:   *vnodes,
+			Seed:     *ringSeed,
+			Peers:    splitPeers(*peers),
+		}
+		canon := r.Canonical()
+		if err := canon.Validate(); err != nil {
+			return fail(logger, err)
+		}
+		ring = &canon
+	}
+
 	srv, err := dmfserver.New(dmfserver.Config{
 		Repo:           repo,
 		RulesDir:       *rulesDir,
@@ -105,6 +140,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		RequestTimeout: *timeout,
 		AdmissionWait:  *admission,
 		Logger:         logger,
+		Ring:           ring,
 	})
 	if err != nil {
 		return fail(logger, err)
@@ -183,4 +219,15 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 func fail(logger *slog.Logger, err error) int {
 	logger.Error("fatal", "err", err)
 	return 1
+}
+
+// splitPeers parses the -peers flag: comma-separated URLs, blanks ignored.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

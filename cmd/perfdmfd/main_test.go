@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -221,5 +223,75 @@ func TestDaemonBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-no-such-flag"}, &out, &errb, nil); code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestDaemonClusterFlags: -peers turns the daemon into a cluster member
+// that serves its ring at GET /api/v1/cluster and publishes the ring
+// identity gauges; the peer list is canonicalized, so flag order does not
+// matter.
+func TestDaemonClusterFlags(t *testing.T) {
+	c, stop := startDaemon(t,
+		"-peers", "http://node-b:7360, http://node-a:7360",
+		"-replicas", "2",
+		"-ring-epoch", "5",
+		"-vnodes", "32",
+		"-ring-seed", "7",
+	)
+	defer stop()
+
+	ring, err := c.ClusterRing(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Epoch != 5 || ring.Replicas != 2 || ring.VNodes != 32 || ring.Seed != 7 {
+		t.Fatalf("ring = %+v", ring)
+	}
+	want := []string{"http://node-a:7360", "http://node-b:7360"}
+	if len(ring.Peers) != 2 || ring.Peers[0] != want[0] || ring.Peers[1] != want[1] {
+		t.Fatalf("peers = %v, want %v (canonical order)", ring.Peers, want)
+	}
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gauges["cluster_ring_epoch"] != 5 || m.Gauges["cluster_ring_peers"] != 2 {
+		t.Fatalf("ring gauges missing from metrics: %v", m.Gauges)
+	}
+}
+
+// TestDaemonStandaloneHasNoRing: without -peers the cluster endpoint
+// answers 404 and no ring gauges are published.
+func TestDaemonStandaloneHasNoRing(t *testing.T) {
+	c, stop := startDaemon(t)
+	defer stop()
+	if _, err := c.ClusterRing(context.Background()); !errors.Is(err, perfdmf.ErrNotFound) {
+		t.Fatalf("ClusterRing = %v, want ErrNotFound", err)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Gauges["cluster_ring_epoch"]; ok {
+		t.Fatal("standalone daemon published ring gauges")
+	}
+}
+
+// TestDaemonRejectsBadRing: an unsatisfiable descriptor (R > peers) must
+// fail startup, not come up with broken placement.
+func TestDaemonRejectsBadRing(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-addr", "127.0.0.1:0",
+		"-repo", t.TempDir(),
+		"-peers", "http://node-a:7360",
+		"-replicas", "3",
+	}, &out, &errb, nil)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "replicas") {
+		t.Fatalf("stderr should explain the ring rejection: %s", errb.String())
 	}
 }

@@ -6,7 +6,11 @@
 //
 //	perfexplorer -repo DIR -script FILE [-rules DIR] [-trace FILE] [arg ...]
 //	perfexplorer -server URL -script FILE [-rules DIR] [-trace FILE] [arg ...]
+//	perfexplorer -cluster URL1,URL2,... -script FILE [flags] [arg ...]
 //	perfexplorer -repo DIR -list
+//	perfexplorer -cluster URL1,URL2,... -rebalance
+//	perfexplorer -cluster URL1,URL2,... -upload FILE
+//	perfexplorer -cluster URL1,URL2,... -get APP/EXP/TRIAL
 //	perfexplorer -write-assets DIR
 //
 // Script arguments (usually application, experiment and trial names) are
@@ -18,6 +22,16 @@
 // saveTrial all go over the wire, so existing scripts work against a
 // shared networked repository unchanged. -repo is ignored when -server is
 // set.
+//
+// With -cluster the script runs against a sharded, replicated perfdmfd
+// cluster: the peer list plus -replicas/-ring-epoch/-vnodes/-ring-seed
+// (which must match the daemons' flags) compile into the same placement
+// ring the cluster was started with, and every read, write and listing is
+// routed, replicated and unioned client-side — scripts are unchanged.
+// -rebalance runs one anti-entropy repair pass and prints the repair
+// report as JSON (exit 0 if the cluster converged cleanly); -upload sends
+// a trial JSON file through the routing layer; -get fetches one trial and
+// prints it as JSON.
 //
 // With -trace FILE the run is traced: script statements, analysis
 // operations, rule firings and repository I/O each record a span, and
@@ -35,9 +49,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
+	"perfknow/internal/cluster"
 	"perfknow/internal/core"
 	"perfknow/internal/diagnosis"
 	"perfknow/internal/dmfclient"
@@ -65,6 +81,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tracePath   = fs.String("trace", "", "trace the run and write the span tree (incl. server-side spans with -server) as JSON to this file")
 		jobs        = fs.Int("j", 0, "worker goroutines for parallel analysis (0 = GOMAXPROCS, 1 = sequential)")
 		retries     = fs.Int("retries", 0, "max attempts per remote request, incl. the first (0 = client default, 1 = no retries)")
+		clusterFlag = fs.String("cluster", "", "comma-separated perfdmfd peer URLs; route reads/writes across the cluster (overrides -server and -repo)")
+		replicas    = fs.Int("replicas", 2, "cluster replication factor R (with -cluster; must match the daemons)")
+		ringEpoch   = fs.Uint64("ring-epoch", 1, "cluster membership epoch (with -cluster; must match the daemons)")
+		vnodes      = fs.Int("vnodes", 64, "virtual nodes per peer on the placement ring (with -cluster; must match the daemons)")
+		ringSeed    = fs.Uint64("ring-seed", 0, "placement hash seed (with -cluster; must match the daemons)")
+		rebalance   = fs.Bool("rebalance", false, "run one anti-entropy repair pass over the cluster, print the report as JSON and exit (0 = converged cleanly)")
+		uploadPath  = fs.String("upload", "", "upload this trial JSON file through the store and exit")
+		getCoord    = fs.String("get", "", "fetch one trial (APP/EXP/TRIAL) and print it as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,14 +107,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// channel on which the client publishes listing errors its Store
 	// signatures had to swallow.
 	var tracer *obs.Tracer
-	if *tracePath != "" || *serverURL != "" {
+	if *tracePath != "" || *serverURL != "" || *clusterFlag != "" {
 		tracer = obs.NewTracer()
 		tracer.Service = "perfexplorer"
 	}
 
 	var store perfdmf.Store
 	var client *dmfclient.Client
-	if *serverURL != "" {
+	var sharded *cluster.ShardedStore
+	switch {
+	case *clusterFlag != "":
+		desc := dmfwire.Ring{
+			Epoch:    *ringEpoch,
+			Replicas: *replicas,
+			VNodes:   *vnodes,
+			Seed:     *ringSeed,
+			Peers:    splitPeers(*clusterFlag),
+		}
+		opts := []dmfclient.Option{dmfclient.WithTracer(tracer)}
+		if *retries > 0 {
+			opts = append(opts, dmfclient.WithRetryPolicy(dmfclient.RetryPolicy{MaxAttempts: *retries}))
+		}
+		var err error
+		sharded, err = cluster.Dial(desc, opts, cluster.WithTracer(tracer))
+		if err != nil {
+			return fail(stderr, err)
+		}
+		// Refuse to route if any reachable peer disagrees on the ring:
+		// epoch or parameter drift means two processes would place keys
+		// differently.
+		confirmed, err := sharded.VerifyRing(context.Background())
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stderr, "perfexplorer: cluster of %d peer(s), replicas=%d, epoch=%d (%d peer(s) confirmed the ring)\n",
+			len(desc.Peers), *replicas, *ringEpoch, confirmed)
+		store = sharded
+	case *serverURL != "":
 		opts := []dmfclient.Option{dmfclient.WithTracer(tracer)}
 		if *retries > 0 {
 			opts = append(opts, dmfclient.WithRetryPolicy(dmfclient.RetryPolicy{MaxAttempts: *retries}))
@@ -104,12 +157,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, err)
 		}
 		store = client
-	} else {
+	default:
 		repo, err := perfdmf.OpenRepository(*repoDir)
 		if err != nil {
 			return fail(stderr, err)
 		}
 		store = repo
+	}
+
+	if *rebalance {
+		if sharded == nil {
+			fmt.Fprintln(stderr, "perfexplorer: -rebalance requires -cluster")
+			return 2
+		}
+		rep, err := sharded.Rebalance(context.Background())
+		if err != nil {
+			return fail(stderr, err)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return fail(stderr, err)
+		}
+		if !rep.Clean() {
+			return 1
+		}
+		return 0
+	}
+	if *uploadPath != "" {
+		return uploadTrial(store, *uploadPath, stdout, stderr)
+	}
+	if *getCoord != "" {
+		return getTrial(store, *getCoord, stdout, stderr)
 	}
 
 	if *list {
@@ -118,6 +197,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// loudly rather than print nothing.
 		if client != nil {
 			return listRemote(client, stdout, stderr)
+		}
+		if sharded != nil {
+			return listRemote(sharded, stdout, stderr)
 		}
 		for _, app := range store.Applications() {
 			fmt.Fprintln(stdout, app)
@@ -146,7 +228,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	if tracer != nil {
 		tracer.OnEvent(func(ev obs.Event) {
-			if ev.Name != "dmfclient.list_error" || ev.Err == nil {
+			if (ev.Name != "dmfclient.list_error" && ev.Name != "cluster.list_error") || ev.Err == nil {
 				return
 			}
 			listErrMu.Lock()
@@ -194,9 +276,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// lister is the error-returning listing surface shared by a single remote
+// client and the cluster routing layer.
+type lister interface {
+	ListApplications() ([]string, error)
+	ListExperiments(app string) ([]string, error)
+	ListTrials(app, experiment string) ([]string, error)
+}
+
 // listRemote prints the remote repository tree, surfacing transport errors
 // in-band instead of printing a misleading empty listing.
-func listRemote(client *dmfclient.Client, stdout, stderr io.Writer) int {
+func listRemote(client lister, stdout, stderr io.Writer) int {
 	apps, err := client.ListApplications()
 	if err != nil {
 		return fail(stderr, err)
@@ -265,6 +355,58 @@ func writeTrace(tracer *obs.Tracer, root *obs.Span, client *dmfclient.Client, pa
 		return fmt.Errorf("perfexplorer: write trace: %w", err)
 	}
 	return nil
+}
+
+// uploadTrial reads a trial JSON file, validates it, and saves it through
+// the store — against -cluster that is a replicated, routed write.
+func uploadTrial(store perfdmf.Store, path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	var tr perfdmf.Trial
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fail(stderr, fmt.Errorf("parse %s: %w", path, err))
+	}
+	if err := tr.Validate(); err != nil {
+		return fail(stderr, err)
+	}
+	if err := store.Save(&tr); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "uploaded %s/%s/%s\n", tr.App, tr.Experiment, tr.Name)
+	return 0
+}
+
+// getTrial fetches one APP/EXP/TRIAL coordinate and prints the trial as
+// JSON — against -cluster the read fans out over the replicas.
+func getTrial(store perfdmf.Store, coord string, stdout, stderr io.Writer) int {
+	parts := strings.SplitN(coord, "/", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return fail(stderr, fmt.Errorf("-get wants APP/EXP/TRIAL, got %q", coord))
+	}
+	tr, err := store.GetTrial(parts[0], parts[1], parts[2])
+	if err != nil {
+		return fail(stderr, err)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tr); err != nil {
+		return fail(stderr, err)
+	}
+	return 0
+}
+
+// splitPeers parses the -cluster flag: comma-separated URLs, blanks
+// ignored.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fail(stderr io.Writer, err error) int {

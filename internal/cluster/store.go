@@ -1,0 +1,530 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"perfknow/internal/dmfclient"
+	"perfknow/internal/dmfwire"
+	"perfknow/internal/obs"
+	"perfknow/internal/perfdmf"
+)
+
+// Backend is what the ShardedStore needs from one peer: the context-aware
+// Store surface plus the error-returning listings. *dmfclient.Client
+// satisfies it; tests substitute in-process fakes.
+type Backend interface {
+	perfdmf.ContextStore
+	ListApplications() ([]string, error)
+	ListExperiments(app string) ([]string, error)
+	ListTrials(app, experiment string) ([]string, error)
+}
+
+// RingFetcher is the optional Backend extension for peers that can report
+// the ring descriptor they were started with (GET /api/v1/cluster);
+// VerifyRing uses it to cross-check epochs.
+type RingFetcher interface {
+	ClusterRing(ctx context.Context) (*dmfwire.Ring, error)
+}
+
+// ShardedStore routes perfdmf.Store operations across a cluster of
+// perfdmfd peers: writes replicate to the R ring owners of the trial's
+// (application, experiment) coordinate — re-routing to ring successors
+// when an owner is down — reads fan out over the owners with
+// first-success-wins and fall back to the remaining peers on
+// ErrNotFound or transport error, deletes reach every peer, and listings
+// are the union of all reachable peers' listings (complete as long as no
+// more than R-1 peers are down).
+//
+// ShardedStore implements perfdmf.Store and perfdmf.ContextStore, so it
+// drops into core.NewSession and every other Store consumer unchanged: a
+// PerfExplorer script routed through it reads and writes a cluster the
+// way it would one repository.
+//
+// Routing, replication and repair are instrumented on the store's
+// obs.Registry (share one with WithRegistry): cluster_reads_total,
+// cluster_read_fallbacks_total, cluster_writes_total,
+// cluster_write_replicas_total, cluster_writes_rerouted_total,
+// cluster_writes_underreplicated_total, cluster_repair_*_total, and the
+// cluster_replication_lag_ms histogram (first ack to last ack per write).
+type ShardedStore struct {
+	ring     *Ring
+	backends map[string]Backend
+
+	tracer *obs.Tracer
+	reg    *obs.Registry
+
+	reads          *obs.Counter
+	readFallbacks  *obs.Counter
+	writes         *obs.Counter
+	writeReplicas  *obs.Counter
+	writesRerouted *obs.Counter
+	writesUnder    *obs.Counter
+	deletes        *obs.Counter
+	repairScans    *obs.Counter
+	repairCopied   *obs.Counter
+	repairRemoved  *obs.Counter
+	repairErrors   *obs.Counter
+	replLag        *obs.Histogram
+}
+
+var (
+	_ perfdmf.Store        = (*ShardedStore)(nil)
+	_ perfdmf.ContextStore = (*ShardedStore)(nil)
+)
+
+// Option customizes a ShardedStore.
+type Option func(*ShardedStore)
+
+// WithRegistry shares a metrics registry with the store, folding the
+// cluster_* counters into the embedder's metrics surface.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *ShardedStore) { s.reg = reg }
+}
+
+// WithTracer installs the tracer that receives cluster events (partial
+// listings, under-replicated writes) when a call's context carries none.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(s *ShardedStore) { s.tracer = tr }
+}
+
+// New builds a ShardedStore over explicit backends: one per ring peer,
+// keyed by the peer name used in the descriptor.
+func New(desc dmfwire.Ring, backends map[string]Backend, opts ...Option) (*ShardedStore, error) {
+	ring, err := NewRing(desc)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedStore{ring: ring, backends: make(map[string]Backend, len(backends))}
+	for _, peer := range ring.Peers() {
+		b, ok := backends[peer]
+		if !ok || b == nil {
+			return nil, fmt.Errorf("cluster: no backend for peer %s", peer)
+		}
+		s.backends[peer] = b
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.reads = s.reg.Counter("cluster_reads_total")
+	s.readFallbacks = s.reg.Counter("cluster_read_fallbacks_total")
+	s.writes = s.reg.Counter("cluster_writes_total")
+	s.writeReplicas = s.reg.Counter("cluster_write_replicas_total")
+	s.writesRerouted = s.reg.Counter("cluster_writes_rerouted_total")
+	s.writesUnder = s.reg.Counter("cluster_writes_underreplicated_total")
+	s.deletes = s.reg.Counter("cluster_deletes_total")
+	s.repairScans = s.reg.Counter("cluster_repair_scans_total")
+	s.repairCopied = s.reg.Counter("cluster_repair_copied_total")
+	s.repairRemoved = s.reg.Counter("cluster_repair_removed_total")
+	s.repairErrors = s.reg.Counter("cluster_repair_errors_total")
+	s.replLag = s.reg.Histogram("cluster_replication_lag_ms", nil)
+	return s, nil
+}
+
+// Dial builds a ShardedStore whose backends are dmfclient connections to
+// the descriptor's peers (each peer URL must be a perfdmfd base URL).
+// clientOpts apply to every connection — retry policy, timeouts, shared
+// registry and tracer compose exactly as they do for a single client.
+func Dial(desc dmfwire.Ring, clientOpts []dmfclient.Option, opts ...Option) (*ShardedStore, error) {
+	desc = desc.Canonical()
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	backends := make(map[string]Backend, len(desc.Peers))
+	for _, peer := range desc.Peers {
+		c, err := dmfclient.New(peer, clientOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer %s: %w", peer, err)
+		}
+		backends[peer] = c
+	}
+	return New(desc, backends, opts...)
+}
+
+// Ring returns the compiled placement ring.
+func (s *ShardedStore) Ring() *Ring { return s.ring }
+
+// Registry exposes the store's metrics registry (the one installed with
+// WithRegistry, or the private default).
+func (s *ShardedStore) Registry() *obs.Registry { return s.reg }
+
+// Backend returns the backend for one peer (nil if the peer is not in the
+// ring) — the per-node escape hatch for verification and operations
+// tooling.
+func (s *ShardedStore) Backend(peer string) Backend { return s.backends[peer] }
+
+// VerifyRing cross-checks the static membership: it asks every reachable
+// peer that can answer (RingFetcher backends, i.e. real daemons) for the
+// descriptor it was started with and fails if any disagrees with this
+// store's — mismatched epochs or parameters mean two processes would place
+// keys differently, which static membership cannot tolerate. Unreachable
+// peers and peers running standalone (404) are skipped: verification is a
+// best-effort misconfiguration guard, not a health check. It returns how
+// many peers confirmed the descriptor.
+func (s *ShardedStore) VerifyRing(ctx context.Context) (confirmed int, err error) {
+	want, err := dmfwire.EncodeRing(s.ring.Descriptor())
+	if err != nil {
+		return 0, err
+	}
+	for _, peer := range s.ring.Peers() {
+		rf, ok := s.backends[peer].(RingFetcher)
+		if !ok {
+			continue
+		}
+		got, err := rf.ClusterRing(ctx)
+		if err != nil {
+			// Down, or standalone daemon without a ring: skip.
+			continue
+		}
+		enc, err := dmfwire.EncodeRing(*got)
+		if err != nil {
+			return confirmed, fmt.Errorf("cluster: peer %s serves an invalid ring: %w", peer, err)
+		}
+		if string(enc) != string(want) {
+			return confirmed, fmt.Errorf("cluster: peer %s disagrees on the ring (its epoch %d, ours %d): members must share one descriptor",
+				peer, got.Epoch, s.ring.Descriptor().Epoch)
+		}
+		confirmed++
+	}
+	return confirmed, nil
+}
+
+// emit publishes a cluster event to the context's tracer or the store's
+// own; without either it is dropped.
+func (s *ShardedStore) emit(ctx context.Context, ev obs.Event) {
+	tr := obs.TracerFrom(ctx)
+	if tr == nil {
+		tr = s.tracer
+	}
+	if tr != nil {
+		tr.Emit(ev)
+	}
+}
+
+// --- writes -----------------------------------------------------------
+
+// Save replicates the trial to its R ring owners. See SaveContext.
+func (s *ShardedStore) Save(t *perfdmf.Trial) error {
+	return s.SaveContext(context.Background(), t)
+}
+
+// SaveContext validates the trial once, then writes it to the R owners of
+// its (application, experiment) coordinate concurrently. Each per-peer
+// write is one dmfclient upload with its own idempotency key, so replays
+// under that peer's retries stay exactly-once per replica. Owners that
+// fail are re-routed to ring successors until R copies exist or peers run
+// out. The write succeeds if at least one replica acknowledged — the
+// trial is durable somewhere the read path will find it — and
+// under-replication is surfaced through cluster_writes_underreplicated_total
+// and a "cluster.write_underreplicated" event for the next Rebalance pass
+// to repair.
+func (s *ShardedStore) SaveContext(ctx context.Context, t *perfdmf.Trial) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	s.writes.Inc()
+	pref := s.ring.Preference(t.App, t.Experiment)
+	r := s.ring.Replicas()
+
+	type ack struct {
+		peer string
+		err  error
+		at   time.Time
+	}
+	results := make(chan ack, r)
+	for _, peer := range pref[:r] {
+		go func(peer string) {
+			err := s.backends[peer].SaveContext(ctx, t)
+			results <- ack{peer: peer, err: err, at: time.Now()}
+		}(peer)
+	}
+	var (
+		errs          []error
+		acks          int
+		first, last   time.Time
+		recordSuccess = func(at time.Time) {
+			acks++
+			if first.IsZero() || at.Before(first) {
+				first = at
+			}
+			if at.After(last) {
+				last = at
+			}
+		}
+	)
+	for i := 0; i < r; i++ {
+		a := <-results
+		if a.err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", a.peer, a.err))
+			continue
+		}
+		recordSuccess(a.at)
+	}
+	// Re-route failed replica writes to ring successors, in preference
+	// order, until the trial is fully replicated or peers run out.
+	for _, peer := range pref[r:] {
+		if acks >= r {
+			break
+		}
+		if err := s.backends[peer].SaveContext(ctx, t); err != nil {
+			errs = append(errs, fmt.Errorf("%s (reroute): %w", peer, err))
+			continue
+		}
+		s.writesRerouted.Inc()
+		recordSuccess(time.Now())
+	}
+	s.writeReplicas.Add(int64(acks))
+	if acks == 0 {
+		return fmt.Errorf("cluster: save %s/%s/%s failed on every peer: %w",
+			t.App, t.Experiment, t.Name, errors.Join(errs...))
+	}
+	s.replLag.Observe(float64(last.Sub(first)) / float64(time.Millisecond))
+	if acks < r {
+		s.writesUnder.Inc()
+		s.emit(ctx, obs.Event{
+			Name: "cluster.write_underreplicated",
+			Err:  errors.Join(errs...),
+			Attrs: map[string]string{
+				"trial":    t.App + "/" + t.Experiment + "/" + t.Name,
+				"replicas": fmt.Sprintf("%d/%d", acks, r),
+			},
+		})
+	}
+	return nil
+}
+
+// --- reads ------------------------------------------------------------
+
+// GetTrial reads one trial from the cluster. See GetTrialContext.
+func (s *ShardedStore) GetTrial(app, experiment, trial string) (*perfdmf.Trial, error) {
+	return s.GetTrialContext(context.Background(), app, experiment, trial)
+}
+
+// GetTrialContext fans the read out to the coordinate's R owners
+// concurrently; the first successful response wins and the losers are
+// cancelled. If every owner fails — not found or unreachable — the
+// remaining peers are tried in ring order, because a write may have been
+// re-routed past its owners while they were down. The read reports
+// ErrNotFound only when every peer positively reported the trial absent;
+// if any peer was unreachable the error says so instead, since absence
+// could not be proven.
+func (s *ShardedStore) GetTrialContext(ctx context.Context, app, experiment, trial string) (*perfdmf.Trial, error) {
+	s.reads.Inc()
+	pref := s.ring.Preference(app, experiment)
+	r := s.ring.Replicas()
+
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type res struct {
+		peer string
+		t    *perfdmf.Trial
+		err  error
+	}
+	results := make(chan res, r)
+	for _, peer := range pref[:r] {
+		go func(peer string) {
+			t, err := s.backends[peer].GetTrialContext(fanCtx, app, experiment, trial)
+			results <- res{peer: peer, t: t, err: err}
+		}(peer)
+	}
+	notFound := 0
+	var errs []error
+	for i := 0; i < r; i++ {
+		got := <-results
+		if got.err == nil {
+			return got.t, nil
+		}
+		switch {
+		case errors.Is(got.err, perfdmf.ErrNotFound):
+			notFound++
+		case errors.Is(got.err, context.Canceled) && ctx.Err() == nil:
+			// A loser cancelled after another owner already won cannot
+			// reach here (we return on the first success), but a racing
+			// cancellation error must not masquerade as a peer failure.
+			notFound++
+		default:
+			errs = append(errs, fmt.Errorf("%s: %w", got.peer, got.err))
+		}
+	}
+	// Every owner failed: fall back to the remaining peers in ring order.
+	for _, peer := range pref[r:] {
+		t, err := s.backends[peer].GetTrialContext(ctx, app, experiment, trial)
+		if err == nil {
+			s.readFallbacks.Inc()
+			return t, nil
+		}
+		if errors.Is(err, perfdmf.ErrNotFound) {
+			notFound++
+			continue
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", peer, err))
+	}
+	if len(errs) == 0 {
+		return nil, fmt.Errorf("cluster: trial %s/%s/%s on %d peer(s): %w",
+			app, experiment, trial, notFound, perfdmf.ErrNotFound)
+	}
+	return nil, fmt.Errorf("cluster: trial %s/%s/%s unavailable (%d peer(s) unreachable): %w",
+		app, experiment, trial, len(errs), errors.Join(errs...))
+}
+
+// --- deletes ----------------------------------------------------------
+
+// Delete removes the trial cluster-wide. See DeleteContext.
+func (s *ShardedStore) Delete(app, experiment, trial string) error {
+	return s.DeleteContext(context.Background(), app, experiment, trial)
+}
+
+// DeleteContext deletes from every peer, not just the owners: re-routed
+// writes and ring changes can leave copies anywhere, and a delete that
+// misses one would let the trial resurface at the next repair pass.
+// Deleting an absent trial is not an error; an unreachable peer is,
+// because its copy survives — the caller can retry, deletes are
+// idempotent.
+func (s *ShardedStore) DeleteContext(ctx context.Context, app, experiment, trial string) error {
+	s.deletes.Inc()
+	peers := s.ring.Peers()
+	errs := make([]error, len(peers))
+	done := make(chan int, len(peers))
+	for i, peer := range peers {
+		go func(i int, peer string) {
+			if err := s.backends[peer].DeleteContext(ctx, app, experiment, trial); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", peer, err)
+			}
+			done <- i
+		}(i, peer)
+	}
+	for range peers {
+		<-done
+	}
+	var failed []error
+	for _, err := range errs {
+		if err != nil {
+			failed = append(failed, err)
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("cluster: delete %s/%s/%s incomplete: %w",
+			app, experiment, trial, errors.Join(failed...))
+	}
+	return nil
+}
+
+// --- listings ---------------------------------------------------------
+
+// fanListing unions one listing across all peers. It succeeds when at
+// least one peer answers; with replication factor R the union over any
+// N-(R-1) surviving peers is still complete, so a partial fan-out is a
+// degraded-but-correct listing as long as no more than R-1 peers are
+// down. Partial results are surfaced as "cluster.partial_listing" events.
+func (s *ShardedStore) fanListing(ctx context.Context, what string, list func(Backend) ([]string, error)) ([]string, error) {
+	peers := s.ring.Peers()
+	type res struct {
+		peer  string
+		names []string
+		err   error
+	}
+	results := make(chan res, len(peers))
+	for _, peer := range peers {
+		go func(peer string) {
+			names, err := list(s.backends[peer])
+			results <- res{peer: peer, names: names, err: err}
+		}(peer)
+	}
+	seen := make(map[string]bool)
+	var union []string
+	var errs []error
+	ok := 0
+	for range peers {
+		got := <-results
+		if got.err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", got.peer, got.err))
+			continue
+		}
+		ok++
+		for _, n := range got.names {
+			if !seen[n] {
+				seen[n] = true
+				union = append(union, n)
+			}
+		}
+	}
+	if ok == 0 {
+		return nil, fmt.Errorf("cluster: list %s failed on every peer: %w", what, errors.Join(errs...))
+	}
+	if len(errs) > 0 {
+		s.emit(ctx, obs.Event{
+			Name:  "cluster.partial_listing",
+			Err:   errors.Join(errs...),
+			Attrs: map[string]string{"listing": what, "peers_answered": fmt.Sprintf("%d/%d", ok, len(peers))},
+		})
+	}
+	sort.Strings(union)
+	return union, nil
+}
+
+// ListApplications lists application names cluster-wide, with transport
+// errors when no peer could answer.
+func (s *ShardedStore) ListApplications() ([]string, error) {
+	return s.fanListing(context.Background(), "applications", func(b Backend) ([]string, error) {
+		return b.ListApplications()
+	})
+}
+
+// ListExperiments lists experiment names for an application cluster-wide.
+func (s *ShardedStore) ListExperiments(app string) ([]string, error) {
+	return s.fanListing(context.Background(), "experiments", func(b Backend) ([]string, error) {
+		return b.ListExperiments(app)
+	})
+}
+
+// ListTrials lists trial names for an (application, experiment) pair
+// cluster-wide. With replication this usually needs only the owners, but
+// the union over all peers also finds re-routed and misplaced copies, so
+// listings agree with what GetTrial can actually fetch.
+func (s *ShardedStore) ListTrials(app, experiment string) ([]string, error) {
+	return s.fanListing(context.Background(), "trials", func(b Backend) ([]string, error) {
+		return b.ListTrials(app, experiment)
+	})
+}
+
+// emitListError mirrors dmfclient: the Store listing signatures cannot
+// return transport errors, so total listing failures surface as events.
+func (s *ShardedStore) emitListError(what string, err error) {
+	if err == nil {
+		return
+	}
+	s.emit(context.Background(), obs.Event{
+		Name:  "cluster.list_error",
+		Err:   err,
+		Attrs: map[string]string{"listing": what},
+	})
+}
+
+// Applications implements perfdmf.Store; cluster-wide failures yield an
+// empty listing and a "cluster.list_error" event (use ListApplications to
+// observe the error directly).
+func (s *ShardedStore) Applications() []string {
+	out, err := s.ListApplications()
+	s.emitListError("applications", err)
+	return out
+}
+
+// Experiments implements perfdmf.Store; see Applications.
+func (s *ShardedStore) Experiments(app string) []string {
+	out, err := s.ListExperiments(app)
+	s.emitListError("experiments", err)
+	return out
+}
+
+// Trials implements perfdmf.Store; see Applications.
+func (s *ShardedStore) Trials(app, experiment string) []string {
+	out, err := s.ListTrials(app, experiment)
+	s.emitListError("trials", err)
+	return out
+}

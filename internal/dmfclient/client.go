@@ -302,6 +302,16 @@ func (c *Client) attempt(ctx context.Context, method, path string, query url.Val
 		_, _ = io.Copy(io.Discard, resp.Body)
 		return nil, false, 0
 	}
+	// *[]byte asks for the raw body — used for non-JSON payloads like the
+	// checksummed ring descriptor, which carries its own integrity check.
+	if raw, ok := out.(*[]byte); ok {
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return fmt.Errorf("dmfclient: read %s %s response: %w", method, path, err), true, 0
+		}
+		*raw = data
+		return nil, false, 0
+	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		// A garbled success body usually means the response was cut
 		// mid-flight; the request itself succeeded server-side, so an

@@ -1,0 +1,27 @@
+package dmfclient
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"perfknow/internal/dmfwire"
+)
+
+// ClusterRing fetches the ring descriptor this daemon was started with
+// (GET /api/v1/cluster). Cluster-routing clients cross-check it against
+// their own descriptor before trusting placement (see
+// cluster.ShardedStore.VerifyRing). A daemon running standalone answers
+// 404, which surfaces as perfdmf.ErrNotFound; a descriptor that fails its
+// checksum or validation wraps dmfwire.ErrRing.
+func (c *Client) ClusterRing(ctx context.Context) (*dmfwire.Ring, error) {
+	var raw []byte
+	if err := c.doCtx(ctx, http.MethodGet, "/api/v1/cluster", nil, nil, reqMeta{idempotent: true}, &raw); err != nil {
+		return nil, err
+	}
+	r, err := dmfwire.DecodeRing(raw)
+	if err != nil {
+		return nil, fmt.Errorf("dmfclient: GET /api/v1/cluster: %w", err)
+	}
+	return &r, nil
+}

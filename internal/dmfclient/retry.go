@@ -111,18 +111,35 @@ func (p RetryPolicy) backoff(method, path string, attempt int, retryAfter time.D
 	return d
 }
 
-// parseRetryAfter reads a delay-seconds Retry-After header (the form this
-// service emits); absent or unparsable values yield 0.
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds (what this service emits) or an HTTP-date (what reverse
+// proxies and other servers in front of a peer emit). Absent, unparsable,
+// or already-past values yield 0.
 func parseRetryAfter(h http.Header) time.Duration {
+	return parseRetryAfterAt(h, time.Now())
+}
+
+// parseRetryAfterAt is parseRetryAfter against an explicit clock, so the
+// HTTP-date arithmetic is testable.
+func parseRetryAfterAt(h http.Header, now time.Time) time.Duration {
 	v := h.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if d := when.Sub(now); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // sleepCtx sleeps for d or until ctx is done, returning ctx.Err() in the

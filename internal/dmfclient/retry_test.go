@@ -262,3 +262,74 @@ func TestBackoffDeterministic(t *testing.T) {
 		t.Errorf("Retry-After floor ignored: %v", got)
 	}
 }
+
+// TestParseRetryAfterTable pins both RFC 9110 Retry-After forms:
+// delay-seconds (what perfdmfd emits) and HTTP-date (what reverse proxies
+// in front of a peer emit). Garbage and times already past must yield 0,
+// never a negative or huge sleep.
+func TestParseRetryAfterTable(t *testing.T) {
+	now := time.Date(2026, time.August, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name  string
+		value string
+		want  time.Duration
+	}{
+		{"absent", "", 0},
+		{"delta seconds", "7", 7 * time.Second},
+		{"delta zero", "0", 0},
+		{"delta negative", "-3", 0},
+		{"http date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http date now", now.Format(http.TimeFormat), 0},
+		{"http date past", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"rfc850 date", now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 MST"), 30 * time.Second},
+		{"ansi c date", now.Add(2 * time.Minute).Format(time.ANSIC), 2 * time.Minute},
+		{"garbage", "soon", 0},
+		{"float seconds", "1.5", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := http.Header{}
+			if tc.value != "" {
+				h.Set("Retry-After", tc.value)
+			}
+			if got := parseRetryAfterAt(h, now); got != tc.want {
+				t.Fatalf("parseRetryAfterAt(%q) = %v, want %v", tc.value, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryAfterHTTPDateRaisesBackoff wires the HTTP-date form through a
+// live retry loop: a 503 carrying a date a few ms out must still be
+// honored as a delay floor, and the request must eventually succeed.
+func TestRetryAfterHTTPDateRaisesBackoff(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// http.TimeFormat has second granularity, truncating up to a
+			// second off the delay: 2s out guarantees at least 1s.
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"applications":[]}`)
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, fastRetry(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.ListApplications(); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+	// The date floor must have held the retry back well past the
+	// millisecond-scale backoff policy.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retry fired after %v, before the Retry-After date", elapsed)
+	}
+}

@@ -1,0 +1,116 @@
+package dmfserver
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"perfknow/internal/dmfwire"
+	"perfknow/internal/perfdmf"
+)
+
+func clusterRing() dmfwire.Ring {
+	return dmfwire.Ring{
+		Epoch:    4,
+		Replicas: 2,
+		VNodes:   64,
+		Seed:     9,
+		Peers: []string{
+			"http://127.0.0.1:7461",
+			"http://127.0.0.1:7462",
+			"http://127.0.0.1:7463",
+		},
+	}
+}
+
+// TestClusterEndpointServesCanonicalRing: a daemon started with a ring
+// serves it at GET /api/v1/cluster in canonical wire form, and the client
+// round-trips it losslessly.
+func TestClusterEndpointServesCanonicalRing(t *testing.T) {
+	ring := clusterRing()
+	_, c := newService(t, Config{Ring: &ring})
+
+	got, err := c.ClusterRing(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ring.Canonical()
+	if !reflect.DeepEqual(*got, want) {
+		t.Fatalf("ClusterRing = %+v, want %+v", *got, want)
+	}
+}
+
+func TestClusterEndpointContentType(t *testing.T) {
+	ring := clusterRing()
+	repo, err := perfdmf.OpenRepository(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Repo: repo, Ring: &ring,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/api/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != dmfwire.RingContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, dmfwire.RingContentType)
+	}
+}
+
+// TestClusterEndpointStandalone404: a daemon without -peers is not a
+// cluster member; the probe maps onto ErrNotFound so routing clients can
+// skip it.
+func TestClusterEndpointStandalone404(t *testing.T) {
+	_, c := newService(t, Config{})
+	if _, err := c.ClusterRing(context.Background()); !errors.Is(err, perfdmf.ErrNotFound) {
+		t.Fatalf("ClusterRing on a standalone daemon = %v, want ErrNotFound", err)
+	}
+}
+
+// TestClusterRingGauges: a cluster member publishes its ring identity in
+// /api/v1/metrics so operators can assert every peer runs one epoch.
+func TestClusterRingGauges(t *testing.T) {
+	ring := clusterRing()
+	_, c := newService(t, Config{Ring: &ring})
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gauge, want := range map[string]float64{
+		"cluster_ring_epoch":    4,
+		"cluster_ring_peers":    3,
+		"cluster_ring_replicas": 2,
+		"cluster_ring_vnodes":   64,
+	} {
+		if got, ok := m.Gauges[gauge]; !ok || got != want {
+			t.Errorf("metrics gauge %s = %v (present %v), want %v", gauge, got, ok, want)
+		}
+	}
+}
+
+func TestClusterRejectsInvalidRing(t *testing.T) {
+	repo, err := perfdmf.OpenRepository(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := clusterRing()
+	bad.Replicas = 99
+	if _, err := New(Config{Repo: repo, Ring: &bad}); err == nil {
+		t.Fatal("New accepted an invalid ring descriptor")
+	}
+}

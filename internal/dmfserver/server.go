@@ -137,6 +137,14 @@ type Config struct {
 	// Registry holds the server's metrics (nil: a fresh obs.NewRegistry).
 	// Share one to fold server metrics into an embedding process's surface.
 	Registry *obs.Registry
+	// Ring, when non-nil, declares this daemon a member of a static
+	// cluster: the canonical descriptor is served at GET /api/v1/cluster
+	// for cluster-routing clients to cross-check (see
+	// cluster.ShardedStore.VerifyRing), and the ring identity gauges
+	// (cluster_ring_epoch/peers/replicas/vnodes) are published so
+	// operators can assert every peer runs one epoch. Nil means
+	// standalone; the endpoint answers 404.
+	Ring *dmfwire.Ring
 }
 
 // Server is the perfdmfd HTTP service.
@@ -168,6 +176,11 @@ type Server struct {
 	retried       *obs.Counter
 	idemReplays   *obs.Counter
 	uploadsStored *obs.Counter
+
+	// ring is the canonical cluster descriptor (nil when standalone);
+	// ringBytes is its wire encoding, fixed at startup.
+	ring      *dmfwire.Ring
+	ringBytes []byte
 }
 
 // New builds a Server. When cfg.RulesDir is empty the built-in knowledge
@@ -246,6 +259,15 @@ func New(cfg Config) (*Server, error) {
 		idemReplays:   reg.Counter("idempotent_replays_total"),
 		uploadsStored: reg.Counter("uploads_stored_total"),
 	}
+	if cfg.Ring != nil {
+		canon := cfg.Ring.Canonical()
+		data, err := dmfwire.EncodeRing(canon)
+		if err != nil {
+			return nil, fmt.Errorf("dmfserver: cluster ring: %w", err)
+		}
+		s.ring = &canon
+		s.ringBytes = data
+	}
 	s.registerGauges()
 	s.routes()
 	return s, nil
@@ -275,6 +297,13 @@ func (s *Server) registerGauges() {
 	// store_fsync_errors counters and the store_readonly gauge.
 	s.repo.Instrument(s.reg)
 	parallel.RegisterMetrics(s.reg)
+	if s.ring != nil {
+		ring := *s.ring
+		s.reg.GaugeFunc("cluster_ring_epoch", func() float64 { return float64(ring.Epoch) })
+		s.reg.GaugeFunc("cluster_ring_peers", func() float64 { return float64(len(ring.Peers)) })
+		s.reg.GaugeFunc("cluster_ring_replicas", func() float64 { return float64(ring.Replicas) })
+		s.reg.GaugeFunc("cluster_ring_vnodes", func() float64 { return float64(ring.VNodes) })
+	}
 }
 
 // Tracer returns the server's trace collector (for embedding processes
@@ -334,7 +363,23 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /api/v1/trials", s.handleUpload)
 	mux.HandleFunc("POST /api/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /api/v1/diagnose", s.handleDiagnose)
+	mux.HandleFunc("GET /api/v1/cluster", s.handleCluster)
 	s.mux = mux
+}
+
+// handleCluster serves the ring descriptor this daemon was started with,
+// in its checksummed wire form (the payload carries its own CRC, so no
+// JSON envelope). Standalone daemons answer 404: "not a cluster member"
+// and "trial not found" deliberately share the sentinel, letting
+// cluster clients probe membership with plain error handling.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.ringBytes == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("this daemon is not a cluster member"))
+		return
+	}
+	w.Header().Set("Content-Type", dmfwire.RingContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(s.ringBytes)
 }
 
 // --- plumbing ---------------------------------------------------------

@@ -1,0 +1,292 @@
+package dmfwire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The cluster membership protocol is deliberately static: a Ring descriptor
+// names the peer daemons, the replication factor, and the hash-ring
+// parameters, and an Epoch versions the whole assignment. Every daemon in a
+// cluster is started with the same descriptor (-peers/-replicas/...) and
+// serves it at GET /api/v1/cluster, so clients can cross-check that all
+// peers agree on one epoch before routing writes. Changing the membership
+// means bumping the epoch, restarting the daemons with the new descriptor,
+// and running a rebalance pass — no dynamic consensus.
+
+// RingMagic opens the first line of an encoded ring descriptor.
+const RingMagic = "%DMFRING1"
+
+// RingContentType is the media type GET /api/v1/cluster answers with.
+const RingContentType = "application/x-dmfring"
+
+// Generous upper bounds on descriptor shape: they exist to reject
+// adversarial inputs cheaply, not to constrain real deployments.
+const (
+	// MaxRingPeers bounds cluster membership.
+	MaxRingPeers = 256
+	// MaxRingVNodes bounds virtual nodes per peer.
+	MaxRingVNodes = 1 << 14
+)
+
+// ErrRing marks a malformed ring descriptor: every DecodeRing failure and
+// every Validate failure wraps it, so callers can distinguish "bad
+// descriptor" from transport errors with errors.Is.
+var ErrRing = errors.New("malformed ring descriptor")
+
+// Ring is the static description of a perfdmfd cluster: the peer base URLs,
+// the replication factor, the consistent-hash parameters, and the epoch
+// that versions this assignment. It is the body of GET /api/v1/cluster
+// (text-encoded, see EncodeRing) and the input to cluster.NewRing.
+type Ring struct {
+	// Epoch versions the membership; peers only cooperate when their
+	// epochs agree. Must be >= 1.
+	Epoch uint64 `json:"epoch"`
+	// Replicas is how many distinct peers hold each trial (R). Must be
+	// between 1 and len(Peers).
+	Replicas int `json:"replicas"`
+	// VNodes is the number of virtual nodes each peer contributes to the
+	// hash ring; more virtual nodes smooth the key distribution.
+	VNodes int `json:"vnodes"`
+	// Seed feeds the placement hash, so distinct clusters sharing peers
+	// can be given independent layouts.
+	Seed uint64 `json:"seed"`
+	// Peers are the daemon base URLs (e.g. "http://host1:7360"), sorted
+	// and duplicate-free.
+	Peers []string `json:"peers"`
+}
+
+// Canonical returns a copy with the peer list sorted and deduplicated —
+// the form EncodeRing writes and DecodeRing requires, so that any two
+// processes given the same membership produce byte-identical descriptors.
+func (r Ring) Canonical() Ring {
+	peers := append([]string(nil), r.Peers...)
+	sort.Strings(peers)
+	peers = slicesCompact(peers)
+	r.Peers = peers
+	return r
+}
+
+// slicesCompact removes adjacent duplicates from a sorted slice.
+func slicesCompact(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Validate checks descriptor invariants; failures wrap ErrRing.
+func (r Ring) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("dmfwire: %w: %s", ErrRing, fmt.Sprintf(format, args...))
+	}
+	if r.Epoch < 1 {
+		return fail("epoch %d < 1", r.Epoch)
+	}
+	if len(r.Peers) == 0 {
+		return fail("no peers")
+	}
+	if len(r.Peers) > MaxRingPeers {
+		return fail("%d peers exceeds the %d cap", len(r.Peers), MaxRingPeers)
+	}
+	if r.Replicas < 1 || r.Replicas > len(r.Peers) {
+		return fail("replicas %d out of range [1, %d peers]", r.Replicas, len(r.Peers))
+	}
+	if r.VNodes < 1 || r.VNodes > MaxRingVNodes {
+		return fail("vnodes %d out of range [1, %d]", r.VNodes, MaxRingVNodes)
+	}
+	for i, p := range r.Peers {
+		if p == "" {
+			return fail("peer %d is empty", i)
+		}
+		if strings.ContainsAny(p, " \t\r\n") {
+			return fail("peer %q contains whitespace", p)
+		}
+		if i > 0 {
+			switch {
+			case p == r.Peers[i-1]:
+				return fail("duplicate peer %q", p)
+			case p < r.Peers[i-1]:
+				return fail("peers are not sorted (%q after %q)", p, r.Peers[i-1])
+			}
+		}
+	}
+	return nil
+}
+
+var ringCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ringPayload is the checksummed portion of the encoding: the header fields
+// and the peer lines, without the magic or the checksum itself.
+func ringPayload(r Ring) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "epoch=%d replicas=%d vnodes=%d seed=%d peers=%d\n",
+		r.Epoch, r.Replicas, r.VNodes, r.Seed, len(r.Peers))
+	for _, p := range r.Peers {
+		b.WriteString(p)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// EncodeRing renders the descriptor in its canonical text form:
+//
+//	%DMFRING1 epoch=1 replicas=2 vnodes=64 seed=0 peers=3 crc32c=xxxxxxxx
+//	http://host1:7360
+//	http://host2:7360
+//	http://host3:7360
+//
+// The CRC32-C covers the header fields and the peer lines, so a truncated
+// or hand-edited descriptor is rejected rather than silently reshaping the
+// cluster. The peer list is canonicalized (sorted, deduplicated) first;
+// the same membership always encodes to the same bytes.
+func EncodeRing(r Ring) ([]byte, error) {
+	r = r.Canonical()
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	payload := ringPayload(r)
+	crc := crc32.Checksum(payload, ringCRCTable)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s epoch=%d replicas=%d vnodes=%d seed=%d peers=%d crc32c=%08x\n",
+		RingMagic, r.Epoch, r.Replicas, r.VNodes, r.Seed, len(r.Peers), crc)
+	for _, p := range r.Peers {
+		b.WriteString(p)
+		b.WriteByte('\n')
+	}
+	return b.Bytes(), nil
+}
+
+// ringField parses one "name=value" header token, insisting on the exact
+// field name.
+func ringField(tok, name string) (string, error) {
+	val, ok := strings.CutPrefix(tok, name+"=")
+	if !ok {
+		return "", fmt.Errorf("dmfwire: %w: want field %q, got %q", ErrRing, name, tok)
+	}
+	return val, nil
+}
+
+func ringUint(tok, name string) (uint64, error) {
+	val, err := ringField(tok, name)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseUint(val, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("dmfwire: %w: field %s: %v", ErrRing, name, err)
+	}
+	return n, nil
+}
+
+// DecodeRing parses an encoded descriptor, verifying the magic, the field
+// layout, the declared peer count, and the CRC32-C, then validating the
+// result (which also insists the peer list arrives in canonical order).
+// Every failure wraps ErrRing. A successful decode re-encodes to the exact
+// input bytes.
+func DecodeRing(data []byte) (Ring, error) {
+	var r Ring
+	head, rest, ok := bytes.Cut(data, []byte{'\n'})
+	if !ok {
+		return r, fmt.Errorf("dmfwire: %w: missing header line", ErrRing)
+	}
+	toks := strings.Split(string(head), " ")
+	if len(toks) != 7 {
+		return r, fmt.Errorf("dmfwire: %w: header has %d fields, want 7", ErrRing, len(toks))
+	}
+	if toks[0] != RingMagic {
+		return r, fmt.Errorf("dmfwire: %w: bad magic %q", ErrRing, toks[0])
+	}
+	var err error
+	if r.Epoch, err = ringUint(toks[1], "epoch"); err != nil {
+		return Ring{}, err
+	}
+	replicas, err := ringUint(toks[2], "replicas")
+	if err != nil {
+		return Ring{}, err
+	}
+	vnodes, err := ringUint(toks[3], "vnodes")
+	if err != nil {
+		return Ring{}, err
+	}
+	if r.Seed, err = ringUint(toks[4], "seed"); err != nil {
+		return Ring{}, err
+	}
+	nPeers, err := ringUint(toks[5], "peers")
+	if err != nil {
+		return Ring{}, err
+	}
+	crcStr, err := ringField(toks[6], "crc32c")
+	if err != nil {
+		return Ring{}, err
+	}
+	wantCRC, err := strconv.ParseUint(crcStr, 16, 32)
+	if err != nil || len(crcStr) != 8 {
+		return Ring{}, fmt.Errorf("dmfwire: %w: bad crc32c %q", ErrRing, crcStr)
+	}
+	if replicas > MaxRingPeers || vnodes > MaxRingVNodes || nPeers > MaxRingPeers {
+		return Ring{}, fmt.Errorf("dmfwire: %w: header fields out of range", ErrRing)
+	}
+	r.Replicas = int(replicas)
+	r.VNodes = int(vnodes)
+
+	r.Peers = make([]string, 0, nPeers)
+	for i := uint64(0); i < nPeers; i++ {
+		line, tail, ok := bytes.Cut(rest, []byte{'\n'})
+		if !ok {
+			return Ring{}, fmt.Errorf("dmfwire: %w: truncated after %d of %d peers", ErrRing, i, nPeers)
+		}
+		r.Peers = append(r.Peers, string(line))
+		rest = tail
+	}
+	if len(rest) != 0 {
+		return Ring{}, fmt.Errorf("dmfwire: %w: %d trailing bytes after peer list", ErrRing, len(rest))
+	}
+	if got := crc32.Checksum(ringPayload(r), ringCRCTable); got != uint32(wantCRC) {
+		return Ring{}, fmt.Errorf("dmfwire: %w: crc32c mismatch (header %08x, payload %08x)", ErrRing, wantCRC, got)
+	}
+	if err := r.Validate(); err != nil {
+		return Ring{}, err
+	}
+	return r, nil
+}
+
+// RepairReport is the result of one cluster.Rebalance anti-entropy pass:
+// what the scan saw, what it copied to restore placement and replication,
+// and what went wrong. It is printed as JSON by `perfexplorer -rebalance`.
+type RepairReport struct {
+	// Epoch is the ring epoch the pass ran under.
+	Epoch uint64 `json:"epoch"`
+	// Peers is the cluster size; PeersScanned counts the peers whose
+	// listings were reachable during the scan.
+	Peers        int `json:"peers"`
+	PeersScanned int `json:"peers_scanned"`
+	// Trials counts the distinct trial coordinates seen cluster-wide.
+	Trials int `json:"trials"`
+	// Copied counts trial copies written to owners that were missing them
+	// (under-replicated or misplaced data); Copies lists them as
+	// "app/experiment/trial -> peer".
+	Copied int      `json:"copied"`
+	Copies []string `json:"copies,omitempty"`
+	// Removed counts misplaced copies deleted from non-owners after every
+	// owner was confirmed to hold the trial; Removals lists them.
+	Removed  int      `json:"removed"`
+	Removals []string `json:"removals,omitempty"`
+	// Errors lists per-trial or per-peer failures; the pass continues past
+	// them and reports what it could not fix.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Clean reports whether the pass completed with nothing left to fix: every
+// peer scanned and no errors.
+func (r *RepairReport) Clean() bool {
+	return r.PeersScanned == r.Peers && len(r.Errors) == 0
+}

@@ -30,6 +30,19 @@ func TestMetricsGolden(t *testing.T) {
 			"uploads_stored_total":                                 4,
 			"idempotent_replays_total":                             1,
 			`faults_injected_total{kind="truncate"}`:               5,
+			// Cluster routing/replication/repair counters: maintained by
+			// cluster.ShardedStore in whatever process embeds it, published
+			// through the same schema when its registry is shared.
+			"cluster_reads_total":                  9,
+			"cluster_read_fallbacks_total":         1,
+			"cluster_writes_total":                 6,
+			"cluster_write_replicas_total":         12,
+			"cluster_writes_rerouted_total":        1,
+			"cluster_writes_underreplicated_total": 0,
+			"cluster_repair_scans_total":           1,
+			"cluster_repair_copied_total":          2,
+			"cluster_repair_removed_total":         1,
+			"cluster_repair_errors_total":          0,
 		},
 		Gauges: map[string]float64{
 			"repository_applications": 1,
@@ -38,6 +51,12 @@ func TestMetricsGolden(t *testing.T) {
 			"analysis_slots_cap":      4,
 			"analysis_slots_in_use":   0,
 			"traces_buffered":         2,
+			// Ring identity gauges: published by a daemon started with
+			// -peers so operators can assert every peer runs one epoch.
+			"cluster_ring_epoch":    1,
+			"cluster_ring_peers":    3,
+			"cluster_ring_replicas": 2,
+			"cluster_ring_vnodes":   64,
 		},
 		Histograms: map[string]obs.HistogramValue{
 			`http_request_duration_ms{route="GET /api/v1/trial"}`: {
@@ -46,6 +65,14 @@ func TestMetricsGolden(t *testing.T) {
 				Max:   9.25,
 				Buckets: map[string]int64{
 					"1": 2, "5": 5, "10": 7, "+Inf": 7,
+				},
+			},
+			"cluster_replication_lag_ms": {
+				Count: 6,
+				Sum:   4.5,
+				Max:   2.25,
+				Buckets: map[string]int64{
+					"1": 4, "5": 6, "10": 6, "+Inf": 6,
 				},
 			},
 		},

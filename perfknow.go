@@ -27,7 +27,10 @@
 //   - a networked profile service: the perfdmfd HTTP/JSON daemon
 //     (internal/dmfserver, cmd/perfdmfd) serving a shared repository and
 //     server-side analysis/diagnosis, with a client (internal/dmfclient)
-//     that drops into sessions wherever a local repository is accepted.
+//     that drops into sessions wherever a local repository is accepted;
+//   - horizontal scale-out: a sharded, replicated perfdmfd cluster with
+//     client-side consistent-hash routing and anti-entropy repair
+//     (internal/cluster, docs/CLUSTER.md) behind the same Store surface.
 //
 // Quick start:
 //
@@ -47,6 +50,7 @@ import (
 	"perfknow/internal/analysis"
 	"perfknow/internal/apps/genidlest"
 	"perfknow/internal/apps/msa"
+	"perfknow/internal/cluster"
 	"perfknow/internal/core"
 	"perfknow/internal/diagnosis"
 	"perfknow/internal/dmfclient"
@@ -94,6 +98,19 @@ type (
 	// RemoteOption customizes a RemoteRepository (retry policy, timeouts,
 	// transport).
 	RemoteOption = dmfclient.Option
+	// ClusterRing is the static membership descriptor of a sharded
+	// perfdmfd cluster: peers, replication factor, virtual nodes,
+	// placement seed and epoch. Every member and every routing client
+	// must share one descriptor.
+	ClusterRing = dmfwire.Ring
+	// ClusterStore routes Store operations across a perfdmfd cluster —
+	// replicated writes, fan-out reads, union listings — so sessions run
+	// against a cluster unchanged. See DialCluster.
+	ClusterStore = cluster.ShardedStore
+	// ClusterOption customizes a ClusterStore (shared registry, tracer).
+	ClusterOption = cluster.Option
+	// RepairReport summarizes one anti-entropy Rebalance pass.
+	RepairReport = dmfwire.RepairReport
 	// FaultInjector decides which requests a fault-injecting server or
 	// transport disturbs; see NewFaultSchedule.
 	FaultInjector = faults.Injector
@@ -139,6 +156,15 @@ func NewProfileServer(cfg ProfileServerConfig) (*ProfileServer, error) { return 
 // DefaultRetryPolicy; pass WithRetryPolicy to tune or disable that.
 func DialRepository(baseURL string, opts ...RemoteOption) (*RemoteRepository, error) {
 	return dmfclient.New(baseURL, opts...)
+}
+
+// DialCluster returns a Store routed across a sharded perfdmfd cluster:
+// writes replicate to the ring's R owners, reads fan out with fallback,
+// and listings union every peer. clientOpts apply to each per-peer
+// connection; see cluster.ShardedStore for the routing semantics and
+// Rebalance for anti-entropy repair.
+func DialCluster(ring ClusterRing, clientOpts []RemoteOption, opts ...ClusterOption) (*ClusterStore, error) {
+	return cluster.Dial(ring, clientOpts, opts...)
 }
 
 // Client construction knobs — functional options for DialRepository (see
