@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"perfknow"
+	"perfknow/internal/analysis"
 	"perfknow/internal/experiments"
 	"perfknow/internal/parallel"
+	"perfknow/internal/perfdmf"
 )
 
 // regen runs one experiment per benchmark iteration and fails the benchmark
@@ -63,7 +65,9 @@ func BenchmarkHybridMPIOpenMP(b *testing.B)             { regen(b, "A4") }
 // On machines with at least 4 cores the concurrent run must be at least
 // twice as fast; on smaller machines the ratio is reported but not
 // enforced (a 1-core box legitimately measures ~1x).
-func BenchmarkParallelSpeedup(b *testing.B) {
+func BenchmarkParallelSpeedup(b *testing.B) { parallelSpeedup(b) }
+
+func parallelSpeedup(b *testing.B) {
 	defer parallel.SetDefaultWorkers(0)
 	measure := func(workers int) (time.Duration, []*experiments.Result) {
 		parallel.SetDefaultWorkers(workers)
@@ -86,6 +90,58 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	b.ReportMetric(speedup, "x-speedup")
 	if cores := runtime.GOMAXPROCS(0); cores >= 4 && speedup < 2 {
 		b.Fatalf("RunAll speedup %.2fx on %d cores, want >= 2x", speedup, cores)
+	}
+}
+
+// --- columnar engine benchmarks -----------------------------------------
+//
+// The analysis layer defaults to the columnar engine, so the plain
+// BenchmarkFig5bScaling / BenchmarkParallelSpeedup above ARE the columnar
+// numbers. The *RowOracle variants pin the retained row-oriented oracle as
+// the denominator; they exist for comparison and are excluded from the CI
+// bench gate.
+
+func BenchmarkFig5bScalingRowOracle(b *testing.B) {
+	defer analysis.UseRowOriented(false)
+	analysis.UseRowOriented(true)
+	regen(b, "F5b")
+}
+
+func BenchmarkParallelSpeedupRowOracle(b *testing.B) {
+	defer analysis.UseRowOriented(false)
+	analysis.UseRowOriented(true)
+	parallelSpeedup(b)
+}
+
+// BenchmarkColumnarConvert measures the Trial → Columns → binary → Trial
+// round trip on a 256-event × 64-thread, 2-metric profile — the conversion
+// cost the repository pays when persisting or loading a columnar file.
+func BenchmarkColumnarConvert(b *testing.B) {
+	tr := perfknow.NewTrial("app", "exp", "t", 64)
+	tr.AddMetric(perfknow.TimeMetric)
+	tr.AddMetric("PAPI_FP_OPS")
+	for j := 0; j < 256; j++ {
+		e := tr.EnsureEvent(fmt.Sprintf("ev%d", j))
+		for th := 0; th < 64; th++ {
+			e.Calls[th] = float64(j + th)
+			e.SetValue(perfknow.TimeMetric, th, float64(j*th+1), float64(j*th))
+			e.SetValue("PAPI_FP_OPS", th, float64(j+th*3), float64(j+th))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, err := perfdmf.MarshalColumnar(tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		back, err := perfdmf.UnmarshalColumnar(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if back.Threads != 64 || len(back.Events) != 256 {
+			b.Fatal("bad round trip")
+		}
 	}
 }
 

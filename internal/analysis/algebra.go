@@ -11,11 +11,8 @@ import (
 // operations over whole parallel profiles, so cross-experiment analyses
 // ("what changed between these two builds?") compose like values.
 
-// DiffTrials returns a - b element-wise over the union of events and the
-// intersection of metrics. Both trials must have the same thread count.
-// Missing events in either trial are treated as zero, so a regression shows
-// up positive and an improvement negative.
-func DiffTrials(a, b *perfdmf.Trial) (*perfdmf.Trial, error) {
+// DiffTrialsRow is the row-oriented oracle for DiffTrials.
+func DiffTrialsRow(a, b *perfdmf.Trial) (*perfdmf.Trial, error) {
 	if a.Threads != b.Threads {
 		return nil, fmt.Errorf("analysis: diff of %d-thread and %d-thread trials", a.Threads, b.Threads)
 	}
@@ -49,10 +46,8 @@ func DiffTrials(a, b *perfdmf.Trial) (*perfdmf.Trial, error) {
 	return out, nil
 }
 
-// MergeTrials sums a list of trials over the union of their events and the
-// intersection of their metrics (e.g. combining repeated runs). All trials
-// must have the same thread count.
-func MergeTrials(trials []*perfdmf.Trial) (*perfdmf.Trial, error) {
+// MergeTrialsRow is the row-oriented oracle for MergeTrials.
+func MergeTrialsRow(trials []*perfdmf.Trial) (*perfdmf.Trial, error) {
 	if len(trials) == 0 {
 		return nil, fmt.Errorf("analysis: merge of no trials")
 	}
@@ -108,8 +103,8 @@ type Change struct {
 	Fraction float64 // (Other-Base)/Base
 }
 
-// RelativeChange compares per-event means between two trials.
-func RelativeChange(base, other *perfdmf.Trial, metric string, minBase float64) []Change {
+// RelativeChangeRow is the row-oriented oracle for RelativeChange.
+func RelativeChangeRow(base, other *perfdmf.Trial, metric string, minBase float64) []Change {
 	var out []Change
 	for _, e := range base.Events {
 		if e.IsCallpath() {

@@ -23,18 +23,14 @@ type Clustering struct {
 	Inertia    float64     // sum of squared distances to assigned centroids
 }
 
-// KMeans clusters the threads of a trial into k groups on their per-event
-// exclusive values of the metric. Initialization is deterministic
-// (farthest-point seeding from thread 0), so results are reproducible.
-func KMeans(t *perfdmf.Trial, metric string, k int, maxIter int) (*Clustering, error) {
+// KMeansRow is the row-oriented oracle for KMeans. Both engines share
+// kmeansCore; they differ only in how the feature matrix is gathered.
+func KMeansRow(t *perfdmf.Trial, metric string, k int, maxIter int) (*Clustering, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("analysis: k must be positive, got %d", k)
 	}
 	if k > t.Threads {
 		return nil, fmt.Errorf("analysis: k=%d exceeds thread count %d", k, t.Threads)
-	}
-	if maxIter <= 0 {
-		maxIter = 50
 	}
 	var events []string
 	for _, e := range t.Events {
@@ -61,6 +57,17 @@ func KMeans(t *perfdmf.Trial, metric string, k int, maxIter int) (*Clustering, e
 		}
 		feats[th] = row
 	})
+	return kmeansCore(events, feats, k, maxIter)
+}
+
+// kmeansCore runs deterministic k-means over a prebuilt threads×events
+// feature matrix. Shared by the row and columnar engines: given the same
+// matrix, every float operation happens in the same order, so the two
+// engines agree bit for bit.
+func kmeansCore(events []string, feats [][]float64, k, maxIter int) (*Clustering, error) {
+	if maxIter <= 0 {
+		maxIter = 50
+	}
 
 	// Farthest-point initialization.
 	centroids := make([][]float64, 0, k)
@@ -81,7 +88,7 @@ func KMeans(t *perfdmf.Trial, metric string, k int, maxIter int) (*Clustering, e
 		centroids = append(centroids, append([]float64(nil), feats[bestIdx]...))
 	}
 
-	assign := make([]int, t.Threads)
+	assign := make([]int, len(feats))
 	for iter := 0; iter < maxIter; iter++ {
 		// Assignment: each point depends only on the (read-only) centroids
 		// and writes its own slot, so the rows fan out. The change flag is

@@ -81,11 +81,10 @@ func DeriveMetricName(lhs, rhs string, op Op) string {
 	return "(" + lhs + " " + op.String() + " " + rhs + ")"
 }
 
-// DeriveMetric adds a new metric computed element-wise from two existing
-// metrics to a copy of the trial, returning the copy and the new metric's
-// name. Division by zero yields zero rather than infinity, because profile
-// cells with no samples are legitimately zero.
-func DeriveMetric(t *perfdmf.Trial, lhs, rhs string, op Op) (*perfdmf.Trial, string, error) {
+// DeriveMetricRow is the row-oriented implementation of DeriveMetric,
+// retained as the differential oracle for the columnar engine (see
+// columnar.go).
+func DeriveMetricRow(t *perfdmf.Trial, lhs, rhs string, op Op) (*perfdmf.Trial, string, error) {
 	if !t.HasMetric(lhs) {
 		return nil, "", fmt.Errorf("analysis: trial %q has no metric %q", t.Name, lhs)
 	}
@@ -127,8 +126,8 @@ func DeriveMetricBatch(trials []*perfdmf.Trial, lhs, rhs string, op Op) ([]*perf
 	return out, name, nil
 }
 
-// DeriveScaled adds metric*scale as a new metric named like "(M * 2.5)".
-func DeriveScaled(t *perfdmf.Trial, metric string, scale float64) (*perfdmf.Trial, string, error) {
+// DeriveScaledRow is the row-oriented oracle for DeriveScaled.
+func DeriveScaledRow(t *perfdmf.Trial, metric string, scale float64) (*perfdmf.Trial, string, error) {
 	if !t.HasMetric(metric) {
 		return nil, "", fmt.Errorf("analysis: trial %q has no metric %q", t.Name, metric)
 	}
@@ -144,8 +143,8 @@ func DeriveScaled(t *perfdmf.Trial, metric string, scale float64) (*perfdmf.Tria
 	return out, name, nil
 }
 
-// DeriveSum adds metric(a)+metric(b)+... as one combined metric.
-func DeriveSum(t *perfdmf.Trial, metrics []string) (*perfdmf.Trial, string, error) {
+// DeriveSumRow is the row-oriented oracle for DeriveSum.
+func DeriveSumRow(t *perfdmf.Trial, metrics []string) (*perfdmf.Trial, string, error) {
 	if len(metrics) == 0 {
 		return nil, "", fmt.Errorf("analysis: DeriveSum needs at least one metric")
 	}
@@ -192,10 +191,8 @@ const (
 	ReduceStdDev
 )
 
-// Reduce collapses a trial to a single synthetic "thread" holding the
-// chosen statistic of every (event, metric) cell — the TrialMeanResult /
-// TrialTotalResult views of PerfExplorer.
-func Reduce(t *perfdmf.Trial, r Reduction) *perfdmf.Trial {
+// ReduceRow is the row-oriented oracle for Reduce.
+func ReduceRow(t *perfdmf.Trial, r Reduction) *perfdmf.Trial {
 	out := perfdmf.NewTrial(t.App, t.Experiment, t.Name, 1)
 	for k, v := range t.Metadata {
 		out.Metadata[k] = v
@@ -261,8 +258,8 @@ func reduce(xs []float64, r Reduction) float64 {
 	return 0
 }
 
-// ExtractEvents returns a copy of the trial restricted to the named events.
-func ExtractEvents(t *perfdmf.Trial, names []string) *perfdmf.Trial {
+// ExtractEventsRow is the row-oriented oracle for ExtractEvents.
+func ExtractEventsRow(t *perfdmf.Trial, names []string) *perfdmf.Trial {
 	want := make(map[string]bool, len(names))
 	for _, n := range names {
 		want[n] = true
@@ -288,9 +285,8 @@ func ExtractEvents(t *perfdmf.Trial, names []string) *perfdmf.Trial {
 	return out
 }
 
-// TopN returns the n flat events with the largest mean exclusive value of
-// the metric, in descending order.
-func TopN(t *perfdmf.Trial, metric string, n int) []string {
+// TopNRow is the row-oriented oracle for TopN.
+func TopNRow(t *perfdmf.Trial, metric string, n int) []string {
 	type ev struct {
 		name string
 		val  float64

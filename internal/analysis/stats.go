@@ -20,14 +20,13 @@ type EventStat struct {
 	Threads int
 }
 
-// ExclusiveStats computes per-event statistics of the exclusive metric
-// across threads, for flat events, sorted by descending mean.
-func ExclusiveStats(t *perfdmf.Trial, metric string) []EventStat {
+// ExclusiveStatsRow is the row-oriented oracle for ExclusiveStats.
+func ExclusiveStatsRow(t *perfdmf.Trial, metric string) []EventStat {
 	return eventStats(t, metric, false)
 }
 
-// InclusiveStats is ExclusiveStats over inclusive values.
-func InclusiveStats(t *perfdmf.Trial, metric string) []EventStat {
+// InclusiveStatsRow is the row-oriented oracle for InclusiveStats.
+func InclusiveStatsRow(t *perfdmf.Trial, metric string) []EventStat {
 	return eventStats(t, metric, true)
 }
 

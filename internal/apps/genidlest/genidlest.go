@@ -278,7 +278,7 @@ func (st *runState) initialize() {
 		t.Compute(sim.Kernel{
 			IntOps: cellsPerBlock * 2,
 			ILP:    0.8,
-			Refs: []sim.MemRef{{
+			Refs: [2]sim.MemRef{{
 				Region: st.fields, Off: off, Len: st.blockB,
 				Stores: cellsPerBlock * uint64(st.cfg.Problem.ArraysPerCell),
 				Reuse:  0, FirstTouch: true,

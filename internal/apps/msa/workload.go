@@ -101,7 +101,7 @@ func Run(cfg machine.Config, p Params) (*perfdmf.Trial, error) {
 			// The DP working set is the two-row buffer plus the pair of
 			// sequences — cache resident, so stage 1 is compute bound and
 			// its performance story is scheduling, not memory.
-			Refs: []sim.MemRef{{
+			Refs: [2]sim.MemRef{{
 				Region: seqRegion,
 				Off:    0,
 				Len:    minI64(rowBytes+2*int64(p.MeanLen), seqRegion.Bytes),
@@ -131,7 +131,7 @@ func Run(cfg machine.Config, p Params) (*perfdmf.Trial, error) {
 		IntOps:   uint64(progCells * 10),
 		Branches: uint64(progCells),
 		ILP:      0.55,
-		Refs: []sim.MemRef{{
+		Refs: [2]sim.MemRef{{
 			Region: seqRegion, Off: 0, Len: minI64(rowBytes, seqRegion.Bytes),
 			Loads: uint64(progCells * 3), Stores: uint64(progCells), Reuse: 64,
 		}},

@@ -379,16 +379,37 @@ func (m *Machine) AccessCost(cpu int, r *Region, off, length int64, p MemProfile
 		c.TLBMiss += uint64(float64(accesses-pages) * (1 - float64(reach)/float64(ws)) * 0.05)
 	}
 
-	// Local/remote split from page placement.
+	// Local/remote split from page placement. This is the same computation
+	// as NodeShare followed by the weighted-latency loop, but with the
+	// per-node page counts accumulated in a stack-resident array: AccessCost
+	// runs once per memory reference of every kernel execution, and the
+	// per-call share slice dominated the simulator's allocation profile.
+	// float64(count)/float64(placed) reproduces NodeShare's float division
+	// bit for bit, and the node-order loop keeps the summation order.
 	myNode := m.NodeOf(cpu)
-	share, placed := r.NodeShare(off, length, m.cfg.Nodes)
+	var countsBuf [64]int64
+	counts := countsBuf[:]
+	if m.cfg.Nodes > len(countsBuf) {
+		counts = make([]int64, m.cfg.Nodes)
+	} else {
+		counts = countsBuf[:m.cfg.Nodes]
+	}
+	first, last := r.pageRange(off, length)
+	var placed int64
+	for pg := first; pg <= last; pg++ {
+		if h := atomic.LoadInt32(&r.homes[pg]); h >= 0 {
+			counts[h]++
+			placed++
+		}
+	}
 	remoteFrac, avgRemoteLat := 0.0, float64(m.cfg.LocalMemLat)
-	if placed {
+	if placed > 0 {
 		weighted := 0.0
-		for node, s := range share {
-			if node == myNode || s == 0 {
+		for node, n := range counts {
+			if node == myNode || n == 0 {
 				continue
 			}
+			s := float64(n) / float64(placed)
 			remoteFrac += s
 			weighted += s * float64(m.RemoteLat(myNode, node))
 		}

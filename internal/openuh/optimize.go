@@ -231,6 +231,6 @@ func (cg *CodeGen) Expand(w Work, regionOf RegionResolver) sim.Kernel {
 			essential.FirstTouch = w.FirstTouch
 		}
 	}
-	k.Refs = []sim.MemRef{essential, {Loads: spillLoads, Stores: spillStores}}
+	k.Refs = [2]sim.MemRef{essential, {Loads: spillLoads, Stores: spillStores}}
 	return k
 }

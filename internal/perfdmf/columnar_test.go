@@ -1,0 +1,529 @@
+package perfdmf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// --- canonical exact-bit trial dump -------------------------------------
+//
+// Unlike the analysis differential harness, conversions and storage involve
+// no arithmetic, so NaN payloads must survive exactly — every float here is
+// compared by its raw IEEE bits, payloads included.
+
+func bitsDump(sb *strings.Builder, xs []float64) {
+	for _, x := range xs {
+		fmt.Fprintf(sb, " %016x", math.Float64bits(x))
+	}
+	sb.WriteByte('\n')
+}
+
+func canonicalTrialDump(tr *Trial) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trial %q/%q/%q threads=%d\nmetrics=%q\n", tr.App, tr.Experiment, tr.Name, tr.Threads, tr.Metrics)
+	keys := make([]string, 0, len(tr.Metadata))
+	for k := range tr.Metadata {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "meta %q=%q\n", k, tr.Metadata[k])
+	}
+	for _, e := range tr.Events {
+		fmt.Fprintf(&sb, "event %q groups=%q calls=", e.Name, e.Groups)
+		bitsDump(&sb, e.Calls)
+		for _, side := range []struct {
+			tag string
+			m   map[string][]float64
+		}{{"inc", e.Inclusive}, {"exc", e.Exclusive}} {
+			ms := make([]string, 0, len(side.m))
+			for m := range side.m {
+				ms = append(ms, m)
+			}
+			sort.Strings(ms)
+			for _, m := range ms {
+				fmt.Fprintf(&sb, " %s %q =", side.tag, m)
+				bitsDump(&sb, side.m[m])
+			}
+		}
+	}
+	return sb.String()
+}
+
+// --- adversarial trial generator ----------------------------------------
+
+func genColValue(r *rand.Rand) float64 {
+	switch r.Intn(12) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Float64frombits(0x7ff8_0000_0000_dead) // NaN payload
+	case 2:
+		return math.Float64frombits(0xfff8_0000_0000_beef) // negative NaN payload
+	case 3:
+		return math.Inf(1)
+	case 4:
+		return math.Inf(-1)
+	case 5:
+		return math.Copysign(0, -1)
+	default:
+		return r.NormFloat64() * 1e6
+	}
+}
+
+func genColTrial(r *rand.Rand, name string, threads int) *Trial {
+	t := NewTrial("app µ", "exp/1", name, threads)
+	pool := []string{TimeMetric, "PAPI_FP_OPS", "BYTES"}
+	for i := 0; i < 1+r.Intn(len(pool)); i++ {
+		t.AddMetric(pool[i])
+	}
+	if r.Intn(2) == 0 {
+		t.Metadata["host"] = "node" + strconv.Itoa(r.Intn(3))
+	}
+	for i, nev := 0, r.Intn(8); i < nev; i++ {
+		e := t.EnsureEvent("f" + strconv.Itoa(i))
+		for th := 0; th < threads; th++ {
+			e.Calls[th] = float64(r.Intn(50))
+		}
+		if r.Intn(3) == 0 {
+			e.Groups = []string{"MPI"}
+		}
+		for _, m := range t.Metrics {
+			switch r.Intn(5) {
+			case 0: // absent
+				delete(e.Inclusive, m)
+				delete(e.Exclusive, m)
+			case 1: // exclusive-only
+				delete(e.Inclusive, m)
+				for th := 0; th < threads; th++ {
+					e.Exclusive[m][th] = genColValue(r)
+				}
+			default:
+				for th := 0; th < threads; th++ {
+					e.SetValue(m, th, genColValue(r), genColValue(r))
+				}
+			}
+		}
+		if r.Intn(4) == 0 { // unregistered extra metric
+			vals := make([]float64, threads)
+			for th := range vals {
+				vals[th] = genColValue(r)
+			}
+			e.Exclusive["EXTRA"] = vals
+		}
+	}
+	if len(t.Events) >= 2 {
+		cp := t.EnsureEvent(t.Events[0].Name + CallpathSeparator + t.Events[1].Name)
+		for th := 0; th < threads; th++ {
+			cp.SetValue(t.Metrics[0], th, genColValue(r), genColValue(r))
+		}
+	}
+	return t
+}
+
+// --- round-trip property tests ------------------------------------------
+
+// Trial → Columns → Trial must be lossless: event order, groups, metadata,
+// presence/absence of each metric per event, and exact float bits
+// including NaN payloads and signed zeros.
+func TestColumnsRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 60; i++ {
+		threads := []int{1, 2, 3, 4, 8}[r.Intn(5)]
+		tr := genColTrial(r, fmt.Sprintf("t%03d", i), threads)
+		want := canonicalTrialDump(tr)
+
+		c, err := ColumnsFromTrial(tr)
+		if err != nil {
+			t.Fatalf("trial %d: ColumnsFromTrial: %v", i, err)
+		}
+		if got := canonicalTrialDump(c.Trial()); got != want {
+			t.Fatalf("trial %d: Columns round trip lost information\nwant:\n%s\ngot:\n%s", i, want, got)
+		}
+		if got := canonicalTrialDump(tr); got != want {
+			t.Fatalf("trial %d: conversion mutated the source", i)
+		}
+
+		// Through the binary codec too.
+		payload, err := MarshalColumnar(tr)
+		if err != nil {
+			t.Fatalf("trial %d: MarshalColumnar: %v", i, err)
+		}
+		if !IsColumnar(payload) {
+			t.Fatalf("trial %d: payload missing columnar magic", i)
+		}
+		back, err := UnmarshalColumnar(payload)
+		if err != nil {
+			t.Fatalf("trial %d: UnmarshalColumnar: %v", i, err)
+		}
+		if got := canonicalTrialDump(back); got != want {
+			t.Fatalf("trial %d: codec round trip lost information\nwant:\n%s\ngot:\n%s", i, want, got)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("trial %d: decoded trial invalid: %v", i, err)
+		}
+
+		// The encoding is canonical and deterministic.
+		again, err := MarshalColumnar(tr)
+		if err != nil {
+			t.Fatalf("trial %d: second MarshalColumnar: %v", i, err)
+		}
+		if !bytes.Equal(payload, again) {
+			t.Fatalf("trial %d: MarshalColumnar is not deterministic", i)
+		}
+		c2, err := DecodeColumnar(payload)
+		if err != nil {
+			t.Fatalf("trial %d: DecodeColumnar: %v", i, err)
+		}
+		re, err := c2.Encode()
+		if err != nil {
+			t.Fatalf("trial %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(payload, re) {
+			t.Fatalf("trial %d: decode→encode does not reproduce the payload", i)
+		}
+	}
+}
+
+func TestColumnsFromTrialErrors(t *testing.T) {
+	if _, err := ColumnsFromTrial(&Trial{Threads: 0, Name: "z"}); err == nil {
+		t.Error("zero-thread trial: want error")
+	}
+	if _, err := MarshalColumnar(&Trial{Threads: -3, Name: "z"}); err == nil {
+		t.Error("negative-thread trial: want error")
+	}
+	dup := NewTrial("a", "e", "dup", 1)
+	dup.AddMetric(TimeMetric)
+	dup.Events = append(dup.Events, &Event{Name: "x", Calls: []float64{1}}, &Event{Name: "x", Calls: []float64{2}})
+	if _, err := ColumnsFromTrial(dup); err == nil {
+		t.Error("duplicate event names: want error")
+	}
+	short := NewTrial("a", "e", "short", 2)
+	short.AddMetric(TimeMetric)
+	short.Events = append(short.Events, &Event{Name: "x", Calls: []float64{1}}) // wrong Calls len
+	if _, err := ColumnsFromTrial(short); err == nil {
+		t.Error("mismatched Calls length: want error")
+	}
+}
+
+// --- decode rejection table ---------------------------------------------
+
+// craftColumnar assembles magic + length-prefixed header + body.
+func craftColumnar(headerJSON string, body []byte) []byte {
+	buf := []byte(columnarMagic)
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(headerJSON)))
+	buf = append(buf, l[:]...)
+	buf = append(buf, headerJSON...)
+	return append(buf, body...)
+}
+
+// minimalHeader describes 1 thread, 1 event "e", 1 column TIME.
+const minimalHeader = `{"application":"a","experiment":"e","name":"n","threads":1,` +
+	`"metrics":["TIME"],"events":[{"name":"e"}],"columns":["TIME"]}`
+
+// minimalBody: calls block (8B) + inc bitmap (1B) + exc bitmap (1B) +
+// inc block (8B) + exc block (8B).
+func minimalBody(incBits, excBits byte) []byte {
+	body := make([]byte, 0, 26)
+	body = append(body, make([]byte, 8)...) // calls
+	body = append(body, incBits, excBits)
+	body = append(body, make([]byte, 16)...) // inc + exc blocks
+	return body
+}
+
+func TestDecodeColumnarRejections(t *testing.T) {
+	valid := craftColumnar(minimalHeader, minimalBody(0x01, 0x01))
+	if _, err := DecodeColumnar(valid); err != nil {
+		t.Fatalf("handcrafted minimal payload must decode, got %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"not columnar", []byte(`{"name":"x"}`)},
+		{"magic only", []byte(columnarMagic)},
+		{"truncated header length", append([]byte(columnarMagic), 0x01)},
+		{"header length exceeds payload", func() []byte {
+			b := append([]byte(columnarMagic), 0xff, 0xff, 0xff, 0x7f)
+			return append(b, []byte("{}")...)
+		}()},
+		{"bad header JSON", craftColumnar(`{"threads":`, nil)},
+		{"zero threads", craftColumnar(`{"threads":0,"events":[],"columns":[]}`, nil)},
+		{"negative threads", craftColumnar(`{"threads":-4,"events":[],"columns":[]}`, nil)},
+		{"huge dimensions", craftColumnar(
+			`{"threads":1000000000,"events":[{"name":"a"},{"name":"b"}],"columns":[]}`, nil)},
+		{"duplicate event", craftColumnar(
+			`{"threads":1,"events":[{"name":"a"},{"name":"a"}],"columns":[]}`, make([]byte, 16))},
+		{"duplicate column", craftColumnar(
+			`{"threads":1,"events":[{"name":"a"}],"columns":["TIME","TIME"]}`, make([]byte, 100))},
+		{"inclusive without exclusive", craftColumnar(minimalHeader, minimalBody(0x01, 0x00))},
+		{"nonzero bitmap padding", craftColumnar(minimalHeader, minimalBody(0x03, 0x03))},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0x00)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeColumnar(tc.payload)
+			if err == nil {
+				t.Fatal("want decode error, got nil")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+		})
+	}
+
+	// Every strict prefix of a valid payload is rejected: the header pins
+	// the exact body size, so truncation at any byte must surface.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := DecodeColumnar(valid[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix of %d bytes: want ErrCorrupt, got %v", cut, err)
+		}
+	}
+}
+
+// --- repository integration ---------------------------------------------
+
+func cellsTrial(name string, events, threads int) *Trial {
+	tr := NewTrial("app", "exp", name, threads)
+	tr.AddMetric(TimeMetric)
+	for i := 0; i < events; i++ {
+		e := tr.EnsureEvent("f" + strconv.Itoa(i))
+		for th := 0; th < threads; th++ {
+			e.Calls[th] = 1
+			e.SetValue(TimeMetric, th, float64(i*threads+th), float64(i+th))
+		}
+	}
+	return tr
+}
+
+func rawTrialFile(t *testing.T, repo *Repository, app, exp, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(repo.path(app, exp, name))
+	if err != nil {
+		t.Fatalf("reading trial file: %v", err)
+	}
+	return data
+}
+
+func isColumnarFile(t *testing.T, data []byte) bool {
+	t.Helper()
+	payload, legacy, err := decodeEnvelope(data)
+	if err != nil || legacy {
+		t.Fatalf("trial file not a valid envelope (legacy=%v err=%v)", legacy, err)
+	}
+	return IsColumnar(payload)
+}
+
+// Saved trials switch to the columnar layout at the cell threshold, and a
+// fresh repository reads either format back identically.
+func TestRepositoryColumnarThreshold(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := cellsTrial("small", 4, 2) // 8 cells < DefaultColumnarMinCells
+	big := cellsTrial("big", 512, 8)   // 4096 cells = DefaultColumnarMinCells
+	for _, tr := range []*Trial{small, big} {
+		if err := repo.Save(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if isColumnarFile(t, rawTrialFile(t, repo, "app", "exp", "small")) {
+		t.Error("small trial written columnar below threshold")
+	}
+	if !isColumnarFile(t, rawTrialFile(t, repo, "app", "exp", "big")) {
+		t.Error("big trial not written columnar at threshold")
+	}
+
+	// A fresh repository decodes both formats from disk bit-identically.
+	repo2, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []*Trial{small, big} {
+		got, err := repo2.GetTrial("app", "exp", tr.Name)
+		if err != nil {
+			t.Fatalf("GetTrial(%s): %v", tr.Name, err)
+		}
+		if canonicalTrialDump(got) != canonicalTrialDump(tr) {
+			t.Errorf("trial %q read back differently", tr.Name)
+		}
+	}
+
+	// Forcing columnar for everything.
+	repo.SetColumnarMinCells(-1)
+	if err := repo.Save(small); err != nil {
+		t.Fatal(err)
+	}
+	if !isColumnarFile(t, rawTrialFile(t, repo, "app", "exp", "small")) {
+		t.Error("SetColumnarMinCells(-1) did not force columnar")
+	}
+	// And disabling it entirely.
+	repo.SetColumnarMinCells(math.MaxInt)
+	if err := repo.Save(big); err != nil {
+		t.Fatal(err)
+	}
+	if isColumnarFile(t, rawTrialFile(t, repo, "app", "exp", "big")) {
+		t.Error("SetColumnarMinCells(MaxInt) still wrote columnar")
+	}
+}
+
+// A pre-envelope plain-JSON trial file is read transparently and upgraded
+// to the columnar envelope on its next save.
+func TestRepositoryLegacyUpgradeToColumnar(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cellsTrial("legacy", 6, 2)
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := repo.path("app", "exp", "legacy")
+	if err := os.MkdirAll(strings.TrimSuffix(p, "/"+lastSegment(p)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := repo.GetTrial("app", "exp", "legacy")
+	if err != nil {
+		t.Fatalf("legacy GetTrial: %v", err)
+	}
+	if canonicalTrialDump(got) != canonicalTrialDump(tr) {
+		t.Fatal("legacy trial read back differently")
+	}
+	repo.SetColumnarMinCells(-1)
+	if err := repo.Save(got); err != nil {
+		t.Fatal(err)
+	}
+	if !isColumnarFile(t, rawTrialFile(t, repo, "app", "exp", "legacy")) {
+		t.Error("legacy file not upgraded to columnar envelope on save")
+	}
+}
+
+func lastSegment(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	return p[i+1:]
+}
+
+// A corrupt columnar payload inside a perfectly valid envelope must be
+// quarantined: the envelope CRC protects against bit rot, the columnar
+// decoder against structural damage that a correct CRC can still carry.
+func TestRepositoryQuarantinesCorruptColumnar(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cellsTrial("victim", 4, 2)
+	repo.SetColumnarMinCells(-1)
+	if err := repo.Save(tr); err != nil {
+		t.Fatal(err)
+	}
+	p := repo.path("app", "exp", "victim")
+	// Truncate the columnar payload, then re-wrap with a FRESH (valid)
+	// envelope so only the columnar decoder can catch it.
+	payload, legacy, err := decodeEnvelope(rawTrialFile(t, repo, "app", "exp", "victim"))
+	if err != nil || legacy {
+		t.Fatalf("decodeEnvelope: legacy=%v err=%v", legacy, err)
+	}
+	if err := os.WriteFile(p, encodeEnvelope(payload[:len(payload)-5]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.GetTrial("app", "exp", "victim"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("GetTrial over damaged columnar payload: want ErrCorrupt, got %v", err)
+	}
+	if _, err := os.Stat(p + ".corrupt"); err != nil {
+		t.Errorf("damaged file not quarantined: %v", err)
+	}
+}
+
+// Listings over columnar files use the header fast path (JSON header only,
+// no value-block decode) and must report the original coordinates.
+func TestRepositoryListsColumnarTrials(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo.SetColumnarMinCells(-1)
+	tr := NewTrial("my app", "exp one", "trial 1", 2)
+	tr.AddMetric(TimeMetric)
+	e := tr.EnsureEvent("main")
+	for th := 0; th < 2; th++ {
+		e.SetValue(TimeMetric, th, 1, 1)
+	}
+	if err := repo.Save(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apps := fresh.Applications(); len(apps) != 1 || apps[0] != "my app" {
+		t.Fatalf("Applications = %v, want [my app]", apps)
+	}
+	if trials := fresh.Trials("my app", "exp one"); len(trials) != 1 || trials[0] != "trial 1" {
+		t.Fatalf("Trials = %v, want [trial 1]", trials)
+	}
+	if _, err := fresh.GetTrial("my app", "exp one", "trial 1"); err != nil {
+		t.Fatalf("GetTrial over columnar file: %v", err)
+	}
+}
+
+// fsck validates columnar trial files like any other format.
+func TestFsckCountsColumnarTrials(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo.SetColumnarMinCells(-1)
+	if err := repo.Save(cellsTrial("ok", 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// And one structurally damaged columnar file under a valid envelope.
+	bad := encodeEnvelope(craftColumnar(minimalHeader, minimalBody(0x01, 0x00)))
+	if err := os.WriteFile(repo.path("app", "exp", "bad"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fresh.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 1 {
+		t.Errorf("fsck Trials = %d, want 1", rep.Trials)
+	}
+	if len(rep.Quarantined) != 1 {
+		t.Errorf("fsck Quarantined = %v, want exactly the damaged file", rep.Quarantined)
+	}
+}

@@ -1,7 +1,6 @@
 package perfdmf
 
 import (
-	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -85,11 +84,9 @@ func (r *Repository) verifyTrialFile(p string, rep *FsckReport) {
 	}
 	payload, legacy, err := decodeEnvelope(data)
 	if err == nil {
-		t := &Trial{}
-		if uerr := json.Unmarshal(payload, t); uerr != nil {
-			err = uerr
-		} else if verr := t.Validate(); verr != nil {
-			err = verr
+		var t *Trial
+		if t, err = decodeTrialPayload(payload); err == nil {
+			err = t.Validate()
 		}
 	}
 	if err != nil {

@@ -109,3 +109,75 @@ func FuzzParseCSV(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeColumnarEnvelope drives the full trial-file read path over the
+// columnar binary format: envelope decode, columnar payload decode, trial
+// validation. The invariants: every failure wraps ErrCorrupt; every decode
+// that succeeds yields a Validate-clean trial; and the encoding is a fixed
+// point after one canonicalization round (the fuzzer can supply headers
+// whose JSON is legal but non-canonical — key order, whitespace — so
+// encode(decode(b)) may differ from b, but it must then be stable).
+func FuzzDecodeColumnarEnvelope(f *testing.F) {
+	valid := func() []byte {
+		tr := NewTrial("app", "exp", "seed", 2)
+		tr.AddMetric(TimeMetric)
+		e := tr.EnsureEvent("main")
+		for th := 0; th < 2; th++ {
+			e.Calls[th] = 1
+			e.SetValue(TimeMetric, th, float64(th+1), float64(th))
+		}
+		p, err := MarshalColumnar(tr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return p
+	}()
+	f.Add(encodeEnvelope(valid))
+	f.Add(encodeEnvelope(valid[:len(valid)-5])) // truncated payload
+	badCRC := encodeEnvelope(valid)
+	badCRC[len(envelopeMagic)+3] ^= 0x40 // flip a payload bit under the CRC
+	f.Add(badCRC)
+	f.Add(encodeEnvelope([]byte(columnarMagic + "\x60\x00\x00\x00" +
+		`{"name":"huge","threads":1000000000,"events":[{"name":"a"},{"name":"b"}],"columns":[]}    `)))
+	f.Add(encodeEnvelope([]byte(columnarMagic)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, legacy, err := decodeEnvelope(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("envelope error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		if legacy || !IsColumnar(payload) {
+			return // JSON bodies are FuzzDecodeEnvelope's territory
+		}
+		c, err := DecodeColumnar(payload)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("columnar error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		tr := c.Trial()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoded columnar trial fails Validate: %v", err)
+		}
+		// One canonicalization round reaches a fixed point.
+		e1, err := c.Encode()
+		if err != nil {
+			t.Fatalf("re-encoding decoded payload: %v", err)
+		}
+		c2, err := DecodeColumnar(e1)
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		e2, err := c2.Encode()
+		if err != nil {
+			t.Fatalf("second encode: %v", err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatal("columnar encoding is not a fixed point after one round")
+		}
+	})
+}

@@ -86,6 +86,11 @@ type Repository struct {
 	readOnly     atomic.Bool
 	enospcStreak atomic.Int32
 
+	// columnarMinCells is the events×threads size at or above which persist
+	// writes the binary columnar payload instead of trial JSON. 0 means
+	// DefaultColumnarMinCells. Guarded by mu.
+	columnarMinCells int
+
 	// Durability counters, mirrored into an obs.Registry by Instrument.
 	quarantined  storeCounter
 	recoveredTmp storeCounter
@@ -181,6 +186,35 @@ func (r *Repository) legacyPath(app, experiment, trial string) string {
 	return filepath.Join(r.root, safeLegacy(app), safeLegacy(experiment), safeLegacy(trial)+".json")
 }
 
+// DefaultColumnarMinCells is the default events×threads threshold at which
+// Save switches from the indented-JSON payload to the binary columnar
+// payload inside the envelope. Small trials stay JSON (greppable, diffable);
+// large ones — where decode cost and file size actually matter — go
+// columnar. Both forms read back transparently, and a file in either format
+// (or legacy pre-envelope JSON) is rewritten into the current policy's
+// format on its next save.
+const DefaultColumnarMinCells = 4096
+
+// SetColumnarMinCells overrides the events×threads threshold at or above
+// which trials persist in the binary columnar format. n < 0 forces
+// columnar for every trial, n == 0 restores the default; to disable
+// columnar persistence entirely pass a threshold larger than any trial
+// (e.g. math.MaxInt).
+func (r *Repository) SetColumnarMinCells(n int) {
+	r.mu.Lock()
+	r.columnarMinCells = n
+	r.mu.Unlock()
+}
+
+// useColumnar decides the persisted payload format. Callers hold r.mu.
+func (r *Repository) useColumnar(t *Trial) bool {
+	min := r.columnarMinCells
+	if min == 0 {
+		min = DefaultColumnarMinCells
+	}
+	return len(t.Events)*t.Threads >= min
+}
+
 // ReadOnly reports whether the repository is in read-only degraded mode
 // (persistent ENOSPC on save). Use Verify to probe the volume and clear
 // the mode once space is available again.
@@ -228,7 +262,13 @@ func (r *Repository) persist(t *Trial) error {
 	if err := r.fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("perfdmf: save trial: %w", err)
 	}
-	data, err := json.MarshalIndent(t, "", " ")
+	var data []byte
+	var err error
+	if r.useColumnar(t) {
+		data, err = MarshalColumnar(t)
+	} else {
+		data, err = json.MarshalIndent(t, "", " ")
+	}
 	if err != nil {
 		return fmt.Errorf("perfdmf: encode trial: %w", err)
 	}
@@ -274,8 +314,8 @@ func (r *Repository) legacyTwin(app, experiment, trial string) (string, bool) {
 	if err != nil {
 		return "", false
 	}
-	var h trialHeader
-	if err := json.Unmarshal(payload, &h); err != nil {
+	h, ok := decodeTrialHeaderPayload(payload)
+	if !ok {
 		return "", false
 	}
 	if h.App != app || h.Experiment != experiment || h.Name != trial {
@@ -338,10 +378,10 @@ func (r *Repository) GetTrial(app, experiment, trial string) (*Trial, error) {
 		r.quarantine(p)
 		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w", app, experiment, trial, err)
 	}
-	t = &Trial{}
-	if err := json.Unmarshal(payload, t); err != nil {
+	t, err = decodeTrialPayload(payload)
+	if err != nil {
 		r.quarantine(p)
-		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w: %v", app, experiment, trial, ErrCorrupt, err)
+		return nil, fmt.Errorf("perfdmf: trial %q/%q/%q: %w", app, experiment, trial, err)
 	}
 	if err := t.Validate(); err != nil {
 		r.quarantine(p)
@@ -568,8 +608,8 @@ func (r *Repository) header(path string) (trialHeader, bool) {
 	if err != nil {
 		return trialHeader{}, false
 	}
-	var h trialHeader
-	if err := json.Unmarshal(payload, &h); err != nil || h.Name == "" {
+	h, ok := decodeTrialHeaderPayload(payload)
+	if !ok || h.Name == "" {
 		return trialHeader{}, false
 	}
 	r.mu.Lock()
@@ -590,8 +630,8 @@ func ReadTrialFile(path string) (*Trial, error) {
 	if err != nil {
 		return nil, fmt.Errorf("perfdmf: decode trial %s: %w", path, err)
 	}
-	t := &Trial{}
-	if err := json.Unmarshal(payload, t); err != nil {
+	t, err := decodeTrialPayload(payload)
+	if err != nil {
 		return nil, fmt.Errorf("perfdmf: decode trial %s: %w", path, err)
 	}
 	if err := t.Validate(); err != nil {

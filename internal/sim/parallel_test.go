@@ -27,7 +27,7 @@ func buildTrial(t *testing.T) *perfdmf.Trial {
 	e.ParallelFor("init", 8, Schedule{Kind: StaticSched}, func(th *Thread, b int) {
 		th.Compute(Kernel{
 			IntOps: 1 << 16,
-			Refs: []MemRef{{
+			Refs: [2]MemRef{{
 				Region: region, Off: int64(b) * blockB, Len: blockB,
 				Stores: 1 << 14, FirstTouch: true,
 			}},
@@ -39,7 +39,7 @@ func buildTrial(t *testing.T) *perfdmf.Trial {
 		tm.Each(func(th *Thread) {
 			th.Compute(Kernel{
 				FPOps: uint64(1000 * (th.ID + 1)),
-				Refs: []MemRef{{
+				Refs: [2]MemRef{{
 					Region: region, Off: int64(th.ID) * blockB, Len: blockB,
 					Loads: 1 << 12, Reuse: 4,
 				}},

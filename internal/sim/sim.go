@@ -167,6 +167,13 @@ type MemRef struct {
 
 // Kernel describes a unit of computation in the terms the processor and
 // memory models need. Zero values are safe: a zero kernel costs nothing.
+//
+// Refs is a fixed-size array rather than a slice: every kernel in the
+// system carries at most two references (essential traffic plus
+// spill/overhead traffic), and the inline array keeps a Kernel fully
+// stack-allocated on the Compute hot path — kernels are built and
+// discarded millions of times per simulation run. A zero MemRef is
+// skipped by Compute, so unused entries cost nothing.
 type Kernel struct {
 	FPOps, IntOps, Branches uint64
 	MispredictRate          float64 // fraction of branches mispredicted
@@ -174,7 +181,7 @@ type Kernel struct {
 	FPStallPerOp            float64 // dependency-chain stall cycles per FP op
 	RegDepFrac              float64 // register-dependency bubble as a fraction of base cycles
 	IssuedOverhead          float64 // extra issued-but-not-retired instruction fraction
-	Refs                    []MemRef
+	Refs                    [2]MemRef
 }
 
 // Compute executes the kernel on the thread: first-touch placement, the
@@ -296,14 +303,14 @@ func (t *Thread) CopyHot(dst, src *machine.Region, dstOff, srcOff, n int64, srcH
 	}
 	// Unit-stride copies touch 8 words per cache line: line-level reuse 7.
 	if src != nil {
-		k.Refs = append(k.Refs, MemRef{Region: src, Off: srcOff, Len: n, Loads: words, Reuse: 7, Hot: srcHot})
+		k.Refs[0] = MemRef{Region: src, Off: srcOff, Len: n, Loads: words, Reuse: 7, Hot: srcHot}
 	} else {
-		k.Refs = append(k.Refs, MemRef{Loads: words})
+		k.Refs[0] = MemRef{Loads: words}
 	}
 	if dst != nil {
-		k.Refs = append(k.Refs, MemRef{Region: dst, Off: dstOff, Len: n, Stores: words, Reuse: 7, FirstTouch: true, Hot: dstHot})
+		k.Refs[1] = MemRef{Region: dst, Off: dstOff, Len: n, Stores: words, Reuse: 7, FirstTouch: true, Hot: dstHot}
 	} else {
-		k.Refs = append(k.Refs, MemRef{Stores: words})
+		k.Refs[1] = MemRef{Stores: words}
 	}
 	t.Compute(k)
 	// Bandwidth floor for the copy engine.

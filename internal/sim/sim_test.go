@@ -70,7 +70,7 @@ func TestComputeStallDecompositionSumsToStallAll(t *testing.T) {
 	th.Compute(Kernel{
 		FPOps: 100000, Branches: 10000, MispredictRate: 0.05,
 		FPStallPerOp: 0.4, RegDepFrac: 0.1,
-		Refs: []MemRef{{Region: r, Off: 0, Len: 32 << 20, Loads: 500000, Stores: 100000, Reuse: 2}},
+		Refs: [2]MemRef{{Region: r, Off: 0, Len: 32 << 20, Loads: 500000, Stores: 100000, Reuse: 2}},
 	})
 	var sum uint64
 	for _, id := range counters.StallComponents() {
@@ -92,7 +92,7 @@ func TestComputeFirstTouch(t *testing.T) {
 	mach := e.Machine()
 	r := mach.AllocRegion("ft", 8*mach.Config().PageBytes)
 	// Thread 2 (CPU 2, node 1) first-touches the first half.
-	e.Thread(2).Compute(Kernel{Refs: []MemRef{{
+	e.Thread(2).Compute(Kernel{Refs: [2]MemRef{{
 		Region: r, Off: 0, Len: 4 * mach.Config().PageBytes, Loads: 100, FirstTouch: true,
 	}}})
 	if home := r.HomeOf(0); home != 1 {
@@ -113,7 +113,7 @@ func TestRemoteSlowerThanLocal(t *testing.T) {
 	remote.Place(0, size, 7)
 
 	k := func(r *machine.Region) Kernel {
-		return Kernel{FPOps: 1 << 20, Refs: []MemRef{{Region: r, Off: 0, Len: size, Loads: 1 << 21, Reuse: 2}}}
+		return Kernel{FPOps: 1 << 20, Refs: [2]MemRef{{Region: r, Off: 0, Len: size, Loads: 1 << 21, Reuse: 2}}}
 	}
 	t0 := e.Thread(0) // node 0
 	t0.Compute(k(local))

@@ -5,6 +5,10 @@
 #       run the benchmarks once and write FILE (default
 #       BENCH_baseline.json at the repo root): one line per benchmark
 #       with ns/op and allocs/op
+#   scripts/bench_baseline.sh record-columnar [-out FILE]
+#       run only the columnar-engine benchmarks (the two headline
+#       benchmarks plus their RowOracle denominators and the conversion
+#       micro-benchmark) and write FILE (default BENCH_columnar.json)
 #   scripts/bench_baseline.sh compare [-pkg PATTERN] [-compare OLD.json]
 #       run the benchmarks once and warn for every benchmark whose ns/op
 #       regressed more than 20% against OLD.json (default
@@ -53,10 +57,17 @@ while [ $# -gt 0 ]; do
 		;;
 	esac
 done
+bench="."
+if [ "$mode" = "record-columnar" ]; then
+	mode="record"
+	baseline="BENCH_columnar.json"
+	pkg="."
+	bench='^(BenchmarkFig5bScaling|BenchmarkFig5bScalingRowOracle|BenchmarkParallelSpeedup|BenchmarkParallelSpeedupRowOracle|BenchmarkColumnarConvert)$'
+fi
 [ -n "$out" ] || out="$baseline"
 
 run_benchmarks() {
-	go test -bench=. -benchmem -benchtime="$benchtime" -run='^$' "$pkg" 2>/dev/null |
+	go test -bench="$bench" -benchmem -benchtime="$benchtime" -run='^$' "$pkg" 2>/dev/null |
 		awk '$1 ~ /^Benchmark/ && $4 == "ns/op" {
 			name = $1
 			sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
