@@ -7,7 +7,9 @@
 package perfknow_test
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"reflect"
 	"runtime"
 	"testing"
@@ -15,6 +17,7 @@ import (
 
 	"perfknow"
 	"perfknow/internal/analysis"
+	"perfknow/internal/dmfserver"
 	"perfknow/internal/experiments"
 	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
@@ -142,6 +145,87 @@ func BenchmarkColumnarConvert(b *testing.B) {
 		if back.Threads != 64 || len(back.Events) != 256 {
 			b.Fatal("bad round trip")
 		}
+	}
+}
+
+// --- streaming / standing-diagnosis benchmarks --------------------------
+
+// BenchmarkStandingDiagnosis measures the per-chunk cost of a standing
+// load-balance diagnosis: one Append of a fixed 8-event chunk against a
+// window already holding many distinct events. The sub-benchmarks differ
+// only in how much state the window and rule engine hold (128 vs 2048
+// events); the design claim — append cost proportional to the chunk delta,
+// not the window — holds when their ns/op stay in the same band.
+func BenchmarkStandingDiagnosis(b *testing.B) {
+	src, err := os.ReadFile("assets/rules/LoadBalanceRules.prl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, windowEvents := range []int{128, 2048} {
+		b.Run(fmt.Sprintf("windowEvents=%d", windowEvents), func(b *testing.B) {
+			benchStandingDiagnosis(b, string(src), windowEvents)
+		})
+	}
+}
+
+func benchStandingDiagnosis(b *testing.B, ruleSrc string, windowEvents int) {
+	const threads = 4
+	diag, err := dmfserver.NewStandingDiagnosis(threads, 0, ruleSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Prefill the window with windowEvents distinct flat events in
+	// 64-event chunks. The magnitudes are tiny so the steady-state pair
+	// below dominates the windowed grand total (keeping its severity above
+	// the rule threshold on every chunk) while the window still carries
+	// windowEvents rows and the engine windowEvents Imbalance facts.
+	tiny := []float64{1e-6, 1e-6, 1e-6, 1e-6}
+	batch := make([]perfdmf.WindowSample, 0, 64)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if _, err := diag.Append(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+		batch = batch[:0]
+	}
+	for j := 0; j < windowEvents; j++ {
+		batch = append(batch, perfdmf.WindowSample{Event: fmt.Sprintf("bg_event_%d", j), Values: tiny})
+		if len(batch) == cap(batch) {
+			flush()
+		}
+	}
+	flush()
+
+	// Steady-state chunk: an imbalanced nested loop pair plus six of the
+	// background events — 8 events per chunk regardless of window size.
+	// inner_loop's ratio (~0.74), severity and -1 correlation with
+	// outer_loop keep "Load Imbalance" firing exactly once per chunk.
+	chunk := []perfdmf.WindowSample{
+		{Event: "outer_loop", Values: []float64{0, 30, 30, 30}},
+		{Event: "inner_loop", Values: []float64{40, 10, 10, 10}},
+		{Event: "outer_loop" + perfdmf.CallpathSeparator + "inner_loop"},
+	}
+	for j := 0; j < 6; j++ {
+		chunk = append(chunk, perfdmf.WindowSample{Event: fmt.Sprintf("bg_event_%d", j), Values: tiny})
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	fired := 0
+	for i := 0; i < b.N; i++ {
+		fs, err := diag.Append(ctx, chunk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fired += len(fs)
+	}
+	b.StopTimer()
+	if fired != b.N {
+		b.Fatalf("Load Imbalance fired %d times over %d chunks, want one per chunk", fired, b.N)
 	}
 }
 

@@ -23,6 +23,13 @@
 // prints the fsck report as JSON on stdout, and exits 0 if the store is
 // clean or 1 otherwise — the offline twin of GET /api/v1/fsck.
 //
+// Streaming ingestion: POST /api/v1/streams opens a chunked upload whose
+// seal stores a trial byte-identical to a whole-file upload; while chunks
+// arrive, standing diagnoses (rule files named per-open or defaulted by
+// -standing-rules) analyze a sliding window of -stream-window chunks and
+// fire alerts over SSE at GET /api/v1/streams/{id}/alerts. See
+// docs/STREAMING.md.
+//
 // With -peers the daemon joins a static cluster: every member is started
 // with the same -peers/-replicas/-ring-epoch/-vnodes/-ring-seed, serves
 // the resulting ring descriptor at GET /api/v1/cluster, and publishes
@@ -79,6 +86,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			"how long a request may wait for an analysis slot before being shed with 429 (negative = shed immediately)")
 		fsck = fs.Bool("fsck", false,
 			"verify the repository (recover temp files, quarantine corrupt trials), print the report as JSON and exit: 0 if clean, 1 otherwise")
+		streamWindow = fs.Int("stream-window", dmfserver.DefaultStreamWindow,
+			"default sliding-window size in chunks for standing stream analysis (0 = cumulative; streams may override per-open)")
+		standingRules = fs.String("standing-rules", "",
+			"comma-separated .prl rule names (from -rules) registered as standing diagnoses on every stream that names none")
 		peers = fs.String("peers", "",
 			"comma-separated base URLs of every cluster member (including this one); empty = standalone")
 		replicas  = fs.Int("replicas", 2, "cluster replication factor R (with -peers)")
@@ -141,6 +152,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		AdmissionWait:  *admission,
 		Logger:         logger,
 		Ring:           ring,
+		StreamWindow:   normalizeStreamWindow(*streamWindow),
+		StandingRules:  splitPeers(*standingRules),
 	})
 	if err != nil {
 		return fail(logger, err)
@@ -221,7 +234,17 @@ func fail(logger *slog.Logger, err error) int {
 	return 1
 }
 
-// splitPeers parses the -peers flag: comma-separated URLs, blanks ignored.
+// normalizeStreamWindow maps the flag's "0 = cumulative" convention onto
+// the Config convention (0 = library default, negative = cumulative).
+func normalizeStreamWindow(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
+}
+
+// splitPeers parses a comma-separated list flag (-peers, -standing-rules),
+// ignoring blanks.
 func splitPeers(s string) []string {
 	var out []string
 	for _, p := range strings.Split(s, ",") {

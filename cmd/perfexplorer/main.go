@@ -11,6 +11,9 @@
 //	perfexplorer -cluster URL1,URL2,... -rebalance
 //	perfexplorer -cluster URL1,URL2,... -upload FILE
 //	perfexplorer -cluster URL1,URL2,... -get APP/EXP/TRIAL
+//	perfexplorer -server URL -stream FILE [-stream-chunks N] [-stream-window N] [-stream-rules R1,R2]
+//	perfexplorer -server URL -watch STREAM_ID
+//	perfexplorer -server URL -streams
 //	perfexplorer -write-assets DIR
 //
 // Script arguments (usually application, experiment and trial names) are
@@ -33,6 +36,14 @@
 // a trial JSON file through the routing layer; -get fetches one trial and
 // prints it as JSON.
 //
+// With -stream the trial JSON file is uploaded through the streaming API —
+// opened, appended in -stream-chunks-event chunks, sealed — instead of in
+// one request; standing diagnoses registered with -stream-rules fire
+// alerts as the chunks arrive. -watch subscribes to a stream's alerts over
+// SSE and prints them until the stream seals (watching a recently sealed
+// stream replays its full alert history). -streams lists the server's
+// stream table. See docs/STREAMING.md.
+//
 // With -trace FILE the run is traced: script statements, analysis
 // operations, rule firings and repository I/O each record a span, and
 // against -server the client's per-attempt request spans propagate their
@@ -49,6 +60,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 	"time"
@@ -89,6 +101,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rebalance   = fs.Bool("rebalance", false, "run one anti-entropy repair pass over the cluster, print the report as JSON and exit (0 = converged cleanly)")
 		uploadPath  = fs.String("upload", "", "upload this trial JSON file through the store and exit")
 		getCoord    = fs.String("get", "", "fetch one trial (APP/EXP/TRIAL) and print it as JSON")
+		watchID     = fs.String("watch", "", "subscribe to a stream's standing-diagnosis alerts (stream id; with -server) and print them until the stream seals")
+		streamFile  = fs.String("stream", "", "stream-upload this trial JSON file in chunks and seal it (with -server)")
+		streamChunk = fs.Int("stream-chunks", 8, "events per chunk for -stream")
+		streamWin   = fs.Int("stream-window", 0, "sliding-window size in chunks for -stream standing analysis (0 = server default, negative = cumulative)")
+		streamRules = fs.String("stream-rules", "", "comma-separated .prl rule names registered as standing diagnoses for -stream (empty = server default)")
+		streamsList = fs.Bool("streams", false, "list the server's live and recently sealed streams (with -server)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -189,6 +207,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *getCoord != "" {
 		return getTrial(store, *getCoord, stdout, stderr)
+	}
+	if *watchID != "" || *streamFile != "" || *streamsList {
+		if client == nil {
+			fmt.Fprintln(stderr, "perfexplorer: -watch, -stream and -streams require -server")
+			return 2
+		}
+		switch {
+		case *streamsList:
+			return listStreams(client, stdout, stderr)
+		case *streamFile != "":
+			return streamTrial(client, *streamFile, *streamChunk, *streamWin, splitPeers(*streamRules), stdout, stderr)
+		default:
+			return watchStream(client, *watchID, stdout, stderr)
+		}
 	}
 
 	if *list {
@@ -393,6 +425,121 @@ func getTrial(store perfdmf.Store, coord string, stdout, stderr io.Writer) int {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(tr); err != nil {
 		return fail(stderr, err)
+	}
+	return 0
+}
+
+// streamTrial pushes a trial JSON file through the streaming API: open a
+// stream at the trial's coordinates, append the events in fixed-size
+// chunks, seal. The sealed trial is byte-identical to what -upload of the
+// same file would have stored; the difference is that standing diagnoses
+// ran while the data arrived (the alert count is reported, and the alerts
+// themselves replay to any -watch subscriber, even after the seal).
+func streamTrial(client *dmfclient.Client, path string, chunkEvents, window int, ruleNames []string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	var tr perfdmf.Trial
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fail(stderr, fmt.Errorf("parse %s: %w", path, err))
+	}
+	if err := tr.Validate(); err != nil {
+		return fail(stderr, err)
+	}
+	if chunkEvents < 1 {
+		chunkEvents = 1
+	}
+	var opts []dmfclient.StreamOption
+	if window != 0 {
+		opts = append(opts, dmfclient.WithStreamWindow(window))
+	}
+	if len(ruleNames) > 0 {
+		opts = append(opts, dmfclient.WithStandingRules(ruleNames...))
+	}
+	ctx := context.Background()
+	info, err := client.OpenStream(ctx, tr.App, tr.Experiment, tr.Name, tr.Threads, tr.Metrics, opts...)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "stream %s opened for %s/%s/%s\n", info.ID, tr.App, tr.Experiment, tr.Name)
+	var seq int64
+	var lastAck *dmfwire.AppendAck
+	for start := 0; start < len(tr.Events); start += chunkEvents {
+		end := start + chunkEvents
+		if end > len(tr.Events) {
+			end = len(tr.Events)
+		}
+		chunk := make([]dmfwire.ChunkEvent, 0, end-start)
+		for _, ev := range tr.Events[start:end] {
+			chunk = append(chunk, dmfwire.ChunkEvent{
+				Name:      ev.Name,
+				Groups:    ev.Groups,
+				Calls:     ev.Calls,
+				Inclusive: ev.Inclusive,
+				Exclusive: ev.Exclusive,
+			})
+		}
+		seq++
+		ack, err := client.Append(ctx, info.ID, seq, chunk)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		lastAck = ack
+	}
+	sum, err := client.Seal(ctx, info.ID)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	alerts := int64(0)
+	if lastAck != nil {
+		alerts = lastAck.Alerts
+	}
+	fmt.Fprintf(stdout, "stream %s sealed: %d chunk(s), %d event(s), %d metric(s), %d alert(s)\n",
+		info.ID, seq, sum.Events, sum.Metrics, alerts)
+	return 0
+}
+
+// watchStream follows one stream's standing-diagnosis alerts until the
+// stream seals (exit 0) or the subscription fails. Sealed streams are
+// retained server-side for a while, so watching after the fact replays the
+// full alert history.
+func watchStream(client *dmfclient.Client, id string, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	final, err := client.WatchAlerts(ctx, id, func(a dmfwire.StreamAlert) {
+		fmt.Fprintf(stdout, "alert %d (chunk %d): %s\n", a.ID, a.Seq, a.Rule)
+		for _, line := range a.Output {
+			fmt.Fprintf(stdout, "  %s\n", line)
+		}
+		for _, rec := range a.Recommendations {
+			fmt.Fprintf(stdout, "  >> [%s] %s\n", rec.Category, rec.Text)
+		}
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return 0 // user interrupt: a clean stop, not a failure
+		}
+		return fail(stderr, err)
+	}
+	if final != nil {
+		fmt.Fprintf(stdout, "stream %s sealed after %d chunk(s): %d event(s), %d alert(s)\n",
+			final.ID, final.LastSeq, final.Events, final.Alerts)
+	} else {
+		fmt.Fprintf(stdout, "stream %s ended without sealing\n", id)
+	}
+	return 0
+}
+
+// listStreams prints the server's stream table.
+func listStreams(client *dmfclient.Client, stdout, stderr io.Writer) int {
+	streams, err := client.Streams(context.Background())
+	if err != nil {
+		return fail(stderr, err)
+	}
+	for _, st := range streams {
+		fmt.Fprintf(stdout, "%s\t%s/%s/%s\t%s\tchunks=%d events=%d alerts=%d\n",
+			st.ID, st.App, st.Experiment, st.Trial, st.State, st.LastSeq, st.Events, st.Alerts)
 	}
 	return 0
 }

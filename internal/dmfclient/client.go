@@ -181,11 +181,30 @@ func (c *Client) emit(ctx context.Context, ev obs.Event) {
 
 // --- transport --------------------------------------------------------
 
+// endpoint joins an escaped request path onto the base URL. The path may
+// contain percent-escaped segments (resource routes escape each name with
+// url.PathEscape, so names containing '/' round-trip); RawPath is set so
+// url.String preserves the given escaping instead of double-encoding it.
 func (c *Client) endpoint(path string, query url.Values) string {
 	u := *c.base
-	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	basePath := strings.TrimSuffix(u.Path, "/")
+	baseRaw := strings.TrimSuffix(u.EscapedPath(), "/")
+	unescaped, err := url.PathUnescape(path)
+	if err != nil {
+		unescaped = path
+	}
+	u.Path = basePath + unescaped
+	u.RawPath = baseRaw + path
 	u.RawQuery = query.Encode()
 	return u.String()
+}
+
+// trialPath renders the resource-style route for one trial, escaping each
+// coordinate as a path segment.
+func trialPath(app, experiment, trial string) string {
+	return "/api/v1/apps/" + url.PathEscape(app) +
+		"/experiments/" + url.PathEscape(experiment) +
+		"/trials/" + url.PathEscape(trial)
 }
 
 // reqMeta classifies one request for the retry loop.
@@ -367,10 +386,16 @@ func (c *Client) GetTrial(app, experiment, trial string) (*perfdmf.Trial, error)
 	return c.GetTrialContext(context.Background(), app, experiment, trial)
 }
 
-// GetTrialContext is GetTrial bounded by ctx.
+// GetTrialContext is GetTrial bounded by ctx. It speaks the resource-style
+// route (/api/v1/apps/{app}/experiments/{exp}/trials/{trial}); the legacy
+// query-param /api/v1/trial route still answers, but with a Deprecation
+// header.
 func (c *Client) GetTrialContext(ctx context.Context, app, experiment, trial string) (*perfdmf.Trial, error) {
+	if app == "" || experiment == "" || trial == "" {
+		return nil, fmt.Errorf("dmfclient: get trial: app, experiment and trial are required")
+	}
 	t := &perfdmf.Trial{}
-	err := c.doCtx(ctx, http.MethodGet, "/api/v1/trial", coordQuery(app, experiment, trial), nil,
+	err := c.doCtx(ctx, http.MethodGet, trialPath(app, experiment, trial), nil, nil,
 		reqMeta{idempotent: true}, t)
 	if err != nil {
 		return nil, err
@@ -386,9 +411,12 @@ func (c *Client) Delete(app, experiment, trial string) error {
 	return c.DeleteContext(context.Background(), app, experiment, trial)
 }
 
-// DeleteContext is Delete bounded by ctx.
+// DeleteContext is Delete bounded by ctx, on the resource-style route.
 func (c *Client) DeleteContext(ctx context.Context, app, experiment, trial string) error {
-	return c.doCtx(ctx, http.MethodDelete, "/api/v1/trial", coordQuery(app, experiment, trial), nil,
+	if app == "" || experiment == "" || trial == "" {
+		return fmt.Errorf("dmfclient: delete trial: app, experiment and trial are required")
+	}
+	return c.doCtx(ctx, http.MethodDelete, trialPath(app, experiment, trial), nil, nil,
 		reqMeta{idempotent: true}, nil)
 }
 

@@ -40,15 +40,59 @@ func (s *Server) handlesFor(route string) *routeHandles {
 	return actual.(*routeHandles)
 }
 
-// routeLabel normalizes a request to a bounded-cardinality route label.
-// The API surface is fixed, so method + path is already low cardinality —
-// except the trace-by-id path, whose id segment is folded away.
-func routeLabel(r *http.Request) string {
-	path := r.URL.Path
-	if strings.HasPrefix(path, "/api/v1/traces/") && len(path) > len("/api/v1/traces/") {
-		path = "/api/v1/traces/{id}"
+// parameterizedRoutes lists every route template with a variable segment.
+// routeLabel folds a request path onto the first template whose literal
+// segments match, so ids and resource names never become metric labels.
+// (The original implementation special-cased only /api/v1/traces/{id};
+// every new parameterized route silently minted one sync.Map entry and
+// three registry series per distinct id — unbounded label cardinality.)
+var parameterizedRoutes = func() [][]string {
+	templates := []string{
+		"/api/v1/traces/{id}",
+		"/api/v1/streams/{id}",
+		"/api/v1/streams/{id}/chunks",
+		"/api/v1/streams/{id}/seal",
+		"/api/v1/streams/{id}/alerts",
+		"/api/v1/apps/{app}/experiments",
+		"/api/v1/apps/{app}/experiments/{exp}/trials",
+		"/api/v1/apps/{app}/experiments/{exp}/trials/{trial}",
 	}
-	return r.Method + " " + path
+	out := make([][]string, len(templates))
+	for i, t := range templates {
+		out[i] = strings.Split(t, "/")[1:]
+	}
+	return out
+}()
+
+// routeLabel normalizes a request to a bounded-cardinality route label:
+// method + path, with variable segments folded back to their {placeholder}
+// when the path matches a parameterized route template.
+func routeLabel(r *http.Request) string {
+	return r.Method + " " + normalizePath(r.URL.Path)
+}
+
+func normalizePath(path string) string {
+	if len(path) == 0 || path[0] != '/' {
+		return path
+	}
+	segs := strings.Split(path, "/")[1:]
+templates:
+	for _, tmpl := range parameterizedRoutes {
+		if len(tmpl) != len(segs) {
+			continue
+		}
+		for i, ts := range tmpl {
+			wild := len(ts) > 1 && ts[0] == '{' && ts[len(ts)-1] == '}'
+			if !wild && ts != segs[i] {
+				continue templates
+			}
+			if wild && segs[i] == "" {
+				continue templates // trailing slash is not a resource id
+			}
+		}
+		return "/" + strings.Join(tmpl, "/")
+	}
+	return path
 }
 
 // statusWriter captures the response status and byte count for logging and
@@ -74,6 +118,11 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	w.bytes += int64(n)
 	return n, err
 }
+
+// Unwrap exposes the underlying writer so http.ResponseController can reach
+// Flush/SetWriteDeadline through the instrumentation layer — the SSE alert
+// subscription depends on both.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps the router with tracing, request logging and metrics.
 // Each request runs under a server span; a Traceparent header continues

@@ -1,0 +1,53 @@
+package dmfserver
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+)
+
+// Resource-style v1 routes: the Application → Experiment → Trial hierarchy
+// addressed by path instead of query parameters:
+//
+//	GET    /api/v1/apps
+//	GET    /api/v1/apps/{app}/experiments
+//	GET    /api/v1/apps/{app}/experiments/{exp}/trials
+//	GET    /api/v1/apps/{app}/experiments/{exp}/trials/{trial}
+//	DELETE /api/v1/apps/{app}/experiments/{exp}/trials/{trial}
+//
+// Bodies are byte-identical to the legacy query-param routes (which now
+// answer with Deprecation headers); path segments are percent-escaped by
+// clients and decoded by the router, so names containing '/' round-trip.
+
+// resourceTrialPath renders the canonical resource path for a trial,
+// escaping each segment.
+func resourceTrialPath(app, exp, trial string) string {
+	return "/api/v1/apps/" + url.PathEscape(app) +
+		"/experiments/" + url.PathEscape(exp) +
+		"/trials/" + url.PathEscape(trial)
+}
+
+// deprecateTrialRoute stamps the legacy-route deprecation headers, pointing
+// at the resource-style successor for these exact coordinates.
+func deprecateTrialRoute(w http.ResponseWriter, app, exp, trial string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", resourceTrialPath(app, exp, trial), "successor-version"))
+}
+
+func (s *Server) handleResourceExperiments(w http.ResponseWriter, r *http.Request) {
+	app := r.PathValue("app")
+	writeJSON(w, http.StatusOK, map[string][]string{"experiments": s.repo.Experiments(app)})
+}
+
+func (s *Server) handleResourceTrialList(w http.ResponseWriter, r *http.Request) {
+	app, exp := r.PathValue("app"), r.PathValue("exp")
+	writeJSON(w, http.StatusOK, map[string][]string{"trials": s.repo.Trials(app, exp)})
+}
+
+func (s *Server) handleResourceTrialGet(w http.ResponseWriter, r *http.Request) {
+	s.trialGet(w, r, r.PathValue("app"), r.PathValue("exp"), r.PathValue("trial"))
+}
+
+func (s *Server) handleResourceTrialDelete(w http.ResponseWriter, r *http.Request) {
+	s.trialDelete(w, r, r.PathValue("app"), r.PathValue("exp"), r.PathValue("trial"))
+}

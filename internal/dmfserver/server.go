@@ -137,6 +137,15 @@ type Config struct {
 	// Registry holds the server's metrics (nil: a fresh obs.NewRegistry).
 	// Share one to fold server metrics into an embedding process's surface.
 	Registry *obs.Registry
+	// StreamWindow is the default sliding-window size (in chunks) for
+	// streams whose StreamOpen does not pick one (daemon -stream-window).
+	// 0 means DefaultStreamWindow; negative means cumulative (standing
+	// analysis sees every chunk).
+	StreamWindow int
+	// StandingRules names .prl files (relative to RulesDir) registered as
+	// standing diagnoses on streams that don't pick their own rule sets
+	// (daemon -standing-rules).
+	StandingRules []string
 	// Ring, when non-nil, declares this daemon a member of a static
 	// cluster: the canonical descriptor is served at GET /api/v1/cluster
 	// for cluster-routing clients to cross-check (see
@@ -176,6 +185,15 @@ type Server struct {
 	retried       *obs.Counter
 	idemReplays   *obs.Counter
 	uploadsStored *obs.Counter
+
+	// Streaming ingestion (stream.go).
+	streams       *streamRegistry
+	streamWindow  int
+	standingRules []string
+	streamsOpened *obs.Counter
+	streamsSealed *obs.Counter
+	streamChunks  *obs.Counter
+	streamAlerts  *obs.Counter
 
 	// ring is the canonical cluster descriptor (nil when standalone);
 	// ringBytes is its wire encoding, fixed at startup.
@@ -240,6 +258,13 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	streamWindow := cfg.StreamWindow
+	switch {
+	case streamWindow == 0:
+		streamWindow = DefaultStreamWindow
+	case streamWindow < 0:
+		streamWindow = 0 // explicit request for cumulative analysis
+	}
 	s := &Server{
 		repo:          cfg.Repo,
 		rulesDir:      rulesDir,
@@ -258,6 +283,13 @@ func New(cfg Config) (*Server, error) {
 		retried:       reg.Counter("requests_retried_total"),
 		idemReplays:   reg.Counter("idempotent_replays_total"),
 		uploadsStored: reg.Counter("uploads_stored_total"),
+		streams:       newStreamRegistry(),
+		streamWindow:  streamWindow,
+		standingRules: cfg.StandingRules,
+		streamsOpened: reg.Counter("streams_opened_total"),
+		streamsSealed: reg.Counter("streams_sealed_total"),
+		streamChunks:  reg.Counter("stream_chunks_total"),
+		streamAlerts:  reg.Counter("stream_alerts_total"),
 	}
 	if cfg.Ring != nil {
 		canon := cfg.Ring.Canonical()
@@ -293,6 +325,14 @@ func (s *Server) registerGauges() {
 	s.reg.GaugeFunc("analysis_slots_in_use", func() float64 { return float64(s.limiter.InUse()) })
 	s.reg.GaugeFunc("analysis_slots_waiting", func() float64 { return float64(s.limiter.Waiting()) })
 	s.reg.GaugeFunc("traces_buffered", func() float64 { return float64(s.tracer.Len()) })
+	s.reg.GaugeFunc("streams_active", func() float64 {
+		open, _ := s.streams.active()
+		return float64(open)
+	})
+	s.reg.GaugeFunc("stream_subscribers", func() float64 {
+		_, subs := s.streams.active()
+		return float64(subs)
+	})
 	// Durability health: store_quarantined / store_recovered_tmp /
 	// store_fsync_errors counters and the store_readonly gauge.
 	s.repo.Instrument(s.reg)
@@ -358,12 +398,27 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /api/v1/applications", s.handleApplications)
 	mux.HandleFunc("GET /api/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /api/v1/trials", s.handleTrialList)
-	mux.HandleFunc("GET /api/v1/trial", s.handleTrialGet)
-	mux.HandleFunc("DELETE /api/v1/trial", s.handleTrialDelete)
+	mux.HandleFunc("GET /api/v1/trial", s.handleTrialGetDeprecated)
+	mux.HandleFunc("DELETE /api/v1/trial", s.handleTrialDeleteDeprecated)
 	mux.HandleFunc("POST /api/v1/trials", s.handleUpload)
 	mux.HandleFunc("POST /api/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /api/v1/diagnose", s.handleDiagnose)
 	mux.HandleFunc("GET /api/v1/cluster", s.handleCluster)
+	// Resource-style hierarchy routes (resources.go); the query-param
+	// GET/DELETE /api/v1/trial twins above answer with Deprecation headers.
+	mux.HandleFunc("GET /api/v1/apps", s.handleApplications)
+	mux.HandleFunc("GET /api/v1/apps/{app}/experiments", s.handleResourceExperiments)
+	mux.HandleFunc("GET /api/v1/apps/{app}/experiments/{exp}/trials", s.handleResourceTrialList)
+	mux.HandleFunc("GET /api/v1/apps/{app}/experiments/{exp}/trials/{trial}", s.handleResourceTrialGet)
+	mux.HandleFunc("DELETE /api/v1/apps/{app}/experiments/{exp}/trials/{trial}", s.handleResourceTrialDelete)
+	// Streaming ingestion (stream.go): resource-style only.
+	mux.HandleFunc("POST /api/v1/streams", s.handleStreamOpen)
+	mux.HandleFunc("GET /api/v1/streams", s.handleStreamList)
+	mux.HandleFunc("GET /api/v1/streams/{id}", s.handleStreamGet)
+	mux.HandleFunc("DELETE /api/v1/streams/{id}", s.handleStreamDelete)
+	mux.HandleFunc("POST /api/v1/streams/{id}/chunks", s.handleStreamAppend)
+	mux.HandleFunc("POST /api/v1/streams/{id}/seal", s.handleStreamSeal)
+	mux.HandleFunc("GET /api/v1/streams/{id}/alerts", s.handleStreamAlerts)
 	s.mux = mux
 }
 
@@ -595,12 +650,33 @@ func (s *Server) handleTrialList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"trials": s.repo.Trials(app, exp)})
 }
 
-func (s *Server) handleTrialGet(w http.ResponseWriter, r *http.Request) {
+// handleTrialGetDeprecated serves the legacy query-param trial fetch,
+// flagged with a Deprecation header and a Link at its resource-style
+// successor (same migration pattern as the /metrics alias).
+func (s *Server) handleTrialGetDeprecated(w http.ResponseWriter, r *http.Request) {
 	app, exp, name := coords(r)
 	if app == "" || exp == "" || name == "" {
 		writeError(w, http.StatusBadRequest, errors.New("missing app, experiment or trial parameter"))
 		return
 	}
+	deprecateTrialRoute(w, app, exp, name)
+	s.trialGet(w, r, app, exp, name)
+}
+
+func (s *Server) handleTrialDeleteDeprecated(w http.ResponseWriter, r *http.Request) {
+	app, exp, name := coords(r)
+	if app == "" || exp == "" || name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing app, experiment or trial parameter"))
+		return
+	}
+	deprecateTrialRoute(w, app, exp, name)
+	s.trialDelete(w, r, app, exp, name)
+}
+
+// trialGet and trialDelete are the shared implementations behind the
+// legacy query-param routes and the resource-style routes, so both styles
+// answer byte-identically (the golden tests pin that).
+func (s *Server) trialGet(w http.ResponseWriter, r *http.Request, app, exp, name string) {
 	t, err := s.repo.GetTrialContext(r.Context(), app, exp, name)
 	if err != nil {
 		writeServiceError(w, err)
@@ -609,12 +685,7 @@ func (s *Server) handleTrialGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, t)
 }
 
-func (s *Server) handleTrialDelete(w http.ResponseWriter, r *http.Request) {
-	app, exp, name := coords(r)
-	if app == "" || exp == "" || name == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing app, experiment or trial parameter"))
-		return
-	}
+func (s *Server) trialDelete(w http.ResponseWriter, r *http.Request, app, exp, name string) {
 	if err := s.repo.DeleteContext(r.Context(), app, exp, name); err != nil {
 		writeServiceError(w, err)
 		return

@@ -350,16 +350,25 @@ func TestHealthAndMetrics(t *testing.T) {
 	if got := snap.Gauges["analysis_slots_cap"]; got != 3 {
 		t.Fatalf("analysis_slots_cap = %v", got)
 	}
-	key := obs.Key("http_requests_total", "route", "GET /api/v1/trial")
+	// The client fetched via the resource route; its variable segments must
+	// fold back to the {placeholder} template — per-trial names must never
+	// become metric labels.
+	const trialRoute = "GET /api/v1/apps/{app}/experiments/{exp}/trials/{trial}"
+	key := obs.Key("http_requests_total", "route", trialRoute)
 	if got := snap.Counters[key]; got != 1 {
 		t.Fatalf("%s = %d (counters %+v)", key, got, snap.Counters)
 	}
-	if got := snap.Counters[obs.Key("http_request_errors_total", "route", "GET /api/v1/trial")]; got != 0 {
+	if got := snap.Counters[obs.Key("http_request_errors_total", "route", trialRoute)]; got != 0 {
 		t.Fatalf("trial route errors = %d", got)
 	}
-	h, ok := snap.Histograms[obs.Key("http_request_duration_ms", "route", "GET /api/v1/trial")]
+	h, ok := snap.Histograms[obs.Key("http_request_duration_ms", "route", trialRoute)]
 	if !ok || h.Count != 1 || h.Max < 0 {
 		t.Fatalf("trial route duration histogram = %+v", h)
+	}
+	for k := range snap.Counters {
+		if strings.Contains(k, "/apps/a/") || strings.Contains(k, "/trials/t") {
+			t.Fatalf("raw resource id leaked into a metric label: %s", k)
+		}
 	}
 }
 

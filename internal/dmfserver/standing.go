@@ -1,0 +1,196 @@
+package dmfserver
+
+import (
+	"context"
+	"strings"
+
+	"perfknow/internal/perfdmf"
+	"perfknow/internal/rules"
+)
+
+// StandingDiagnosis is the incremental twin of the batch load-balance
+// diagnosis (core.Session.AssertLoadBalanceFacts): a long-lived rule engine
+// whose working memory mirrors a sliding window of streamed chunks. Each
+// Append updates the window in O(chunk delta), re-derives facts only for
+// the events the delta touched (retract old, assert new — which is what
+// keeps the Rete network's work proportional to the change), and fires
+// whatever standing rules newly activate.
+//
+// Fact semantics over a window:
+//
+//   - Imbalance{eventName, ratio, severity, mean, stddev}: per flat event,
+//     from the windowed per-thread exclusive values of the diagnosis
+//     metric. severity is the event's share of the windowed grand total
+//     (batch diagnosis divides by the main event's mean inclusive instead;
+//     a window has no main event, so the grand total stands in).
+//   - Nesting{outer, inner}: asserted once per (outer, inner) pair
+//     discovered from callpath event names ("outer => inner" chains,
+//     including transitive pairs), as soon as both flat events exist.
+//   - Correlation{innerEvent, outerEvent, value}: per nested pair,
+//     refreshed whenever either side's windowed values change.
+//
+// Facts for untouched events are deliberately left stale (their severity
+// denominators drift as the total moves) — recomputing them would make
+// append cost O(window), defeating the point. docs/STREAMING.md spells out
+// the resulting delivery guarantees.
+//
+// StandingDiagnosis is not self-synchronizing: the caller (the stream
+// registry, or a benchmark) serializes Append calls per instance.
+type StandingDiagnosis struct {
+	window   *perfdmf.ColumnWindow
+	standing *rules.Standing
+
+	imbalance   map[int]*rules.Fact // flat row → live Imbalance fact
+	pairs       map[evPair]*rules.Fact
+	pairsByRow  map[int][]evPair
+	seenPairs   map[string]bool // "outer\x00inner" discovered via a callpath
+	pendingWork []namePair      // discovered pairs waiting for both rows to exist
+}
+
+type evPair struct{ outer, inner int }
+
+type namePair struct{ outer, inner string }
+
+// NewStandingDiagnosis builds a standing diagnosis over threads-wide rows
+// with a window of windowChunks chunks (0 = cumulative), loading each rule
+// source (PerfExplorer .prl text) into a fresh engine.
+func NewStandingDiagnosis(threads, windowChunks int, ruleSources ...string) (*StandingDiagnosis, error) {
+	eng := rules.NewEngine()
+	for _, src := range ruleSources {
+		if err := eng.LoadString(src); err != nil {
+			return nil, err
+		}
+	}
+	return &StandingDiagnosis{
+		window:     perfdmf.NewColumnWindow(threads, windowChunks),
+		standing:   rules.NewStanding(eng),
+		imbalance:  make(map[int]*rules.Fact),
+		pairs:      make(map[evPair]*rules.Fact),
+		pairsByRow: make(map[int][]evPair),
+		seenPairs:  make(map[string]bool),
+	}, nil
+}
+
+// Window exposes the sliding window (read-only use).
+func (d *StandingDiagnosis) Window() *perfdmf.ColumnWindow { return d.window }
+
+// Rules returns the loaded rule names.
+func (d *StandingDiagnosis) Rules() []string { return d.standing.Engine().Rules() }
+
+// Append applies one chunk's samples and returns the standing-rule firings
+// the delta produced. Samples with callpath names ("a => b") feed nesting
+// discovery; flat samples feed the window.
+func (d *StandingDiagnosis) Append(ctx context.Context, samples []perfdmf.WindowSample) ([]rules.Firing, error) {
+	flat := samples[:0:0]
+	for _, s := range samples {
+		if strings.Contains(s.Event, perfdmf.CallpathSeparator) {
+			d.discoverPairs(s.Event)
+			continue
+		}
+		flat = append(flat, s)
+	}
+	touched := d.window.Append(flat)
+
+	// Register discovered pairs whose rows both exist now.
+	if len(d.pendingWork) > 0 {
+		still := d.pendingWork[:0]
+		for _, p := range d.pendingWork {
+			if !d.registerPair(p) {
+				still = append(still, p)
+			}
+		}
+		d.pendingWork = still
+	}
+
+	eng := d.standing.Engine()
+	dirty := make(map[evPair]bool)
+	for _, row := range touched {
+		vals := d.window.Values(row)
+		mean := perfdmf.Mean(vals)
+		if old := d.imbalance[row]; old != nil {
+			eng.Retract(old)
+			delete(d.imbalance, row)
+		}
+		if mean != 0 {
+			stddev := perfdmf.StdDev(vals)
+			severity := 0.0
+			if total := d.window.Total(); total > 0 {
+				severity = mean * float64(d.window.Threads()) / total
+			}
+			d.imbalance[row] = eng.Assert(rules.NewFact("Imbalance", map[string]any{
+				"eventName": d.window.EventName(row),
+				"ratio":     stddev / mean,
+				"severity":  severity,
+				"mean":      mean,
+				"stddev":    stddev,
+			}))
+		}
+		for _, p := range d.pairsByRow[row] {
+			dirty[p] = true
+		}
+	}
+
+	for p := range dirty {
+		d.refreshCorrelation(p)
+	}
+	return d.standing.Step(ctx)
+}
+
+// discoverPairs records every (outer, inner) ordering along one callpath
+// chain — transitive pairs included, matching analysis.IsNested.
+func (d *StandingDiagnosis) discoverPairs(callpath string) {
+	segs := strings.Split(callpath, perfdmf.CallpathSeparator)
+	for i := 0; i < len(segs); i++ {
+		for j := i + 1; j < len(segs); j++ {
+			if segs[i] == segs[j] {
+				continue
+			}
+			key := segs[i] + "\x00" + segs[j]
+			if d.seenPairs[key] {
+				continue
+			}
+			d.seenPairs[key] = true
+			p := namePair{outer: segs[i], inner: segs[j]}
+			if !d.registerPair(p) {
+				d.pendingWork = append(d.pendingWork, p)
+			}
+		}
+	}
+}
+
+// registerPair asserts the Nesting fact and indexes the pair once both
+// flat events have window rows. Returns false if either row is missing.
+func (d *StandingDiagnosis) registerPair(p namePair) bool {
+	outer, ok := d.window.EventIndex(p.outer)
+	if !ok {
+		return false
+	}
+	inner, ok := d.window.EventIndex(p.inner)
+	if !ok {
+		return false
+	}
+	eng := d.standing.Engine()
+	eng.Assert(rules.NewFact("Nesting", map[string]any{
+		"outer": p.outer,
+		"inner": p.inner,
+	}))
+	pair := evPair{outer: outer, inner: inner}
+	d.pairsByRow[outer] = append(d.pairsByRow[outer], pair)
+	d.pairsByRow[inner] = append(d.pairsByRow[inner], pair)
+	d.refreshCorrelation(pair)
+	return true
+}
+
+// refreshCorrelation replaces the pair's Correlation fact with one computed
+// from the current windowed values.
+func (d *StandingDiagnosis) refreshCorrelation(p evPair) {
+	eng := d.standing.Engine()
+	if old := d.pairs[p]; old != nil {
+		eng.Retract(old)
+	}
+	d.pairs[p] = eng.Assert(rules.NewFact("Correlation", map[string]any{
+		"innerEvent": d.window.EventName(p.inner),
+		"outerEvent": d.window.EventName(p.outer),
+		"value":      perfdmf.Correlation(d.window.Values(p.inner), d.window.Values(p.outer)),
+	}))
+}

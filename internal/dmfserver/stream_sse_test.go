@@ -1,0 +1,338 @@
+package dmfserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perfknow/internal/dmfclient"
+	"perfknow/internal/dmfwire"
+	"perfknow/internal/faults"
+	"perfknow/internal/perfdmf"
+)
+
+// collectAlerts drains a subscription until its channel closes, failing the
+// test if that takes longer than the deadline.
+func collectAlerts(t *testing.T, sub *dmfclient.AlertSubscription) []dmfwire.StreamAlert {
+	t.Helper()
+	var got []dmfwire.StreamAlert
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case alert, ok := <-sub.Alerts():
+			if !ok {
+				return got
+			}
+			got = append(got, alert)
+		case <-timeout:
+			t.Fatalf("subscription did not finish (have %d alerts)", len(got))
+		}
+	}
+}
+
+// assertDense checks the exactly-once guarantee: ids from..to, in order,
+// no duplicates, no gaps.
+func assertDense(t *testing.T, alerts []dmfwire.StreamAlert, from, to int64) {
+	t.Helper()
+	want := to - from + 1
+	if int64(len(alerts)) != want {
+		t.Fatalf("got %d alerts, want ids %d..%d (%+v)", len(alerts), from, to, alerts)
+	}
+	for i, a := range alerts {
+		if a.ID != from+int64(i) {
+			t.Fatalf("alert[%d].ID = %d, want %d (%+v)", i, a.ID, from+int64(i), alerts)
+		}
+	}
+}
+
+// TestStreamAlertsLiveDelivery: a subscriber attached to an open stream
+// receives each standing-rule firing as it happens and a terminal sealed
+// event when the stream closes.
+func TestStreamAlertsLiveDelivery(t *testing.T) {
+	_, c := newService(t, Config{})
+	ctx := context.Background()
+	info := openImbalanceStream(t, c, "t1")
+
+	sub, err := c.SubscribeAlerts(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	if _, err := c.Append(ctx, info.ID, 1, imbalanceChunk()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(ctx, info.ID, 2, imbalanceChunk()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Seal(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	alerts := collectAlerts(t, sub)
+	assertDense(t, alerts, 1, 2)
+	if alerts[0].Rule != "Load Imbalance" || alerts[0].Seq != 1 {
+		t.Fatalf("alert[0] = %+v", alerts[0])
+	}
+	if len(alerts[0].Output) == 0 || !strings.Contains(alerts[0].Output[0], "inner_loop") {
+		t.Fatalf("alert output = %q", alerts[0].Output)
+	}
+	if err := sub.Err(); err != nil {
+		t.Fatalf("subscription error: %v", err)
+	}
+	final := sub.Final()
+	if final == nil || final.State != "sealed" || final.Alerts != 2 {
+		t.Fatalf("final = %+v", final)
+	}
+	if sub.LastEventID() != 2 {
+		t.Fatalf("last event id = %d", sub.LastEventID())
+	}
+}
+
+// TestStreamAlertsReplayAfterSeal: sealed streams are retained, so a late
+// subscriber still gets the full alert history and the sealed event.
+func TestStreamAlertsReplayAfterSeal(t *testing.T) {
+	_, c := newService(t, Config{})
+	ctx := context.Background()
+	info := openImbalanceStream(t, c, "t1")
+	if _, err := c.Append(ctx, info.ID, 1, imbalanceChunk()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Seal(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := c.SubscribeAlerts(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	assertDense(t, collectAlerts(t, sub), 1, 1)
+	if sub.Err() != nil || sub.Final() == nil {
+		t.Fatalf("late replay: err=%v final=%+v", sub.Err(), sub.Final())
+	}
+}
+
+// TestStreamAlertsResumeFromLastEventID: a subscriber resuming with
+// WithLastEventID sees only the alerts after its resume point.
+func TestStreamAlertsResumeFromLastEventID(t *testing.T) {
+	_, c := newService(t, Config{})
+	ctx := context.Background()
+	info := openImbalanceStream(t, c, "t1")
+	for seq := int64(1); seq <= 3; seq++ {
+		if _, err := c.Append(ctx, info.ID, seq, imbalanceChunk()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Seal(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := c.SubscribeAlerts(ctx, info.ID, dmfclient.WithLastEventID(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	assertDense(t, collectAlerts(t, sub), 2, 3)
+}
+
+// TestStreamAlertsSurviveCutSubscription is the resilience acceptance test:
+// a fault schedule cuts the SSE connection mid-event; the client must
+// reconnect with Last-Event-ID and the subscriber must see every alert
+// exactly once — no duplicates from the replay, no drops from the cut.
+func TestStreamAlertsSurviveCutSubscription(t *testing.T) {
+	var cuts atomic.Int64
+	inj := &funcInjector{decide: func(method, path string, attempt int) faults.Decision {
+		// Cut the first subscription connection a few bytes into the first
+		// alert frame. The reconnect (attempt 1) is left alone.
+		if method == http.MethodGet && strings.HasSuffix(path, "/alerts") && attempt == 0 {
+			cuts.Add(1)
+			return faults.Decision{Kind: faults.Truncate, TruncateAfter: 9}
+		}
+		return faults.Decision{}
+	}}
+	_, c := newService(t, Config{FaultInjector: inj},
+		dmfclient.WithRetryPolicy(dmfclient.RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond}))
+	ctx := context.Background()
+	info := openImbalanceStream(t, c, "t1")
+
+	// Alert 1 exists before the subscription, so the cut lands mid-frame.
+	if _, err := c.Append(ctx, info.ID, 1, imbalanceChunk()); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := c.SubscribeAlerts(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// More alerts arrive while the subscriber reconnects.
+	if _, err := c.Append(ctx, info.ID, 2, imbalanceChunk()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Seal(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	alerts := collectAlerts(t, sub)
+	if cuts.Load() == 0 {
+		t.Fatal("fault never fired; test is vacuous")
+	}
+	assertDense(t, alerts, 1, 2)
+	if err := sub.Err(); err != nil {
+		t.Fatalf("subscription error after reconnect: %v", err)
+	}
+	if final := sub.Final(); final == nil || final.State != "sealed" {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+// TestStreamAlertsResumeDedupes: when the cut lands AFTER a delivered
+// alert, the reconnect replays from Last-Event-ID and the overlap must be
+// suppressed client-side.
+func TestStreamAlertsResumeDedupes(t *testing.T) {
+	var cuts atomic.Int64
+	inj := &funcInjector{decide: func(method, path string, attempt int) faults.Decision {
+		if method == http.MethodGet && strings.HasSuffix(path, "/alerts") && attempt == 0 {
+			cuts.Add(1)
+			// Generously past the first frame: alert 1 is delivered whole,
+			// then the connection dies.
+			return faults.Decision{Kind: faults.Truncate, TruncateAfter: 600}
+		}
+		return faults.Decision{}
+	}}
+	_, c := newService(t, Config{FaultInjector: inj},
+		dmfclient.WithRetryPolicy(dmfclient.RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond}))
+	ctx := context.Background()
+	info := openImbalanceStream(t, c, "t1")
+	for seq := int64(1); seq <= 3; seq++ {
+		if _, err := c.Append(ctx, info.ID, seq, imbalanceChunk()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub, err := c.SubscribeAlerts(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if _, err := c.Seal(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	alerts := collectAlerts(t, sub)
+	if cuts.Load() == 0 {
+		t.Fatal("fault never fired; test is vacuous")
+	}
+	assertDense(t, alerts, 1, 3)
+}
+
+// TestStreamAlertsAbortSurfacesNotFound: aborting a watched stream removes
+// it; the subscriber's reconnect finds nothing and reports it.
+func TestStreamAlertsAbortSurfacesNotFound(t *testing.T) {
+	_, c := newService(t, Config{},
+		dmfclient.WithRetryPolicy(dmfclient.RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond}))
+	ctx := context.Background()
+	info := openImbalanceStream(t, c, "t1")
+
+	sub, err := c.SubscribeAlerts(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	// Let the subscription attach before pulling the stream out from under
+	// it, so the abort exercises the live-subscriber path.
+	waitForSubscribers(t, c, 1)
+	if err := c.AbortStream(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	collectAlerts(t, sub)
+	if err := sub.Err(); !errors.Is(err, perfdmf.ErrNotFound) {
+		t.Fatalf("aborted stream subscription err = %v, want ErrNotFound", err)
+	}
+	if sub.Final() != nil {
+		t.Fatalf("aborted stream has a final info: %+v", sub.Final())
+	}
+}
+
+// waitForSubscribers polls the stream_subscribers gauge.
+func waitForSubscribers(t *testing.T, c *dmfclient.Client, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, err := c.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Gauges["stream_subscribers"] == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream_subscribers = %v, want %v", snap.Gauges["stream_subscribers"], want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStreamAlertsCurlStyle exercises the raw SSE wire format and the
+// ?last_event_id query fallback the way a curl user would, without the
+// typed client.
+func TestStreamAlertsCurlStyle(t *testing.T) {
+	repo, err := perfdmf.OpenRepository(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Repo: repo, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c, err := dmfclient.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	info := openImbalanceStream(t, c, "t1")
+	for seq := int64(1); seq <= 2; seq++ {
+		if _, err := c.Append(ctx, info.ID, seq, imbalanceChunk()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Seal(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/streams/%s/alerts?last_event_id=1", ts.URL, info.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, dmfwire.SSEContentType) {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if strings.Contains(text, "id: 1\n") {
+		t.Fatalf("alert 1 replayed despite last_event_id=1:\n%s", text)
+	}
+	if !strings.Contains(text, "id: 2\nevent: alert\n") {
+		t.Fatalf("alert 2 missing:\n%s", text)
+	}
+	if !strings.Contains(text, "event: sealed\n") {
+		t.Fatalf("terminal sealed event missing:\n%s", text)
+	}
+}

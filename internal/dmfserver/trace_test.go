@@ -76,9 +76,10 @@ func TestTracePropagationThroughRetry(t *testing.T) {
 	// can be replayed transparently inside net/http's transport, which
 	// would hide the retry from the client's retry loop — and from the
 	// trace. A 503 must be retried by the client itself.
+	const trialPath = "/api/v1/apps/app/experiments/exp/trials/t1"
 	faulted := false
 	inj := &funcInjector{decide: func(method, path string, attempt int) faults.Decision {
-		if method == "GET" && path == "/api/v1/trial" && !faulted {
+		if method == "GET" && path == trialPath && !faulted {
 			faulted = true
 			return faults.Decision{Kind: faults.ServerError, Status: http.StatusServiceUnavailable}
 		}
@@ -105,11 +106,11 @@ func TestTracePropagationThroughRetry(t *testing.T) {
 		t.Fatalf("client trace %s not finalized", id)
 	}
 
-	// Two GET /api/v1/trial attempts — the truncated one and the retry —
-	// both children of the root, i.e. siblings of each other.
+	// Two trial-GET attempts — the faulted one and the retry — both
+	// children of the root, i.e. siblings of each other.
 	var attempts []obs.SpanData
 	for _, sp := range local.Spans {
-		if sp.Name == "dmfclient GET /api/v1/trial" {
+		if sp.Name == "dmfclient GET "+trialPath {
 			attempts = append(attempts, sp)
 		}
 	}
@@ -131,7 +132,7 @@ func TestTracePropagationThroughRetry(t *testing.T) {
 	attemptIDs := map[string]bool{attempts[0].SpanID: true, attempts[1].SpanID: true}
 	handlers := 0
 	for _, sp := range remote.Spans {
-		if sp.Name != "dmfserver GET /api/v1/trial" {
+		if sp.Name != "dmfserver GET /api/v1/apps/{app}/experiments/{exp}/trials/{trial}" {
 			continue
 		}
 		handlers++

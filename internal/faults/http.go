@@ -68,6 +68,12 @@ func (w *truncatingWriter) Write(p []byte) (int, error) {
 	panic(http.ErrAbortHandler)
 }
 
+// Unwrap lets http.ResponseController reach Flush/deadline controls
+// beneath the fault layer, so streaming (SSE) handlers work under
+// injected truncation — the abort then lands mid-event, exactly the
+// partial delivery a resuming subscriber must survive.
+func (w *truncatingWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // slowWriter dribbles the response body out in small delayed chunks,
 // modeling a slow or congested link. Delays stop once the request context
 // is done so a cancelled client does not pin the handler.
@@ -77,6 +83,9 @@ type slowWriter struct {
 	delay time.Duration
 	req   *http.Request
 }
+
+// Unwrap mirrors truncatingWriter.Unwrap for http.ResponseController.
+func (w *slowWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func (w *slowWriter) Write(p []byte) (int, error) {
 	total := 0

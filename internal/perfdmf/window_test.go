@@ -1,0 +1,123 @@
+package perfdmf
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestColumnWindowSlides(t *testing.T) {
+	w := NewColumnWindow(2, 2)
+
+	touched := w.Append([]WindowSample{{Event: "a", Values: []float64{1, 2}}})
+	if !reflect.DeepEqual(touched, []int{0}) {
+		t.Fatalf("touched = %v, want [0]", touched)
+	}
+	w.Append([]WindowSample{{Event: "b", Values: []float64{10, 20}}})
+
+	// Window is full (capacity 2): the next append evicts chunk 1, so
+	// event a's row decays back to zero and both rows report as touched.
+	touched = w.Append([]WindowSample{{Event: "b", Values: []float64{1, 1}}})
+	if !reflect.DeepEqual(touched, []int{0, 1}) {
+		t.Fatalf("touched = %v, want [0 1] (evicted a, appended b)", touched)
+	}
+	if got := w.Values(0); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("evicted row a = %v, want zeros", got)
+	}
+	if got := w.Values(1); got[0] != 11 || got[1] != 21 {
+		t.Fatalf("row b = %v, want [11 21]", got)
+	}
+	if w.Total() != 32 {
+		t.Fatalf("total = %v, want 32", w.Total())
+	}
+	// Events are never removed, only decayed.
+	if w.Events() != 2 || w.EventName(0) != "a" {
+		t.Fatalf("events = %d (%q)", w.Events(), w.EventName(0))
+	}
+}
+
+func TestColumnWindowCumulative(t *testing.T) {
+	w := NewColumnWindow(1, 0) // capacity 0: never evicts
+	for i := 0; i < 100; i++ {
+		w.Append([]WindowSample{{Event: "e", Values: []float64{1}}})
+	}
+	if got := w.Values(0)[0]; got != 100 {
+		t.Fatalf("cumulative sum = %v, want 100", got)
+	}
+	if w.Total() != 100 {
+		t.Fatalf("total = %v, want 100", w.Total())
+	}
+}
+
+// TestColumnWindowMatchesRescan cross-checks the incremental windowed sums
+// against a brute-force recomputation over the retained chunks.
+func TestColumnWindowMatchesRescan(t *testing.T) {
+	const (
+		threads  = 4
+		capacity = 8
+		chunks   = 50
+	)
+	w := NewColumnWindow(threads, capacity)
+	events := []string{"alpha", "beta", "gamma"}
+	var history [][]WindowSample
+
+	// Deterministic pseudo-random chunk stream.
+	seed := uint64(42)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>40) / float64(1<<24)
+	}
+	for i := 0; i < chunks; i++ {
+		var chunk []WindowSample
+		for _, ev := range events {
+			if next() < 0.4 {
+				continue // sparse: not every event in every chunk
+			}
+			vals := make([]float64, threads)
+			for t := range vals {
+				vals[t] = next() * 100
+			}
+			chunk = append(chunk, WindowSample{Event: ev, Values: vals})
+		}
+		history = append(history, chunk)
+		w.Append(chunk)
+
+		want := make(map[string][]float64)
+		lo := len(history) - capacity
+		if lo < 0 {
+			lo = 0
+		}
+		for _, c := range history[lo:] {
+			for _, s := range c {
+				row := want[s.Event]
+				if row == nil {
+					row = make([]float64, threads)
+					want[s.Event] = row
+				}
+				for t, v := range s.Values {
+					row[t] += v
+				}
+			}
+		}
+		for name, wantRow := range want {
+			idx, ok := w.EventIndex(name)
+			if !ok {
+				t.Fatalf("chunk %d: event %q missing", i, name)
+			}
+			got := w.Values(idx)
+			for th := range wantRow {
+				if math.Abs(got[th]-wantRow[th]) > 1e-6 {
+					t.Fatalf("chunk %d: %s[%d] = %v, want %v", i, name, th, got[th], wantRow[th])
+				}
+			}
+		}
+	}
+}
+
+func TestColumnWindowIgnoresWrongShape(t *testing.T) {
+	w := NewColumnWindow(2, 4)
+	touched := w.Append([]WindowSample{{Event: "bad", Values: []float64{1}}})
+	if len(touched) != 0 || w.Events() != 0 {
+		t.Fatalf("wrong-shaped sample must be ignored, touched=%v events=%d", touched, w.Events())
+	}
+}

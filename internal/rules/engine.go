@@ -24,8 +24,14 @@ type Engine struct {
 	// match-resolve-act loop itself runs on one goroutine; matchAll takes a
 	// snapshot of the facts under the lock and matches lock-free, so rule
 	// actions (which Assert/Retract through the same lock) never deadlock.
+	// facts is the working memory in arbitrary storage order: Retract
+	// swap-removes through factPos so retraction is O(1) regardless of
+	// memory size (standing diagnoses retract and re-assert facts on every
+	// streamed chunk). Assertion order is recovered by sorting on the
+	// monotonic fact IDs wherever order is observable (orderedFactsLocked).
 	mu              sync.Mutex
 	facts           []*Fact
+	factPos         map[*Fact]int
 	nextID          int64
 	output          []string
 	recommendations []Recommendation
@@ -53,7 +59,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{fired: make(map[string]bool), MaxCycles: 1000}
+	return &Engine{fired: make(map[string]bool), factPos: make(map[*Fact]int), MaxCycles: 1000}
 }
 
 // AddRule appends a rule to the rule base.
@@ -78,6 +84,7 @@ func (e *Engine) Assert(f *Fact) *Fact {
 	defer e.mu.Unlock()
 	e.nextID++
 	f.id = e.nextID
+	e.factPos[f] = len(e.facts)
 	e.facts = append(e.facts, f)
 	if e.net != nil {
 		e.net.assert(f)
@@ -89,30 +96,43 @@ func (e *Engine) Assert(f *Fact) *Fact {
 func (e *Engine) Retract(f *Fact) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for i, x := range e.facts {
-		if x == f {
-			e.facts = append(e.facts[:i], e.facts[i+1:]...)
-			if e.net != nil {
-				e.net.retract(f)
-			}
-			return
-		}
+	i, ok := e.factPos[f]
+	if !ok {
+		return
+	}
+	if last := len(e.facts) - 1; i != last {
+		e.facts[i] = e.facts[last]
+		e.factPos[e.facts[i]] = i
+	}
+	e.facts = e.facts[:len(e.facts)-1]
+	delete(e.factPos, f)
+	if e.net != nil {
+		e.net.retract(f)
 	}
 }
 
-// Facts returns the current working memory (live slice copy).
+// orderedFactsLocked snapshots working memory in assertion order (fact IDs
+// are issued monotonically under the lock). Callers must hold e.mu.
+func (e *Engine) orderedFactsLocked() []*Fact {
+	out := append([]*Fact(nil), e.facts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Facts returns the current working memory in assertion order.
 func (e *Engine) Facts() []*Fact {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return append([]*Fact(nil), e.facts...)
+	return e.orderedFactsLocked()
 }
 
-// FactsOfType returns the working-memory facts of one type.
+// FactsOfType returns the working-memory facts of one type, in assertion
+// order.
 func (e *Engine) FactsOfType(t string) []*Fact {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var out []*Fact
-	for _, f := range e.facts {
+	for _, f := range e.orderedFactsLocked() {
 		if f.Type == t {
 			out = append(out, f)
 		}
@@ -186,30 +206,8 @@ func (e *Engine) run(ctx context.Context) (*Result, error) {
 		if next == nil {
 			break
 		}
-		e.fired[next.key] = true
-		e.firedLog = append(e.firedLog, next.rule.Name)
-		_, fireSpan := obs.StartSpan(ctx, "rules.fire", "rule", next.rule.Name)
-		// Clone the bindings so a consequence mutating its Context cannot
-		// taint an agenda entry that outlives the firing (the naive matcher
-		// rebuilt envs every cycle, which hid mutations the same way).
-		rctx := &Context{Engine: e, Rule: next.rule, Bindings: next.bindings.clone()}
-		var fireErr error
-		if next.rule.Action != nil {
-			if err := next.rule.Action(rctx); err != nil {
-				fireErr = fmt.Errorf("rules: rule %q action: %w", next.rule.Name, err)
-			}
-		} else {
-			for _, c := range next.rule.Consequences {
-				if err := c.Execute(rctx); err != nil {
-					fireErr = fmt.Errorf("rules: rule %q consequence: %w", next.rule.Name, err)
-					break
-				}
-			}
-		}
-		fireSpan.SetError(fireErr)
-		fireSpan.End()
-		if fireErr != nil {
-			return nil, fireErr
+		if err := e.fireOne(ctx, next); err != nil {
+			return nil, err
 		}
 	}
 	e.mu.Lock()
@@ -220,6 +218,36 @@ func (e *Engine) run(ctx context.Context) (*Result, error) {
 	}
 	e.mu.Unlock()
 	return res, nil
+}
+
+// fireOne marks one activation fired and executes its action or
+// consequences under a `rules.fire` span. It is the single act step shared
+// by Run's match-resolve-act loop and by Standing.Step, so a standing
+// firing is byte-identical to the same firing in a batch run.
+func (e *Engine) fireOne(ctx context.Context, next *activation) error {
+	e.fired[next.key] = true
+	e.firedLog = append(e.firedLog, next.rule.Name)
+	_, fireSpan := obs.StartSpan(ctx, "rules.fire", "rule", next.rule.Name)
+	// Clone the bindings so a consequence mutating its Context cannot
+	// taint an agenda entry that outlives the firing (the naive matcher
+	// rebuilt envs every cycle, which hid mutations the same way).
+	rctx := &Context{Engine: e, Rule: next.rule, Bindings: next.bindings.clone()}
+	var fireErr error
+	if next.rule.Action != nil {
+		if err := next.rule.Action(rctx); err != nil {
+			fireErr = fmt.Errorf("rules: rule %q action: %w", next.rule.Name, err)
+		}
+	} else {
+		for _, c := range next.rule.Consequences {
+			if err := c.Execute(rctx); err != nil {
+				fireErr = fmt.Errorf("rules: rule %q consequence: %w", next.rule.Name, err)
+				break
+			}
+		}
+	}
+	fireSpan.SetError(fireErr)
+	fireSpan.End()
+	return fireErr
 }
 
 // selectActivation returns the highest-priority unfired activation, or nil
@@ -276,7 +304,7 @@ func (e *Engine) ensureNetLocked() {
 		return
 	}
 	e.net = buildNet(e.rules)
-	for _, f := range e.facts {
+	for _, f := range e.orderedFactsLocked() {
 		e.net.assert(f)
 	}
 }
@@ -296,7 +324,7 @@ func better(a, b *activation) bool {
 // the pattern walk itself runs lock-free.
 func (e *Engine) matchAll() ([]activation, error) {
 	e.mu.Lock()
-	facts := append([]*Fact(nil), e.facts...)
+	facts := e.orderedFactsLocked()
 	e.mu.Unlock()
 	var acts []activation
 	for ri, r := range e.rules {
@@ -369,6 +397,7 @@ func (e *Engine) Reset() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.facts = nil
+	e.factPos = make(map[*Fact]int)
 	e.output = nil
 	e.recommendations = nil
 	e.fired = make(map[string]bool)

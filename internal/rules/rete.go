@@ -46,6 +46,7 @@ type reteNet struct {
 	nodes     []*rnode
 	typeIndex map[string][]patRef
 	alpha     map[string][]*Fact
+	alphaPos  map[*Fact]int // fact's index within alpha[f.Type]
 	agenda    map[string]*activation
 	factToks  map[*Fact][]*rtoken
 	epoch     int
@@ -68,6 +69,14 @@ type rnode struct {
 }
 
 // rtoken is a partial match of patterns 0..level (level -1 for the root).
+//
+// memIdx and childIdx record the token's position in node.mems[level] and
+// parent.children so detaching is an O(1) swap-remove instead of a linear
+// scan — retraction cost then tracks the delta, not the memory size. Those
+// lists are therefore NOT in insertion order; nothing downstream depends on
+// it (the agenda is a map resolved by better(), bindings are per-tuple, and
+// a deferred match error only flips the engine to the naive matcher, which
+// rediscovers the error in its own deterministic order).
 type rtoken struct {
 	node       *rnode
 	parent     *rtoken
@@ -76,6 +85,8 @@ type rtoken struct {
 	ids        []int64
 	level      int
 	birth      int
+	memIdx     int // index in node.mems[level]; -1 when detached or root
+	childIdx   int // index in parent.children; -1 for root and pass-throughs
 	negMatches int // matches of the NEXT pattern when it is Negated/Exists
 	passChild  *rtoken
 	children   []*rtoken
@@ -88,6 +99,7 @@ func buildNet(rules []*Rule) *reteNet {
 		ruleCount: len(rules),
 		typeIndex: make(map[string][]patRef),
 		alpha:     make(map[string][]*Fact),
+		alphaPos:  make(map[*Fact]int),
 		agenda:    make(map[string]*activation),
 		factToks:  make(map[*Fact][]*rtoken),
 	}
@@ -97,7 +109,7 @@ func buildNet(rules []*Rule) *reteNet {
 			order: ri,
 			mems:  make([][]*rtoken, len(r.Patterns)),
 		}
-		node.root = &rtoken{node: node, env: Bindings{}, level: -1}
+		node.root = &rtoken{node: node, env: Bindings{}, level: -1, memIdx: -1, childIdx: -1}
 		for j := range r.Patterns {
 			n.typeIndex[r.Patterns[j].Type] = append(n.typeIndex[r.Patterns[j].Type], patRef{node: node, j: j})
 		}
@@ -124,6 +136,7 @@ func (n *reteNet) parents(node *rnode, j int) []*rtoken {
 // type: positive patterns join it against existing parent tokens, and
 // Negated/Exists patterns bump the counters of parent tokens it satisfies.
 func (n *reteNet) assert(f *Fact) {
+	n.alphaPos[f] = len(n.alpha[f.Type])
 	n.alpha[f.Type] = append(n.alpha[f.Type], f)
 	n.epoch++
 	for _, pr := range n.typeIndex[f.Type] {
@@ -170,25 +183,24 @@ func (n *reteNet) assert(f *Fact) {
 // and Negated/Exists counters it contributed to are decremented, toggling
 // pass-through children on the 1->0 transitions.
 func (n *reteNet) retract(f *Fact) {
-	list := n.alpha[f.Type]
-	found := false
-	for i, x := range list {
-		if x == f {
-			n.alpha[f.Type] = append(list[:i], list[i+1:]...)
-			found = true
-			break
-		}
-	}
+	i, found := n.alphaPos[f]
 	if !found {
 		return // never asserted (or already retracted): nothing to undo
 	}
+	list := n.alpha[f.Type]
+	if last := len(list) - 1; i != last {
+		list[i] = list[last]
+		n.alphaPos[list[i]] = i
+	}
+	n.alpha[f.Type] = list[:len(list)-1]
+	delete(n.alphaPos, f)
 	// Snapshot and drop the anchor list first: kill() edits factToks
 	// entries, and mutating the slice mid-range would skip tokens.
 	toks := n.factToks[f]
 	delete(n.factToks, f)
 	for _, t := range toks {
 		if !t.dead {
-			removeTok(&t.parent.children, t)
+			childDetach(t)
 			n.kill(t)
 		}
 	}
@@ -229,13 +241,15 @@ func (n *reteNet) extend(t *rtoken, j int, f *Fact, env Bindings) {
 	copy(ids, t.ids)
 	ids[len(t.ids)] = f.id
 	child := &rtoken{
-		node:   t.node,
-		parent: t,
-		fact:   f,
-		env:    env,
-		ids:    ids,
-		level:  j,
-		birth:  n.epoch,
+		node:     t.node,
+		parent:   t,
+		fact:     f,
+		env:      env,
+		ids:      ids,
+		level:    j,
+		birth:    n.epoch,
+		memIdx:   len(t.node.mems[j]),
+		childIdx: len(t.children),
 	}
 	t.children = append(t.children, child)
 	t.node.mems[j] = append(t.node.mems[j], child)
@@ -247,12 +261,14 @@ func (n *reteNet) extend(t *rtoken, j int, f *Fact, env Bindings) {
 // pattern: same bindings, same tuple IDs, one level deeper.
 func (n *reteNet) makePass(t *rtoken, j int) {
 	child := &rtoken{
-		node:   t.node,
-		parent: t,
-		env:    t.env,
-		ids:    t.ids,
-		level:  j,
-		birth:  n.epoch,
+		node:     t.node,
+		parent:   t,
+		env:      t.env,
+		ids:      t.ids,
+		level:    j,
+		birth:    n.epoch,
+		memIdx:   len(t.node.mems[j]),
+		childIdx: -1, // pass-throughs live in passChild, not children
 	}
 	t.passChild = child
 	t.node.mems[j] = append(t.node.mems[j], child)
@@ -323,7 +339,7 @@ func (n *reteNet) kill(t *rtoken) {
 		return
 	}
 	t.dead = true
-	removeTok(&t.node.mems[t.level], t)
+	memDetach(t)
 	if t.actKey != "" {
 		delete(n.agenda, t.actKey)
 	}
@@ -347,11 +363,32 @@ func (n *reteNet) kill(t *rtoken) {
 	}
 }
 
-func removeTok(list *[]*rtoken, t *rtoken) {
-	for i, x := range *list {
-		if x == t {
-			*list = append((*list)[:i], (*list)[i+1:]...)
-			return
-		}
+// memDetach swap-removes t from its token memory in O(1) via memIdx.
+func memDetach(t *rtoken) {
+	if t.memIdx < 0 {
+		return
 	}
+	list := t.node.mems[t.level]
+	if last := len(list) - 1; t.memIdx != last {
+		list[t.memIdx] = list[last]
+		list[t.memIdx].memIdx = t.memIdx
+	}
+	t.node.mems[t.level] = list[:len(list)-1]
+	t.memIdx = -1
+}
+
+// childDetach swap-removes t from its parent's children in O(1) via
+// childIdx. Called only on retraction; a dying parent instead drops the
+// whole children slice in kill().
+func childDetach(t *rtoken) {
+	if t.childIdx < 0 || t.parent == nil {
+		return
+	}
+	list := t.parent.children
+	if last := len(list) - 1; t.childIdx != last {
+		list[t.childIdx] = list[last]
+		list[t.childIdx].childIdx = t.childIdx
+	}
+	t.parent.children = list[:len(list)-1]
+	t.childIdx = -1
 }

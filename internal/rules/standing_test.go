@@ -1,0 +1,110 @@
+package rules
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+const standingTestRules = `
+rule "Hot Reading"
+when
+    f : Reading ( v : value > 10 )
+then
+    println("hot " + v)
+    recommend("cooling", "reduce " + v)
+end
+`
+
+func newStandingForTest(t *testing.T) *Standing {
+	t.Helper()
+	e := NewEngine()
+	if err := e.LoadString(standingTestRules); err != nil {
+		t.Fatal(err)
+	}
+	return NewStanding(e)
+}
+
+func TestStandingStepFiresPerDelta(t *testing.T) {
+	s := newStandingForTest(t)
+	e := s.Engine()
+	ctx := context.Background()
+
+	firings, err := s.Step(ctx)
+	if err != nil || len(firings) != 0 {
+		t.Fatalf("empty memory fired %d rule(s), err %v", len(firings), err)
+	}
+
+	f := e.Assert(NewFact("Reading", map[string]any{"value": 42.0}))
+	firings, err = s.Step(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(firings) != 1 || firings[0].Rule != "Hot Reading" {
+		t.Fatalf("firings = %+v, want one Hot Reading", firings)
+	}
+	if len(firings[0].Output) != 1 || !strings.Contains(firings[0].Output[0], "hot") {
+		t.Fatalf("firing output = %q", firings[0].Output)
+	}
+	if len(firings[0].Recommendations) != 1 || firings[0].Recommendations[0].Category != "cooling" {
+		t.Fatalf("firing recommendations = %+v", firings[0].Recommendations)
+	}
+
+	// Refraction: the same working memory must not refire.
+	firings, err = s.Step(ctx)
+	if err != nil || len(firings) != 0 {
+		t.Fatalf("unchanged memory refired: %+v (err %v)", firings, err)
+	}
+
+	// A retract + fresh assert is a new tuple and fires again — with only
+	// its own output, because Step drains the accumulators every call.
+	e.Retract(f)
+	e.Assert(NewFact("Reading", map[string]any{"value": 55.0}))
+	firings, err = s.Step(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(firings) != 1 || len(firings[0].Output) != 1 {
+		t.Fatalf("second delta firings = %+v", firings)
+	}
+	if !strings.Contains(firings[0].Output[0], "55") {
+		t.Fatalf("second firing output = %q, want the new value", firings[0].Output)
+	}
+}
+
+func TestStandingStepDrainsAccumulators(t *testing.T) {
+	s := newStandingForTest(t)
+	e := s.Engine()
+	e.Assert(NewFact("Reading", map[string]any{"value": 99.0}))
+	if _, err := s.Step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.output) != 0 || len(e.recommendations) != 0 || len(e.firedLog) != 0 {
+		t.Fatalf("accumulators not drained: %d output, %d recs, %d fired",
+			len(e.output), len(e.recommendations), len(e.firedLog))
+	}
+}
+
+// TestStandingRefractionStaysBounded is the long-lived-stream guard: days of
+// assert/retract churn must not grow the refraction map without bound.
+func TestStandingRefractionStaysBounded(t *testing.T) {
+	s := newStandingForTest(t)
+	s.firedHighWater = 64 // prune aggressively so the test stays fast
+	e := s.Engine()
+	ctx := context.Background()
+	for i := 0; i < 500; i++ {
+		f := e.Assert(NewFact("Reading", map[string]any{"value": float64(20 + i)}))
+		if _, err := s.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+		e.Retract(f)
+	}
+	e.mu.Lock()
+	fired := len(e.fired)
+	e.mu.Unlock()
+	if fired > s.firedHighWater {
+		t.Fatalf("refraction map grew to %d entries (high water %d)", fired, s.firedHighWater)
+	}
+}

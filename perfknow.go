@@ -111,6 +111,22 @@ type (
 	ClusterOption = cluster.Option
 	// RepairReport summarizes one anti-entropy Rebalance pass.
 	RepairReport = dmfwire.RepairReport
+	// StreamInfo describes one streaming upload: coordinates, analysis
+	// window, standing rules, state and progress counters.
+	StreamInfo = dmfwire.StreamInfo
+	// StreamChunkEvent is one event's contribution within a stream chunk;
+	// values accumulate into the event across chunks.
+	StreamChunkEvent = dmfwire.ChunkEvent
+	// StreamAlert is one standing-diagnosis firing, delivered over the
+	// stream's SSE alert subscription.
+	StreamAlert = dmfwire.StreamAlert
+	// StreamOption customizes RemoteRepository.OpenStream (window size,
+	// standing rules, diagnosis metric).
+	StreamOption = dmfclient.StreamOption
+	// AlertSubscription is a live standing-diagnosis subscription with
+	// transparent Last-Event-ID reconnects; see
+	// RemoteRepository.SubscribeAlerts.
+	AlertSubscription = dmfclient.AlertSubscription
 	// FaultInjector decides which requests a fault-injecting server or
 	// transport disturbs; see NewFaultSchedule.
 	FaultInjector = faults.Injector
@@ -190,6 +206,18 @@ var (
 	// NewFaultSchedule builds the seeded deterministic fault injector; plug
 	// it into ProfileServerConfig.FaultInjector to chaos-test a service.
 	NewFaultSchedule = faults.NewSchedule
+	// WithStreamWindow sets a stream's standing-analysis window in chunks
+	// (values below 1 request a cumulative window).
+	WithStreamWindow = dmfclient.WithStreamWindow
+	// WithStandingRules registers named .prl rule sets as standing
+	// diagnoses on a stream.
+	WithStandingRules = dmfclient.WithStandingRules
+	// WithStreamMetric selects the metric a stream's standing diagnoses
+	// analyze.
+	WithStreamMetric = dmfclient.WithStreamMetric
+	// WithLastEventID resumes an alert subscription after a previously
+	// seen alert id.
+	WithLastEventID = dmfclient.WithLastEventID
 )
 
 // Self-observability (internal/obs): the tool traces and meters itself with

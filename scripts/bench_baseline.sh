@@ -9,6 +9,9 @@
 #       run only the columnar-engine benchmarks (the two headline
 #       benchmarks plus their RowOracle denominators and the conversion
 #       micro-benchmark) and write FILE (default BENCH_columnar.json)
+#   scripts/bench_baseline.sh record-streaming [-out FILE]
+#       run only the standing-diagnosis streaming benchmark (both window
+#       sizes) and write FILE (default BENCH_streaming.json)
 #   scripts/bench_baseline.sh compare [-pkg PATTERN] [-compare OLD.json]
 #       run the benchmarks once and warn for every benchmark whose ns/op
 #       regressed more than 20% against OLD.json (default
@@ -63,6 +66,12 @@ if [ "$mode" = "record-columnar" ]; then
 	baseline="BENCH_columnar.json"
 	pkg="."
 	bench='^(BenchmarkFig5bScaling|BenchmarkFig5bScalingRowOracle|BenchmarkParallelSpeedup|BenchmarkParallelSpeedupRowOracle|BenchmarkColumnarConvert)$'
+fi
+if [ "$mode" = "record-streaming" ]; then
+	mode="record"
+	baseline="BENCH_streaming.json"
+	pkg="."
+	bench='^BenchmarkStandingDiagnosis$'
 fi
 [ -n "$out" ] || out="$baseline"
 
