@@ -30,12 +30,23 @@
 // fire alerts over SSE at GET /api/v1/streams/{id}/alerts. See
 // docs/STREAMING.md.
 //
-// With -peers the daemon joins a static cluster: every member is started
-// with the same -peers/-replicas/-ring-epoch/-vnodes/-ring-seed, serves
-// the resulting ring descriptor at GET /api/v1/cluster, and publishes
-// cluster_ring_* gauges in /api/v1/metrics. Data placement and
-// replication are entirely client-side (see perfexplorer -cluster and
-// docs/CLUSTER.md); the daemon itself stays a plain single-node store.
+// With -peers the daemon joins a cluster: every member is started with
+// the same -peers/-replicas/-ring-epoch/-vnodes/-ring-seed (and
+// -ring-version for the placement hash), serves its current ring
+// descriptor at GET /api/v1/cluster, and publishes cluster_* gauges in
+// /api/v1/metrics. Members are ACTIVE by default (-gossip=true): each
+// daemon runs a gossip agent that probes its peers every -probe-interval,
+// marks them suspect after -suspect-after missed probes and dead after
+// -suspect-timeout of suspicion, accepts hinted writes (durable IOUs kept
+// under -hints-dir and replayed when the owner returns), adopts ring
+// epoch bumps announced to ANY member (POST /api/v1/cluster) without a
+// restart, and — on the lowest-URL alive member — runs an anti-entropy
+// repair pass every -repair-interval that restores the replication factor
+// after permanent node loss. -seed-peers adds gossip contacts beyond the
+// ring (how a freshly configured member finds a running cluster). With
+// -gossip=false the daemon serves the static descriptor only and healing
+// falls back to the operator-driven perfexplorer -rebalance. See
+// docs/CLUSTER.md.
 package main
 
 import (
@@ -55,8 +66,10 @@ import (
 	"syscall"
 	"time"
 
+	"perfknow/internal/cluster"
 	"perfknow/internal/dmfserver"
 	"perfknow/internal/dmfwire"
+	"perfknow/internal/obs"
 	"perfknow/internal/parallel"
 	"perfknow/internal/perfdmf"
 )
@@ -92,10 +105,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			"comma-separated .prl rule names (from -rules) registered as standing diagnoses on every stream that names none")
 		peers = fs.String("peers", "",
 			"comma-separated base URLs of every cluster member (including this one); empty = standalone")
-		replicas  = fs.Int("replicas", 2, "cluster replication factor R (with -peers)")
-		ringEpoch = fs.Uint64("ring-epoch", 1, "cluster membership epoch; bump when -peers changes (with -peers)")
-		vnodes    = fs.Int("vnodes", 64, "virtual nodes per peer on the placement ring (with -peers)")
-		ringSeed  = fs.Uint64("ring-seed", 0, "placement hash seed; must match on every member (with -peers)")
+		replicas    = fs.Int("replicas", 2, "cluster replication factor R (with -peers)")
+		ringEpoch   = fs.Uint64("ring-epoch", 1, "cluster membership epoch; bump when -peers changes (with -peers)")
+		vnodes      = fs.Int("vnodes", 64, "virtual nodes per peer on the placement ring (with -peers)")
+		ringSeed    = fs.Uint64("ring-seed", 0, "placement hash seed; must match on every member (with -peers)")
+		ringVersion = fs.Int("ring-version", 1, "placement hash version: 1 = legacy, 2 = mixed (better dispersion); must match on every member")
+		gossip      = fs.Bool("gossip", true, "run the gossip membership agent (self-healing cluster); false = static descriptor only")
+		self        = fs.String("self", "", "this member's base URL as listed in -peers (default: http://<bound address>)")
+		seedPeers   = fs.String("seed-peers", "",
+			"comma-separated base URLs to gossip with even when absent from the ring (bootstrap contacts for a joining member)")
+		probeInterval = fs.Duration("probe-interval", time.Second, "gossip probe cadence")
+		suspectAfter  = fs.Int("suspect-after", 3, "consecutive missed probes before a peer turns suspect")
+		suspectFor    = fs.Duration("suspect-timeout", 10*time.Second, "how long a peer stays suspect before it is declared dead")
+		repairEvery   = fs.Duration("repair-interval", 30*time.Second, "anti-entropy repair cadence on the leader (0 = disabled)")
+		repairPause   = fs.Duration("repair-throttle", 10*time.Millisecond, "pause between repaired trials, pacing repair behind foreground traffic")
+		hintsDir      = fs.String("hints-dir", "", "durable hinted-handoff directory (default: <repo>.hints; must be outside -repo)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -123,27 +147,76 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		}
 		return 0
 	}
-	// With -peers the daemon declares itself a member of a static cluster:
-	// every member is started with the identical descriptor, serves it at
-	// GET /api/v1/cluster, and cluster-routing clients (perfexplorer
-	// -cluster, cluster.ShardedStore) cross-check it before placing data.
+	// Listen before building the cluster layer: an active member's self
+	// URL defaults to the address it actually bound.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(logger, err)
+	}
+	bound := ln.Addr().String()
+	selfURL := *self
+	if selfURL == "" {
+		selfURL = "http://" + bound
+	}
+
+	// With -peers (or -seed-peers) the daemon is a cluster member. The
+	// descriptor built from flags is only the STARTING point: with
+	// -gossip (the default) the member's agent adopts newer epochs
+	// announced anywhere in the cluster and heals placement on its own;
+	// with -gossip=false the descriptor is static, as in the original
+	// client-routed design.
 	var ring *dmfwire.Ring
-	if *peers != "" {
+	var node *cluster.Agent
+	var reg *obs.Registry
+	if *peers != "" || *seedPeers != "" {
+		rpeers := splitPeers(*peers)
 		r := dmfwire.Ring{
 			Epoch:    *ringEpoch,
 			Replicas: *replicas,
 			VNodes:   *vnodes,
 			Seed:     *ringSeed,
-			Peers:    splitPeers(*peers),
+			Version:  *ringVersion,
+			Peers:    rpeers,
+		}
+		if len(rpeers) == 0 {
+			// Joining purely via seeds: start as a self-only ring and let
+			// gossip deliver the real (higher-epoch) descriptor.
+			r.Peers = []string{selfURL}
+			r.Replicas = 1
 		}
 		canon := r.Canonical()
 		if err := canon.Validate(); err != nil {
 			return fail(logger, err)
 		}
 		ring = &canon
+		if *gossip {
+			hd := *hintsDir
+			if hd == "" {
+				// Sibling of the repository, NEVER inside it: the
+				// repository walks every subdirectory as profile data.
+				hd = strings.TrimSuffix(*repoDir, "/") + ".hints"
+			}
+			reg = obs.NewRegistry()
+			node, err = cluster.NewAgent(cluster.AgentConfig{
+				Self:           selfURL,
+				Ring:           canon,
+				SeedPeers:      splitPeers(*seedPeers),
+				ProbeInterval:  *probeInterval,
+				SuspectAfter:   *suspectAfter,
+				SuspectTimeout: *suspectFor,
+				RepairInterval: *repairEvery,
+				RepairThrottle: *repairPause,
+				HintsDir:       hd,
+				Logger:         logger,
+				Registry:       reg,
+			})
+			if err != nil {
+				return fail(logger, err)
+			}
+		}
 	}
 
-	srv, err := dmfserver.New(dmfserver.Config{
+	cfg := dmfserver.Config{
 		Repo:           repo,
 		RulesDir:       *rulesDir,
 		Jobs:           *jobs,
@@ -152,19 +225,26 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		AdmissionWait:  *admission,
 		Logger:         logger,
 		Ring:           ring,
+		Registry:       reg,
 		StreamWindow:   normalizeStreamWindow(*streamWindow),
 		StandingRules:  splitPeers(*standingRules),
-	})
+	}
+	if node != nil {
+		cfg.Node = node
+	}
+	srv, err := dmfserver.New(cfg)
 	if err != nil {
 		return fail(logger, err)
 	}
 	defer srv.Close() // removes the owned temp assets dir, if any
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return fail(logger, err)
+	if node != nil {
+		node.Start()
+		defer node.Close()
+		logger.Info("cluster agent running", "self", selfURL,
+			"epoch", node.Ring().Epoch, "peers", len(node.Ring().Peers),
+			"probe", (*probeInterval).String(), "repair", (*repairEvery).String())
 	}
-	bound := ln.Addr().String()
+
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			return fail(logger, err)

@@ -98,7 +98,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ringEpoch   = fs.Uint64("ring-epoch", 1, "cluster membership epoch (with -cluster; must match the daemons)")
 		vnodes      = fs.Int("vnodes", 64, "virtual nodes per peer on the placement ring (with -cluster; must match the daemons)")
 		ringSeed    = fs.Uint64("ring-seed", 0, "placement hash seed (with -cluster; must match the daemons)")
-		rebalance   = fs.Bool("rebalance", false, "run one anti-entropy repair pass over the cluster, print the report as JSON and exit (0 = converged cleanly)")
+		ringVersion = fs.Int("ring-version", 1, "placement hash version: 1 = legacy, 2 = mixed (with -cluster; must match the daemons)")
+		announce    = fs.String("announce", "", "announce the ring built from -cluster/-ring-* flags to this daemon URL and exit; gossip spreads it to every member")
+		rebalance   = fs.Bool("rebalance", false, "run one anti-entropy repair pass over the cluster, print the report as JSON and exit (0 = converged cleanly); normally unnecessary — gossiping daemons repair themselves")
 		uploadPath  = fs.String("upload", "", "upload this trial JSON file through the store and exit")
 		getCoord    = fs.String("get", "", "fetch one trial (APP/EXP/TRIAL) and print it as JSON")
 		watchID     = fs.String("watch", "", "subscribe to a stream's standing-diagnosis alerts (stream id; with -server) and print them until the stream seals")
@@ -121,6 +123,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	// -announce: post a new ring descriptor to ONE member and let gossip
+	// spread it — the online way to grow, shrink or re-version a cluster.
+	// The descriptor is built from the same flags a daemon would use; the
+	// epoch must be strictly newer than what the cluster holds.
+	if *announce != "" {
+		if *clusterFlag == "" {
+			fmt.Fprintln(stderr, "perfexplorer: -announce requires -cluster (the new peer list)")
+			return 2
+		}
+		desc := dmfwire.Ring{
+			Epoch:    *ringEpoch,
+			Replicas: *replicas,
+			VNodes:   *vnodes,
+			Seed:     *ringSeed,
+			Version:  *ringVersion,
+			Peers:    splitPeers(*clusterFlag),
+		}.Canonical()
+		if err := desc.Validate(); err != nil {
+			return fail(stderr, err)
+		}
+		c, err := dmfclient.New(*announce)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		adopted, err := c.AnnounceRing(context.Background(), desc)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(dmfwire.AnnounceResponse{Adopted: adopted, Epoch: desc.Epoch})
+		if !adopted {
+			fmt.Fprintf(stderr, "perfexplorer: %s did not adopt epoch %d (it already holds that epoch or newer)\n", *announce, desc.Epoch)
+			return 1
+		}
+		return 0
+	}
+
 	// One tracer serves both jobs: the -trace span tree, and the event
 	// channel on which the client publishes listing errors its Store
 	// signatures had to swallow.
@@ -140,6 +180,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Replicas: *replicas,
 			VNodes:   *vnodes,
 			Seed:     *ringSeed,
+			Version:  *ringVersion,
 			Peers:    splitPeers(*clusterFlag),
 		}
 		opts := []dmfclient.Option{dmfclient.WithTracer(tracer)}
@@ -151,15 +192,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
-		// Refuse to route if any reachable peer disagrees on the ring:
-		// epoch or parameter drift means two processes would place keys
-		// differently.
-		confirmed, err := sharded.VerifyRing(context.Background())
+		// Cross-check the ring before routing. EnsureRing distinguishes
+		// the two ways peers can disagree: a peer AHEAD of us means our
+		// flags are stale after an epoch bump — fetch and adopt the newer
+		// descriptor, then re-verify; true misconfiguration (different
+		// placement at one epoch) stays a hard error, since two processes
+		// would place keys differently.
+		confirmed, err := sharded.EnsureRing(context.Background())
 		if err != nil {
 			return fail(stderr, err)
 		}
+		live := sharded.Ring().Descriptor()
 		fmt.Fprintf(stderr, "perfexplorer: cluster of %d peer(s), replicas=%d, epoch=%d (%d peer(s) confirmed the ring)\n",
-			len(desc.Peers), *replicas, *ringEpoch, confirmed)
+			len(live.Peers), live.Replicas, live.Epoch, confirmed)
 		store = sharded
 	case *serverURL != "":
 		opts := []dmfclient.Option{dmfclient.WithTracer(tracer)}

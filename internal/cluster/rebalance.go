@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"perfknow/internal/dmfwire"
 	"perfknow/internal/obs"
@@ -34,7 +35,8 @@ func (c coord) String() string { return c.app + "/" + c.experiment + "/" + c.tri
 // bumping the ring epoch to grow or shrink membership.
 func (s *ShardedStore) Rebalance(ctx context.Context) (*dmfwire.RepairReport, error) {
 	s.repairScans.Inc()
-	desc := s.ring.Descriptor()
+	ring, backends := s.topo()
+	desc := ring.Descriptor()
 	rep := &dmfwire.RepairReport{
 		Epoch: desc.Epoch,
 		Peers: len(desc.Peers),
@@ -43,11 +45,11 @@ func (s *ShardedStore) Rebalance(ctx context.Context) (*dmfwire.RepairReport, er
 	// Scan: which peers hold which trials. holders preserves canonical
 	// peer order so the copy source below is deterministic.
 	holders := make(map[coord][]string)
-	for _, peer := range s.ring.Peers() {
+	for _, peer := range ring.Peers() {
 		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
-		coords, err := s.scanPeer(peer)
+		coords, err := scanPeer(backends[peer])
 		if err != nil {
 			rep.Errors = append(rep.Errors, fmt.Sprintf("scan %s: %v", peer, err))
 			continue
@@ -74,11 +76,20 @@ func (s *ShardedStore) Rebalance(ctx context.Context) (*dmfwire.RepairReport, er
 		return a.trial < b.trial
 	})
 
-	for _, c := range coords {
+	for i, c := range coords {
 		if err := ctx.Err(); err != nil {
 			return rep, err
 		}
-		s.repairOne(ctx, c, holders[c], rep)
+		// The throttle (WithRepairThrottle) paces background repair so a
+		// large pass trickles along behind foreground traffic.
+		if s.throttle > 0 && i > 0 {
+			select {
+			case <-time.After(s.throttle):
+			case <-ctx.Done():
+				return rep, ctx.Err()
+			}
+		}
+		s.repairOne(ctx, ring, backends, c, holders[c], rep)
 	}
 
 	sort.Strings(rep.Copies)
@@ -99,8 +110,7 @@ func (s *ShardedStore) Rebalance(ctx context.Context) (*dmfwire.RepairReport, er
 }
 
 // scanPeer lists every trial coordinate one peer holds.
-func (s *ShardedStore) scanPeer(peer string) ([]coord, error) {
-	b := s.backends[peer]
+func scanPeer(b Backend) ([]coord, error) {
 	apps, err := b.ListApplications()
 	if err != nil {
 		return nil, err
@@ -126,7 +136,7 @@ func (s *ShardedStore) scanPeer(peer string) ([]coord, error) {
 
 // repairOne converges one trial: copy to owners missing it, then — if the
 // scan was complete and every owner holds it — delete misplaced copies.
-func (s *ShardedStore) repairOne(ctx context.Context, c coord, held []string, rep *dmfwire.RepairReport) {
+func (s *ShardedStore) repairOne(ctx context.Context, ring *Ring, backends map[string]Backend, c coord, held []string, rep *dmfwire.RepairReport) {
 	has := make(map[string]bool, len(held))
 	for _, p := range held {
 		has[p] = true
@@ -141,11 +151,11 @@ func (s *ShardedStore) repairOne(ctx context.Context, c coord, held []string, re
 			return src, nil
 		}
 		var lastErr error
-		for _, p := range s.ring.Preference(c.app, c.experiment) {
+		for _, p := range ring.Preference(c.app, c.experiment) {
 			if !has[p] {
 				continue
 			}
-			t, err := s.backends[p].GetTrialContext(ctx, c.app, c.experiment, c.trial)
+			t, err := backends[p].GetTrialContext(ctx, c.app, c.experiment, c.trial)
 			if err != nil {
 				lastErr = fmt.Errorf("%s: %w", p, err)
 				continue
@@ -156,7 +166,7 @@ func (s *ShardedStore) repairOne(ctx context.Context, c coord, held []string, re
 		return nil, lastErr
 	}
 
-	owners := s.ring.Owners(c.app, c.experiment)
+	owners := ring.Owners(c.app, c.experiment)
 	ownersHold := true
 	for _, owner := range owners {
 		if has[owner] {
@@ -168,7 +178,7 @@ func (s *ShardedStore) repairOne(ctx context.Context, c coord, held []string, re
 			ownersHold = false
 			break
 		}
-		if err := s.backends[owner].SaveContext(ctx, t); err != nil {
+		if err := backends[owner].SaveContext(ctx, t); err != nil {
 			rep.Errors = append(rep.Errors, fmt.Sprintf("copy %s -> %s: %v", c, owner, err))
 			ownersHold = false
 			continue
@@ -192,7 +202,7 @@ func (s *ShardedStore) repairOne(ctx context.Context, c coord, held []string, re
 		if isOwner[p] {
 			continue
 		}
-		if err := s.backends[p].DeleteContext(ctx, c.app, c.experiment, c.trial); err != nil {
+		if err := backends[p].DeleteContext(ctx, c.app, c.experiment, c.trial); err != nil {
 			rep.Errors = append(rep.Errors, fmt.Sprintf("remove %s x %s: %v", c, p, err))
 			continue
 		}

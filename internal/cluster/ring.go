@@ -14,12 +14,18 @@
 // single experiment, and a client routing such a script talks to one
 // replica set instead of scattering requests across the whole cluster.
 //
-// Membership is static (the dmfwire.Ring descriptor: peers, replication
-// factor, vnodes, seed, epoch). There is no consensus protocol: every
-// daemon is started with the same descriptor, serves it at
-// GET /api/v1/cluster, and clients cross-check epochs before routing (see
-// ShardedStore.VerifyRing). Growing or shrinking the cluster is epoch+1,
-// restart, Rebalance.
+// Placement per epoch is static (the dmfwire.Ring descriptor: peers,
+// replication factor, vnodes, seed, placement version, epoch) and there is
+// no consensus protocol: clients cross-check epochs before routing (see
+// ShardedStore.VerifyRing). What is dynamic is liveness and propagation: a
+// per-daemon Agent gossips a membership view (View) with SWIM-style
+// failure detection (alive → suspect → dead), writes that cannot reach a
+// dead owner leave durable hints (HintStore) replayed by a handoff loop,
+// and a jittered in-daemon repair loop re-runs Rebalance over the live
+// members to restore replication factor R after permanent node loss.
+// Growing or shrinking the cluster is epoch+1 announced to any one member;
+// gossip carries the new descriptor to the rest, and clients refresh their
+// ring instead of hard-failing.
 package cluster
 
 import (
@@ -61,7 +67,7 @@ func NewRing(desc dmfwire.Ring) (*Ring, error) {
 	for i, peer := range desc.Peers {
 		for v := 0; v < desc.VNodes; v++ {
 			r.points = append(r.points, ringPoint{
-				hash: ringHash(desc.Seed, fmt.Sprintf("node|%s|%d", peer, v)),
+				hash: r.hash(fmt.Sprintf("node|%s|%d", peer, v)),
 				peer: i,
 			})
 		}
@@ -77,7 +83,7 @@ func NewRing(desc dmfwire.Ring) (*Ring, error) {
 	return r, nil
 }
 
-// ringHash is the placement hash: 64-bit FNV-1a over the seed and the
+// ringHash is the v1 placement hash: 64-bit FNV-1a over the seed and the
 // label. FNV is stable across Go versions, architectures and processes,
 // which the whole design rests on — never swap it for a randomized hash.
 func ringHash(seed uint64, label string) uint64 {
@@ -89,6 +95,33 @@ func ringHash(seed uint64, label string) uint64 {
 	_, _ = h.Write(buf[:])
 	_, _ = h.Write([]byte(label))
 	return h.Sum64()
+}
+
+// mix64 is the v2 finalizing mixer (the splitmix64 finalizer): raw FNV-1a
+// avalanches poorly on short, near-identical labels — a one-character
+// difference at the tail perturbs mostly low bits, so sequential
+// experiment names land close together on the circle and clump onto the
+// same owner pair. The multiply/xor-shift cascade spreads every input bit
+// across the whole word. Like FNV itself, these constants are part of the
+// placement contract: never change them.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// hash places one label on the circle under the descriptor's placement
+// version: v1 is raw FNV-1a, v2 adds the finalizing mixer (to node points
+// and keys alike — the version selects one coherent placement function).
+func (r *Ring) hash(label string) uint64 {
+	h := ringHash(r.desc.Seed, label)
+	if r.desc.PlacementVersion() == 2 {
+		h = mix64(h)
+	}
+	return h
 }
 
 // Descriptor returns the canonical descriptor this ring was compiled from.
@@ -105,7 +138,7 @@ func (r *Ring) Replicas() int { return r.desc.Replicas }
 // keyHash places one (application, experiment) coordinate on the circle.
 // The trial name is deliberately absent: a trial's siblings colocate.
 func (r *Ring) keyHash(app, experiment string) uint64 {
-	return ringHash(r.desc.Seed, "key|"+app+"\x00"+experiment)
+	return r.hash("key|" + app + "\x00" + experiment)
 }
 
 // walk calls fn with peer indices in ring order starting at the key's

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"perfknow/internal/dmfwire"
+)
+
+func testDescV2() dmfwire.Ring {
+	d := testDesc()
+	d.Version = 2
+	return d
+}
+
+// TestRingPlacementGoldenV2 pins concrete v2 placements the same way
+// TestRingPlacementGolden pins v1: the mixer's constants are part of the
+// placement contract, and drift here would strand data on wrong owners in
+// any cluster started with a %DMFRING2 descriptor.
+func TestRingPlacementGoldenV2(t *testing.T) {
+	r, err := NewRing(testDescV2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		app, experiment string
+		owners          []string
+	}{
+		{"sweep3d", "weak-scaling", []string{"http://node-b:7360", "http://node-c:7360"}},
+		{"sweep3d", "strong-scaling", []string{"http://node-c:7360", "http://node-a:7360"}},
+		{"gtc", "baseline", []string{"http://node-c:7360", "http://node-a:7360"}},
+		{"flash", "io-study", []string{"http://node-b:7360", "http://node-a:7360"}},
+		{"namd", "apoa1", []string{"http://node-b:7360", "http://node-a:7360"}},
+		{"lammps", "rhodo", []string{"http://node-a:7360", "http://node-c:7360"}},
+	}
+	for _, tc := range cases {
+		got := r.Owners(tc.app, tc.experiment)
+		if !reflect.DeepEqual(got, tc.owners) {
+			t.Errorf("Owners(%s, %s) = %v, want %v — v2 placement drifted; this breaks running clusters",
+				tc.app, tc.experiment, got, tc.owners)
+		}
+	}
+}
+
+// TestRingV2DispersesSequentialNames demonstrates (and pins) the weakness
+// the v2 mixer fixes. Raw FNV-1a avalanches poorly on short names that
+// differ only in a trailing counter — exactly the shape scaling studies
+// produce ("np-001", "np-002", ...) — so under v1 every one of the 64
+// sequential experiments of one app lands on the same owner pair, turning
+// two peers into the hot spot for the whole study. Under v2 the finalizing
+// mixer spreads them across all six ordered owner pairs with near-uniform
+// primary shares.
+func TestRingV2DispersesSequentialNames(t *testing.T) {
+	const n = 64
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("np-%03d", i+1)
+	}
+	place := func(d dmfwire.Ring) (pairs map[string]int, primaries map[string]int) {
+		r, err := NewRing(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs, primaries = map[string]int{}, map[string]int{}
+		for _, exp := range keys {
+			o := r.Owners("lu", exp)
+			pairs[fmt.Sprint(o)]++
+			primaries[o[0]]++
+		}
+		return pairs, primaries
+	}
+
+	// v1: total clumping — one pair owns the entire study. Pinned so that
+	// if the v1 hash ever improves (it must not — placement contract), the
+	// golden above fails first and loudest.
+	v1Pairs, _ := place(testDesc())
+	if len(v1Pairs) != 1 {
+		t.Fatalf("v1 clumping changed: %d distinct owner pairs for %d sequential names, expected 1 (placement drift?)", len(v1Pairs), n)
+	}
+
+	// v2: every ordered pair in use, and no peer starved or overloaded as
+	// primary. With 3 peers the fair share is n/3 ≈ 21; accept [n/6, n/2].
+	v2Pairs, v2Primaries := place(testDescV2())
+	if len(v2Pairs) != 6 {
+		t.Fatalf("v2 dispersion regressed: %d distinct owner pairs, want all 6: %v", len(v2Pairs), v2Pairs)
+	}
+	for peer, c := range v2Primaries {
+		if c < n/6 || c > n/2 {
+			t.Errorf("v2 primary share for %s is %d/%d, outside [%d, %d]", peer, c, n, n/6, n/2)
+		}
+	}
+}
+
+// TestRingV1PlacementIndependentOfV2 double-checks the versions are
+// independent functions: compiling the same membership at v1 and v2 gives
+// different placements (the mixer is not a no-op) while v1 stays equal to
+// the unversioned descriptor (Version 0 ≡ 1).
+func TestRingV1PlacementIndependentOfV2(t *testing.T) {
+	v0, err := NewRing(testDesc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDesc()
+	d.Version = 1
+	v1, err := NewRing(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := NewRing(testDescV2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, diff := 0, 0
+	for i := 0; i < 200; i++ {
+		app, exp := fmt.Sprintf("a%d", i%13), fmt.Sprintf("e%d", i)
+		if !reflect.DeepEqual(v0.Owners(app, exp), v1.Owners(app, exp)) {
+			t.Fatalf("Version 0 and 1 disagree on Owners(%s, %s)", app, exp)
+		}
+		if reflect.DeepEqual(v1.Owners(app, exp), v2.Owners(app, exp)) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("v2 placement is identical to v1 over 200 keys — the mixer is not being applied")
+	}
+}

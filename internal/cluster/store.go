@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"perfknow/internal/dmfclient"
@@ -24,11 +25,27 @@ type Backend interface {
 }
 
 // RingFetcher is the optional Backend extension for peers that can report
-// the ring descriptor they were started with (GET /api/v1/cluster);
-// VerifyRing uses it to cross-check epochs.
+// the ring descriptor they currently hold (GET /api/v1/cluster);
+// VerifyRing uses it to cross-check epochs and RefreshRing to adopt a
+// newer one.
 type RingFetcher interface {
 	ClusterRing(ctx context.Context) (*dmfwire.Ring, error)
 }
+
+// HintedBackend is the optional Backend extension for peers that accept
+// hinted writes: save the trial and also record a durable hint that it
+// belongs to owner, so the peer's handoff loop delivers it once the owner
+// is back. *dmfclient.Client implements it with the Dmf-Hint-For header.
+type HintedBackend interface {
+	SaveHintedContext(ctx context.Context, t *perfdmf.Trial, owner string) error
+}
+
+// ErrRingStale reports that this store's ring descriptor has an older
+// epoch than what a cluster peer is serving — the membership moved on
+// (rolling epoch bump) and the right reaction is RefreshRing + retry, not
+// failure. errors.Is-match it against VerifyRing errors; EnsureRing does
+// the refresh-and-retry automatically.
+var ErrRingStale = errors.New("cluster: ring descriptor is stale")
 
 // ShardedStore routes perfdmf.Store operations across a cluster of
 // perfdmfd peers: writes replicate to the R ring owners of the trial's
@@ -51,8 +68,23 @@ type RingFetcher interface {
 // cluster_writes_underreplicated_total, cluster_repair_*_total, and the
 // cluster_replication_lag_ms histogram (first ack to last ack per write).
 type ShardedStore struct {
+	// mu guards the topology (ring + backends); every operation snapshots
+	// both at entry via topo(), so one call routes consistently even while
+	// AdoptRing swaps in a new epoch. The maps are never mutated in place —
+	// AdoptRing builds a fresh one — so a snapshot stays valid forever.
+	mu       sync.RWMutex
 	ring     *Ring
 	backends map[string]Backend
+
+	// newBackend dials a connection for a peer that joins via AdoptRing.
+	// Dial installs a dmfclient factory; explicit-backend stores may
+	// install one with WithBackendFactory, or live without ring refresh.
+	newBackend func(peer string) (Backend, error)
+
+	// throttle is the pause between trial coordinates during Rebalance
+	// (WithRepairThrottle), keeping background repair from starving
+	// foreground traffic.
+	throttle time.Duration
 
 	tracer *obs.Tracer
 	reg    *obs.Registry
@@ -62,12 +94,14 @@ type ShardedStore struct {
 	writes         *obs.Counter
 	writeReplicas  *obs.Counter
 	writesRerouted *obs.Counter
+	writesHinted   *obs.Counter
 	writesUnder    *obs.Counter
 	deletes        *obs.Counter
 	repairScans    *obs.Counter
 	repairCopied   *obs.Counter
 	repairRemoved  *obs.Counter
 	repairErrors   *obs.Counter
+	ringRefreshes  *obs.Counter
 	replLag        *obs.Histogram
 }
 
@@ -89,6 +123,22 @@ func WithRegistry(reg *obs.Registry) Option {
 // listings, under-replicated writes) when a call's context carries none.
 func WithTracer(tr *obs.Tracer) Option {
 	return func(s *ShardedStore) { s.tracer = tr }
+}
+
+// WithBackendFactory installs the dialer AdoptRing uses for peers that
+// join the ring after construction. Stores built with Dial get one
+// automatically; explicit-backend stores (tests, embedders) need this
+// before RefreshRing can adopt a descriptor naming new peers.
+func WithBackendFactory(f func(peer string) (Backend, error)) Option {
+	return func(s *ShardedStore) { s.newBackend = f }
+}
+
+// WithRepairThrottle makes Rebalance pause d between trial coordinates.
+// The in-daemon repair loop sets it so a large anti-entropy pass trickles
+// along behind foreground traffic instead of competing with it; zero (the
+// default) runs flat out, which suits the operator-driven CLI pass.
+func WithRepairThrottle(d time.Duration) Option {
+	return func(s *ShardedStore) { s.throttle = d }
 }
 
 // New builds a ShardedStore over explicit backends: one per ring peer,
@@ -117,12 +167,14 @@ func New(desc dmfwire.Ring, backends map[string]Backend, opts ...Option) (*Shard
 	s.writes = s.reg.Counter("cluster_writes_total")
 	s.writeReplicas = s.reg.Counter("cluster_write_replicas_total")
 	s.writesRerouted = s.reg.Counter("cluster_writes_rerouted_total")
+	s.writesHinted = s.reg.Counter("cluster_writes_hinted_total")
 	s.writesUnder = s.reg.Counter("cluster_writes_underreplicated_total")
 	s.deletes = s.reg.Counter("cluster_deletes_total")
 	s.repairScans = s.reg.Counter("cluster_repair_scans_total")
 	s.repairCopied = s.reg.Counter("cluster_repair_copied_total")
 	s.repairRemoved = s.reg.Counter("cluster_repair_removed_total")
 	s.repairErrors = s.reg.Counter("cluster_repair_errors_total")
+	s.ringRefreshes = s.reg.Counter("cluster_ring_refreshes_total")
 	s.replLag = s.reg.Histogram("cluster_replication_lag_ms", nil)
 	return s, nil
 }
@@ -136,19 +188,38 @@ func Dial(desc dmfwire.Ring, clientOpts []dmfclient.Option, opts ...Option) (*Sh
 	if err := desc.Validate(); err != nil {
 		return nil, err
 	}
-	backends := make(map[string]Backend, len(desc.Peers))
-	for _, peer := range desc.Peers {
+	dial := func(peer string) (Backend, error) {
 		c, err := dmfclient.New(peer, clientOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: peer %s: %w", peer, err)
 		}
-		backends[peer] = c
+		return c, nil
 	}
-	return New(desc, backends, opts...)
+	backends := make(map[string]Backend, len(desc.Peers))
+	for _, peer := range desc.Peers {
+		b, err := dial(peer)
+		if err != nil {
+			return nil, err
+		}
+		backends[peer] = b
+	}
+	return New(desc, backends, append([]Option{WithBackendFactory(dial)}, opts...)...)
 }
 
-// Ring returns the compiled placement ring.
-func (s *ShardedStore) Ring() *Ring { return s.ring }
+// topo snapshots the current topology. Operations take one snapshot at
+// entry and use it throughout, so routing decisions stay internally
+// consistent even if AdoptRing installs a new epoch mid-call.
+func (s *ShardedStore) topo() (*Ring, map[string]Backend) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring, s.backends
+}
+
+// Ring returns the compiled placement ring currently in use.
+func (s *ShardedStore) Ring() *Ring {
+	ring, _ := s.topo()
+	return ring
+}
 
 // Registry exposes the store's metrics registry (the one installed with
 // WithRegistry, or the private default).
@@ -157,23 +228,37 @@ func (s *ShardedStore) Registry() *obs.Registry { return s.reg }
 // Backend returns the backend for one peer (nil if the peer is not in the
 // ring) — the per-node escape hatch for verification and operations
 // tooling.
-func (s *ShardedStore) Backend(peer string) Backend { return s.backends[peer] }
+func (s *ShardedStore) Backend(peer string) Backend {
+	_, backends := s.topo()
+	return backends[peer]
+}
 
-// VerifyRing cross-checks the static membership: it asks every reachable
-// peer that can answer (RingFetcher backends, i.e. real daemons) for the
-// descriptor it was started with and fails if any disagrees with this
-// store's — mismatched epochs or parameters mean two processes would place
-// keys differently, which static membership cannot tolerate. Unreachable
-// peers and peers running standalone (404) are skipped: verification is a
-// best-effort misconfiguration guard, not a health check. It returns how
-// many peers confirmed the descriptor.
+// VerifyRing cross-checks the membership: it asks every reachable peer
+// that can answer (RingFetcher backends, i.e. real daemons) for the
+// descriptor it currently holds and distinguishes two failure shapes.
+// A peer serving a HIGHER epoch means this store is simply behind a
+// rolling membership change — the error wraps ErrRingStale and the remedy
+// is RefreshRing (or EnsureRing, which retries once automatically). A peer
+// serving a DIFFERENT descriptor at the SAME epoch is true
+// misconfiguration — two processes would place keys differently under one
+// epoch, which nothing can repair — and is a hard error. Peers serving an
+// older epoch are skipped (gossip will catch them up), as are unreachable
+// peers and standalone daemons (404): verification is a best-effort
+// misconfiguration guard, not a health check — unless NO peer confirms and
+// at least one is behind, which means our epoch is ahead of the entire
+// cluster (a -ring-epoch typo, or an announce that never happened) and
+// placing data by it would misroute every key. It returns how many peers
+// confirmed the descriptor.
 func (s *ShardedStore) VerifyRing(ctx context.Context) (confirmed int, err error) {
-	want, err := dmfwire.EncodeRing(s.ring.Descriptor())
+	ring, backends := s.topo()
+	desc := ring.Descriptor()
+	want, err := dmfwire.EncodeRing(desc)
 	if err != nil {
 		return 0, err
 	}
-	for _, peer := range s.ring.Peers() {
-		rf, ok := s.backends[peer].(RingFetcher)
+	behind := 0
+	for _, peer := range ring.Peers() {
+		rf, ok := backends[peer].(RingFetcher)
 		if !ok {
 			continue
 		}
@@ -186,13 +271,117 @@ func (s *ShardedStore) VerifyRing(ctx context.Context) (confirmed int, err error
 		if err != nil {
 			return confirmed, fmt.Errorf("cluster: peer %s serves an invalid ring: %w", peer, err)
 		}
-		if string(enc) != string(want) {
-			return confirmed, fmt.Errorf("cluster: peer %s disagrees on the ring (its epoch %d, ours %d): members must share one descriptor",
-				peer, got.Epoch, s.ring.Descriptor().Epoch)
+		switch {
+		case got.Epoch > desc.Epoch:
+			return confirmed, fmt.Errorf("%w: peer %s is at epoch %d, ours is %d (refresh and retry)",
+				ErrRingStale, peer, got.Epoch, desc.Epoch)
+		case got.Epoch < desc.Epoch:
+			// The peer is behind; gossip (or its next exchange with us)
+			// will catch it up. Not a confirmation, not a failure.
+			behind++
+			continue
+		case string(enc) != string(want):
+			return confirmed, fmt.Errorf("cluster: peer %s disagrees on the ring at equal epoch %d (seed/vnodes/peers/version divergence): members must share one descriptor",
+				peer, desc.Epoch)
 		}
 		confirmed++
 	}
+	if confirmed == 0 && behind > 0 {
+		return 0, fmt.Errorf("cluster: every reachable peer disagrees on the ring: %d peer(s) hold an epoch older than ours (%d) — check -ring-epoch, or announce the new descriptor to the cluster",
+			behind, desc.Epoch)
+	}
 	return confirmed, nil
+}
+
+// RefreshRing polls every current peer for the descriptor it holds and
+// adopts the one with the highest epoch, if that is newer than ours.
+// Returns whether a newer descriptor was adopted. Unreachable peers are
+// skipped; an error means a newer descriptor was found but could not be
+// adopted (invalid, or it names peers no backend factory can dial).
+func (s *ShardedStore) RefreshRing(ctx context.Context) (adopted bool, err error) {
+	ring, backends := s.topo()
+	best := ring.Descriptor()
+	found := false
+	for _, peer := range ring.Peers() {
+		rf, ok := backends[peer].(RingFetcher)
+		if !ok {
+			continue
+		}
+		got, err := rf.ClusterRing(ctx)
+		if err != nil || got == nil {
+			continue
+		}
+		if got.Epoch > best.Epoch {
+			best = *got
+			found = true
+		}
+	}
+	if !found {
+		return false, nil
+	}
+	if err := s.AdoptRing(best); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// EnsureRing is VerifyRing with the stale case handled: on ErrRingStale it
+// refreshes the ring from the peers and verifies once more, so a client
+// arriving mid-rolling-epoch-bump converges instead of failing. Any other
+// error — including misconfiguration at equal epoch — passes through.
+func (s *ShardedStore) EnsureRing(ctx context.Context) (confirmed int, err error) {
+	confirmed, err = s.VerifyRing(ctx)
+	if err == nil || !errors.Is(err, ErrRingStale) {
+		return confirmed, err
+	}
+	if _, rerr := s.RefreshRing(ctx); rerr != nil {
+		return confirmed, rerr
+	}
+	return s.VerifyRing(ctx)
+}
+
+// AdoptRing swaps in a newer descriptor: the ring is recompiled, backends
+// for retained peers are kept (their connections, retries and metrics
+// carry over), backends for new peers are dialed through the backend
+// factory, and backends for departed peers are dropped. Adopting the
+// current epoch with an identical descriptor is a no-op; a lower epoch, or
+// a different descriptor at the same epoch, is an error.
+func (s *ShardedStore) AdoptRing(desc dmfwire.Ring) error {
+	ring, err := NewRing(desc)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.ring.Descriptor()
+	if ring.Descriptor().Epoch <= cur.Epoch {
+		want, err1 := dmfwire.EncodeRing(cur)
+		got, err2 := dmfwire.EncodeRing(ring.Descriptor())
+		if err1 == nil && err2 == nil && string(want) == string(got) {
+			return nil // idempotent re-adoption of what we already hold
+		}
+		return fmt.Errorf("cluster: refusing to adopt epoch %d over current epoch %d: epochs must move forward",
+			ring.Descriptor().Epoch, cur.Epoch)
+	}
+	backends := make(map[string]Backend, len(ring.Peers()))
+	for _, peer := range ring.Peers() {
+		if b, ok := s.backends[peer]; ok {
+			backends[peer] = b
+			continue
+		}
+		if s.newBackend == nil {
+			return fmt.Errorf("cluster: adopting epoch %d requires dialing new peer %s, but no backend factory is installed",
+				ring.Descriptor().Epoch, peer)
+		}
+		b, err := s.newBackend(peer)
+		if err != nil {
+			return err
+		}
+		backends[peer] = b
+	}
+	s.ring, s.backends = ring, backends
+	s.ringRefreshes.Inc()
+	return nil
 }
 
 // emit publishes a cluster event to the context's tracer or the store's
@@ -219,18 +408,22 @@ func (s *ShardedStore) Save(t *perfdmf.Trial) error {
 // write is one dmfclient upload with its own idempotency key, so replays
 // under that peer's retries stay exactly-once per replica. Owners that
 // fail are re-routed to ring successors until R copies exist or peers run
-// out. The write succeeds if at least one replica acknowledged — the
-// trial is durable somewhere the read path will find it — and
-// under-replication is surfaced through cluster_writes_underreplicated_total
-// and a "cluster.write_underreplicated" event for the next Rebalance pass
-// to repair.
+// out; a re-routed write carries a hint naming the failed owner when the
+// successor supports it (HintedBackend), so the owner's copy is restored
+// by handoff the moment it returns instead of waiting for the next
+// anti-entropy pass. The write succeeds if at least one replica
+// acknowledged — the trial is durable somewhere the read path will find
+// it — and under-replication is surfaced through
+// cluster_writes_underreplicated_total and a
+// "cluster.write_underreplicated" event for the repair loop to fix.
 func (s *ShardedStore) SaveContext(ctx context.Context, t *perfdmf.Trial) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
 	s.writes.Inc()
-	pref := s.ring.Preference(t.App, t.Experiment)
-	r := s.ring.Replicas()
+	ring, backends := s.topo()
+	pref := ring.Preference(t.App, t.Experiment)
+	r := ring.Replicas()
 
 	type ack struct {
 		peer string
@@ -240,12 +433,13 @@ func (s *ShardedStore) SaveContext(ctx context.Context, t *perfdmf.Trial) error 
 	results := make(chan ack, r)
 	for _, peer := range pref[:r] {
 		go func(peer string) {
-			err := s.backends[peer].SaveContext(ctx, t)
+			err := backends[peer].SaveContext(ctx, t)
 			results <- ack{peer: peer, err: err, at: time.Now()}
 		}(peer)
 	}
 	var (
 		errs          []error
+		failedOwners  []string
 		acks          int
 		first, last   time.Time
 		recordSuccess = func(at time.Time) {
@@ -262,19 +456,43 @@ func (s *ShardedStore) SaveContext(ctx context.Context, t *perfdmf.Trial) error 
 		a := <-results
 		if a.err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", a.peer, a.err))
+			failedOwners = append(failedOwners, a.peer)
 			continue
 		}
 		recordSuccess(a.at)
 	}
+	// Owners answer in completion order; hint for them in preference order
+	// so repeated re-routes of one coordinate are deterministic.
+	sort.Strings(failedOwners)
 	// Re-route failed replica writes to ring successors, in preference
-	// order, until the trial is fully replicated or peers run out.
+	// order, until the trial is fully replicated or peers run out. Each
+	// successful re-route consumes one failed owner as its hint target.
 	for _, peer := range pref[r:] {
 		if acks >= r {
 			break
 		}
-		if err := s.backends[peer].SaveContext(ctx, t); err != nil {
+		var err error
+		hinted := false
+		if hb, ok := backends[peer].(HintedBackend); ok && len(failedOwners) > 0 {
+			err = hb.SaveHintedContext(ctx, t, failedOwners[0])
+			hinted = err == nil
+			if err != nil {
+				// The hint is best-effort: a peer that stores trials but
+				// not hints (a static, non-gossiping member) must still
+				// take the re-routed copy — the data matters more than
+				// the IOU, and anti-entropy repair covers delivery.
+				err = backends[peer].SaveContext(ctx, t)
+			}
+		} else {
+			err = backends[peer].SaveContext(ctx, t)
+		}
+		if err != nil {
 			errs = append(errs, fmt.Errorf("%s (reroute): %w", peer, err))
 			continue
+		}
+		if hinted {
+			failedOwners = failedOwners[1:]
+			s.writesHinted.Inc()
 		}
 		s.writesRerouted.Inc()
 		recordSuccess(time.Now())
@@ -316,8 +534,9 @@ func (s *ShardedStore) GetTrial(app, experiment, trial string) (*perfdmf.Trial, 
 // could not be proven.
 func (s *ShardedStore) GetTrialContext(ctx context.Context, app, experiment, trial string) (*perfdmf.Trial, error) {
 	s.reads.Inc()
-	pref := s.ring.Preference(app, experiment)
-	r := s.ring.Replicas()
+	ring, backends := s.topo()
+	pref := ring.Preference(app, experiment)
+	r := ring.Replicas()
 
 	fanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -329,7 +548,7 @@ func (s *ShardedStore) GetTrialContext(ctx context.Context, app, experiment, tri
 	results := make(chan res, r)
 	for _, peer := range pref[:r] {
 		go func(peer string) {
-			t, err := s.backends[peer].GetTrialContext(fanCtx, app, experiment, trial)
+			t, err := backends[peer].GetTrialContext(fanCtx, app, experiment, trial)
 			results <- res{peer: peer, t: t, err: err}
 		}(peer)
 	}
@@ -354,7 +573,7 @@ func (s *ShardedStore) GetTrialContext(ctx context.Context, app, experiment, tri
 	}
 	// Every owner failed: fall back to the remaining peers in ring order.
 	for _, peer := range pref[r:] {
-		t, err := s.backends[peer].GetTrialContext(ctx, app, experiment, trial)
+		t, err := backends[peer].GetTrialContext(ctx, app, experiment, trial)
 		if err == nil {
 			s.readFallbacks.Inc()
 			return t, nil
@@ -388,12 +607,13 @@ func (s *ShardedStore) Delete(app, experiment, trial string) error {
 // idempotent.
 func (s *ShardedStore) DeleteContext(ctx context.Context, app, experiment, trial string) error {
 	s.deletes.Inc()
-	peers := s.ring.Peers()
+	ring, backends := s.topo()
+	peers := ring.Peers()
 	errs := make([]error, len(peers))
 	done := make(chan int, len(peers))
 	for i, peer := range peers {
 		go func(i int, peer string) {
-			if err := s.backends[peer].DeleteContext(ctx, app, experiment, trial); err != nil {
+			if err := backends[peer].DeleteContext(ctx, app, experiment, trial); err != nil {
 				errs[i] = fmt.Errorf("%s: %w", peer, err)
 			}
 			done <- i
@@ -423,7 +643,8 @@ func (s *ShardedStore) DeleteContext(ctx context.Context, app, experiment, trial
 // degraded-but-correct listing as long as no more than R-1 peers are
 // down. Partial results are surfaced as "cluster.partial_listing" events.
 func (s *ShardedStore) fanListing(ctx context.Context, what string, list func(Backend) ([]string, error)) ([]string, error) {
-	peers := s.ring.Peers()
+	ring, backends := s.topo()
+	peers := ring.Peers()
 	type res struct {
 		peer  string
 		names []string
@@ -432,7 +653,7 @@ func (s *ShardedStore) fanListing(ctx context.Context, what string, list func(Ba
 	results := make(chan res, len(peers))
 	for _, peer := range peers {
 		go func(peer string) {
-			names, err := list(s.backends[peer])
+			names, err := list(backends[peer])
 			results <- res{peer: peer, names: names, err: err}
 		}(peer)
 	}

@@ -215,6 +215,12 @@ type reqMeta struct {
 	// idempotent marks the request as safe to repeat. Non-idempotent
 	// requests get exactly one attempt.
 	idempotent bool
+	// contentType overrides the body media type (default application/json)
+	// for the checksummed wire payloads (ring, membership).
+	contentType string
+	// hintFor, when set, is sent as the Dmf-Hint-For header: "this write
+	// belongs to that peer too — keep a durable hint and replay it there".
+	hintFor string
 }
 
 // do issues the request with retries and decodes the JSON response into
@@ -283,7 +289,14 @@ func (c *Client) attempt(ctx context.Context, method, path string, query url.Val
 		return fmt.Errorf("dmfclient: build request: %w", err), false, 0
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		ct := meta.contentType
+		if ct == "" {
+			ct = "application/json"
+		}
+		req.Header.Set("Content-Type", ct)
+	}
+	if meta.hintFor != "" {
+		req.Header.Set(dmfwire.HeaderHintFor, meta.hintFor)
 	}
 	if meta.idemKey != "" {
 		req.Header.Set(dmfwire.HeaderIdempotencyKey, meta.idemKey)

@@ -2,13 +2,15 @@ package dmfclient
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 
 	"perfknow/internal/dmfwire"
+	"perfknow/internal/perfdmf"
 )
 
-// ClusterRing fetches the ring descriptor this daemon was started with
+// ClusterRing fetches the ring descriptor this daemon currently holds
 // (GET /api/v1/cluster). Cluster-routing clients cross-check it against
 // their own descriptor before trusting placement (see
 // cluster.ShardedStore.VerifyRing). A daemon running standalone answers
@@ -24,4 +26,80 @@ func (c *Client) ClusterRing(ctx context.Context) (*dmfwire.Ring, error) {
 		return nil, fmt.Errorf("dmfclient: GET /api/v1/cluster: %w", err)
 	}
 	return &r, nil
+}
+
+// AnnounceRing posts a new ring descriptor to this daemon
+// (POST /api/v1/cluster). The daemon adopts it if the epoch is newer than
+// what it holds, and gossip spreads it to every other member from there —
+// this is how an operator announces an epoch bump to ONE seed and lets the
+// cluster converge without restarts. Returns whether this daemon adopted
+// the descriptor (false means it already held that epoch or newer).
+func (c *Client) AnnounceRing(ctx context.Context, desc dmfwire.Ring) (bool, error) {
+	data, err := dmfwire.EncodeRing(desc.Canonical())
+	if err != nil {
+		return false, err
+	}
+	var resp dmfwire.AnnounceResponse
+	err = c.doCtx(ctx, http.MethodPost, "/api/v1/cluster", nil, data,
+		reqMeta{idempotent: true, contentType: dmfwire.RingContentType}, &resp)
+	if err != nil {
+		return false, err
+	}
+	return resp.Adopted, nil
+}
+
+// Gossip performs one membership exchange (POST /api/v1/cluster/gossip):
+// send our view, receive the peer's merged view. A completed exchange is a
+// successful liveness probe, so the request gets exactly one attempt — the
+// caller's probe loop is the retry policy, and client-level retries would
+// only blur failure detection latency.
+func (c *Client) Gossip(ctx context.Context, m dmfwire.Membership) (*dmfwire.Membership, error) {
+	data, err := dmfwire.EncodeMembership(m)
+	if err != nil {
+		return nil, err
+	}
+	var raw []byte
+	err = c.doCtx(ctx, http.MethodPost, "/api/v1/cluster/gossip", nil, data,
+		reqMeta{contentType: dmfwire.MembershipContentType}, &raw)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := dmfwire.DecodeMembership(raw)
+	if err != nil {
+		return nil, fmt.Errorf("dmfclient: POST /api/v1/cluster/gossip: %w", err)
+	}
+	return &reply, nil
+}
+
+// ClusterGossipView fetches the operator-facing membership view
+// (GET /api/v1/cluster/gossip): per-peer incarnations and states, the
+// current epoch, and the pending-hint backlog.
+func (c *Client) ClusterGossipView(ctx context.Context) (*dmfwire.GossipView, error) {
+	var gv dmfwire.GossipView
+	if err := c.doCtx(ctx, http.MethodGet, "/api/v1/cluster/gossip", nil, nil, reqMeta{idempotent: true}, &gv); err != nil {
+		return nil, err
+	}
+	return &gv, nil
+}
+
+// SaveHintedContext stores a trial on this daemon AND asks it to keep a
+// durable hint that owner should have received the write: the daemon's
+// handoff loop replays the trial to owner once it is alive again. Used by
+// the cluster router when a replica owner is down (see
+// cluster.HintedBackend).
+func (c *Client) SaveHintedContext(ctx context.Context, t *perfdmf.Trial, owner string) error {
+	data, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("dmfclient: encode trial: %w", err)
+	}
+	return c.doCtx(ctx, http.MethodPost, "/api/v1/trials", nil, data,
+		reqMeta{idemKey: c.nextIdempotencyKey(), idempotent: true, hintFor: owner}, nil)
+}
+
+// SaveTrialJSON replays a raw trial-JSON body (the payload of a stored
+// hint) to this daemon. The bytes are posted verbatim so a hint written by
+// one version replays unchanged by another.
+func (c *Client) SaveTrialJSON(ctx context.Context, body []byte) error {
+	return c.doCtx(ctx, http.MethodPost, "/api/v1/trials", nil, body,
+		reqMeta{idemKey: c.nextIdempotencyKey(), idempotent: true}, nil)
 }

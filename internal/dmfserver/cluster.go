@@ -1,0 +1,103 @@
+package dmfserver
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"perfknow/internal/dmfwire"
+)
+
+// ClusterNode is what the server needs from the daemon's cluster agent
+// (cluster.Agent satisfies it). The indirection matters: dmfserver must
+// not import internal/cluster — the cluster package's tests stand up real
+// servers, so the import runs the other way.
+type ClusterNode interface {
+	// Ring is the descriptor the member currently holds; it changes at
+	// runtime as epoch bumps arrive via gossip or announce.
+	Ring() dmfwire.Ring
+	// HandleGossip merges an incoming membership exchange and returns the
+	// member's own (possibly updated) view as the reply.
+	HandleGossip(m dmfwire.Membership) dmfwire.Membership
+	// GossipView renders the operator/CI JSON view of the membership.
+	GossipView() dmfwire.GossipView
+	// AnnounceRing offers an operator-posted descriptor; adopted reports
+	// whether it was newer than what the member held.
+	AnnounceRing(desc dmfwire.Ring) (adopted bool, err error)
+	// AcceptHint durably stores a hinted-handoff record for later replay.
+	AcceptHint(h dmfwire.Hint) error
+}
+
+// maxGossipBody bounds gossip and announce payloads — membership messages
+// are a few lines per peer, so 1 MiB is generous.
+const maxGossipBody = 1 << 20
+
+// handleGossipPost is the server half of the membership exchange: decode
+// the caller's view, merge it, answer with ours. The checksummed wire form
+// is used in both directions.
+func (s *Server) handleGossipPost(w http.ResponseWriter, r *http.Request) {
+	if s.node == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("this daemon is not a cluster member"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxGossipBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read gossip body: %w", err))
+		return
+	}
+	m, err := dmfwire.DecodeMembership(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	reply := s.node.HandleGossip(m)
+	data, err := dmfwire.EncodeMembership(reply)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("encode gossip reply: %w", err))
+		return
+	}
+	w.Header().Set("Content-Type", dmfwire.MembershipContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleGossipGet serves the JSON membership view — what operators (and
+// the CI smoke test) poll to watch suspect→dead convergence and the
+// pending-hint backlog drain.
+func (s *Server) handleGossipGet(w http.ResponseWriter, r *http.Request) {
+	if s.node == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("this daemon is not a cluster member"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.node.GossipView())
+}
+
+// handleAnnounce accepts an operator-posted ring descriptor
+// (POST /api/v1/cluster). Adopting is idempotent — re-posting an epoch the
+// member already holds answers adopted=false — and gossip propagates an
+// adopted descriptor to the rest of the cluster.
+func (s *Server) handleAnnounce(w http.ResponseWriter, r *http.Request) {
+	if s.node == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("this daemon is not a cluster member"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxGossipBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read ring body: %w", err))
+		return
+	}
+	desc, err := dmfwire.DecodeRing(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	adopted, err := s.node.AnnounceRing(desc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dmfwire.AnnounceResponse{
+		Adopted: adopted,
+		Epoch:   s.node.Ring().Epoch,
+	})
+}

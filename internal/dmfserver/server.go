@@ -152,8 +152,17 @@ type Config struct {
 	// cluster.ShardedStore.VerifyRing), and the ring identity gauges
 	// (cluster_ring_epoch/peers/replicas/vnodes) are published so
 	// operators can assert every peer runs one epoch. Nil means
-	// standalone; the endpoint answers 404.
+	// standalone; the endpoint answers 404. When Node is also set, the
+	// node's live descriptor wins and Ring is only the starting point.
 	Ring *dmfwire.Ring
+	// Node, when non-nil, makes this daemon an ACTIVE cluster member
+	// backed by a gossip agent (cluster.Agent): GET /api/v1/cluster serves
+	// the node's live descriptor (epoch bumps take effect without
+	// restarts), POST /api/v1/cluster accepts operator ring announces,
+	// POST/GET /api/v1/cluster/gossip carry the membership exchange and
+	// the operator view, and uploads with a Dmf-Hint-For header leave a
+	// durable handoff hint for the named peer.
+	Node ClusterNode
 }
 
 // Server is the perfdmfd HTTP service.
@@ -196,9 +205,11 @@ type Server struct {
 	streamAlerts  *obs.Counter
 
 	// ring is the canonical cluster descriptor (nil when standalone);
-	// ringBytes is its wire encoding, fixed at startup.
+	// ringBytes is its wire encoding, fixed at startup. When node is set
+	// the live descriptor it holds takes precedence over both.
 	ring      *dmfwire.Ring
 	ringBytes []byte
+	node      ClusterNode
 }
 
 // New builds a Server. When cfg.RulesDir is empty the built-in knowledge
@@ -291,6 +302,7 @@ func New(cfg Config) (*Server, error) {
 		streamChunks:  reg.Counter("stream_chunks_total"),
 		streamAlerts:  reg.Counter("stream_alerts_total"),
 	}
+	s.node = cfg.Node
 	if cfg.Ring != nil {
 		canon := cfg.Ring.Canonical()
 		data, err := dmfwire.EncodeRing(canon)
@@ -337,12 +349,22 @@ func (s *Server) registerGauges() {
 	// store_fsync_errors counters and the store_readonly gauge.
 	s.repo.Instrument(s.reg)
 	parallel.RegisterMetrics(s.reg)
-	if s.ring != nil {
+	switch {
+	case s.node != nil:
+		// Live values from the gossip agent: an epoch bump adopted at
+		// runtime shows up on the next metrics scrape.
+		s.reg.GaugeFunc("cluster_ring_epoch", func() float64 { return float64(s.node.Ring().Epoch) })
+		s.reg.GaugeFunc("cluster_ring_peers", func() float64 { return float64(len(s.node.Ring().Peers)) })
+		s.reg.GaugeFunc("cluster_ring_replicas", func() float64 { return float64(s.node.Ring().Replicas) })
+		s.reg.GaugeFunc("cluster_ring_vnodes", func() float64 { return float64(s.node.Ring().VNodes) })
+		s.reg.GaugeFunc("cluster_ring_version", func() float64 { return float64(s.node.Ring().PlacementVersion()) })
+	case s.ring != nil:
 		ring := *s.ring
 		s.reg.GaugeFunc("cluster_ring_epoch", func() float64 { return float64(ring.Epoch) })
 		s.reg.GaugeFunc("cluster_ring_peers", func() float64 { return float64(len(ring.Peers)) })
 		s.reg.GaugeFunc("cluster_ring_replicas", func() float64 { return float64(ring.Replicas) })
 		s.reg.GaugeFunc("cluster_ring_vnodes", func() float64 { return float64(ring.VNodes) })
+		s.reg.GaugeFunc("cluster_ring_version", func() float64 { return float64(ring.PlacementVersion()) })
 	}
 }
 
@@ -404,6 +426,11 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /api/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /api/v1/diagnose", s.handleDiagnose)
 	mux.HandleFunc("GET /api/v1/cluster", s.handleCluster)
+	// Self-healing cluster (cluster.go): operator ring announce plus the
+	// gossip exchange and its JSON operator view.
+	mux.HandleFunc("POST /api/v1/cluster", s.handleAnnounce)
+	mux.HandleFunc("POST /api/v1/cluster/gossip", s.handleGossipPost)
+	mux.HandleFunc("GET /api/v1/cluster/gossip", s.handleGossipGet)
 	// Resource-style hierarchy routes (resources.go); the query-param
 	// GET/DELETE /api/v1/trial twins above answer with Deprecation headers.
 	mux.HandleFunc("GET /api/v1/apps", s.handleApplications)
@@ -422,19 +449,31 @@ func (s *Server) routes() {
 	s.mux = mux
 }
 
-// handleCluster serves the ring descriptor this daemon was started with,
+// handleCluster serves the ring descriptor this daemon currently holds,
 // in its checksummed wire form (the payload carries its own CRC, so no
-// JSON envelope). Standalone daemons answer 404: "not a cluster member"
-// and "trial not found" deliberately share the sentinel, letting
-// cluster clients probe membership with plain error handling.
+// JSON envelope). A gossiping member serves its node's LIVE descriptor —
+// after an epoch bump propagates, every member answers with the new ring
+// without restarting; a static member serves the startup descriptor.
+// Standalone daemons answer 404: "not a cluster member" and "trial not
+// found" deliberately share the sentinel, letting cluster clients probe
+// membership with plain error handling.
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
-	if s.ringBytes == nil {
+	data := s.ringBytes
+	if s.node != nil {
+		d, err := dmfwire.EncodeRing(s.node.Ring())
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("encode ring: %w", err))
+			return
+		}
+		data = d
+	}
+	if data == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("this daemon is not a cluster member"))
 		return
 	}
 	w.Header().Set("Content-Type", dmfwire.RingContentType)
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(s.ringBytes)
+	_, _ = w.Write(data)
 }
 
 // --- plumbing ---------------------------------------------------------
@@ -707,6 +746,14 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 				return nil
 			}
 		}
+		// A hinted write asks this daemon to keep a durable IOU for a
+		// peer that could not take the write itself; only gossiping
+		// members can honor that, so refuse up front rather than
+		// silently dropping the hint.
+		hintFor := r.Header.Get(dmfwire.HeaderHintFor)
+		if hintFor != "" && s.node == nil {
+			return fmt.Errorf("hinted write for %s: this daemon is not a cluster member", hintFor)
+		}
 		var t *perfdmf.Trial
 		switch format := r.URL.Query().Get("format"); format {
 		case "", "json":
@@ -759,6 +806,20 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := s.repo.SaveContext(ctx, t); err != nil {
 			return err
+		}
+		if hintFor != "" {
+			// The local copy is safe; now record the IOU. Re-encoding
+			// the parsed trial (rather than echoing the request body)
+			// makes hints uniform across upload formats — a gprof or TAU
+			// hinted upload replays as plain trial JSON.
+			data, err := json.Marshal(t)
+			if err != nil {
+				return fmt.Errorf("hinted write for %s: encode trial: %w", hintFor, err)
+			}
+			hint := dmfwire.Hint{Owner: hintFor, App: t.App, Experiment: t.Experiment, Trial: t.Name, Body: data}
+			if err := s.node.AcceptHint(hint); err != nil {
+				return fmt.Errorf("hinted write for %s: %w", hintFor, err)
+			}
 		}
 		s.uploadsStored.Inc()
 		body := encodeJSON(UploadSummary{

@@ -1,0 +1,139 @@
+package dmfwire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testHint() Hint {
+	return Hint{
+		Owner:      "http://host3:7360",
+		App:        "lu",
+		Experiment: "strong scaling", // space exercises the escaping
+		Trial:      "t1",
+		Body:       []byte(`{"application":"lu","experiment":"strong scaling","name":"t1"}`),
+	}
+}
+
+func TestHintEncodeDecodeRoundTrip(t *testing.T) {
+	data, err := EncodeHint(testHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte(HintMagic+" ")) {
+		t.Fatalf("encoding does not open with the magic: %q", data)
+	}
+	if !bytes.Contains(data, []byte("experiment=strong+scaling")) {
+		t.Fatalf("coordinate not escaped in header: %q", data)
+	}
+	back, err := DecodeHint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := testHint()
+	if back.Owner != h.Owner || back.App != h.App || back.Experiment != h.Experiment || back.Trial != h.Trial {
+		t.Fatalf("coordinates did not round-trip: %+v", back)
+	}
+	if !bytes.Equal(back.Body, h.Body) {
+		t.Fatalf("body did not round-trip: %q", back.Body)
+	}
+	again, err := EncodeHint(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encoding drifted:\n%s\nvs\n%s", data, again)
+	}
+}
+
+func TestHintBodyMayContainNewlines(t *testing.T) {
+	h := testHint()
+	h.Body = []byte("{\n \"application\": \"lu\"\n}\n")
+	data, err := EncodeHint(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeHint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Body, h.Body) {
+		t.Fatalf("multi-line body did not round-trip: %q", back.Body)
+	}
+}
+
+func TestHintValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Hint)
+	}{
+		{"empty owner", func(h *Hint) { h.Owner = "" }},
+		{"whitespace owner", func(h *Hint) { h.Owner = "http://a b" }},
+		{"empty app", func(h *Hint) { h.App = "" }},
+		{"empty experiment", func(h *Hint) { h.Experiment = "" }},
+		{"empty trial", func(h *Hint) { h.Trial = "" }},
+		{"empty body", func(h *Hint) { h.Body = nil }},
+		{"huge body", func(h *Hint) { h.Body = make([]byte, MaxHintBody+1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := testHint()
+			tc.mutate(&h)
+			if err := h.Validate(); !errors.Is(err, ErrHint) {
+				t.Fatalf("Validate = %v, want ErrHint", err)
+			}
+			if _, err := EncodeHint(h); err == nil {
+				t.Fatal("EncodeHint accepted an invalid record")
+			}
+		})
+	}
+}
+
+func TestHintDecodeRejects(t *testing.T) {
+	valid, err := EncodeHint(testHint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"no newline", []byte(HintMagic + " owner=http://a app=a experiment=e trial=t len=1 crc32c=00000000")},
+		{"bad magic", bytes.Replace(valid, []byte(HintMagic), []byte("%DMFHINT9"), 1)},
+		{"truncated body", valid[:len(valid)-3]},
+		{"bad crc", bytes.Replace(valid, []byte(`"lu"`), []byte(`"xx"`), 1)},
+		{"lying length", bytes.Replace(valid, []byte("len=6"), []byte("len=9"), 1)},
+		{"huge declared length", []byte(HintMagic + " owner=http://a app=a experiment=e trial=t len=999999999999 crc32c=00000000\n")},
+		{"non-canonical escape", nonCanonicalHint(t)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeHint(tc.data); !errors.Is(err, ErrHint) {
+				t.Fatalf("DecodeHint = %v, want ErrHint", err)
+			}
+		})
+	}
+}
+
+// nonCanonicalHint re-escapes a coordinate with an equivalent but
+// non-canonical form (%41 for 'A') and re-stamps the CRC, so only the
+// canonical-escaping check can reject it. Accepting it would break the
+// decode→encode byte-identity the fuzz target (and dedup keys) rely on.
+func nonCanonicalHint(t *testing.T) []byte {
+	t.Helper()
+	h := testHint()
+	h.App = "A"
+	valid, err := EncodeHint(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Replace(valid, []byte("app=A"), []byte("app=%41"), 1)
+	head, rest, _ := bytes.Cut(data, []byte{'\n'})
+	toks := strings.Split(string(head), " ")
+	payload := append([]byte(strings.Join(toks[1:6], " ")+"\n"), rest...)
+	toks[6] = "crc32c=" + crcHex(payload)
+	return append([]byte(strings.Join(toks, " ")+"\n"), rest...)
+}

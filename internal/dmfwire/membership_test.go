@@ -1,0 +1,157 @@
+package dmfwire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testMembership() Membership {
+	ring := testRing().Canonical()
+	return Membership{
+		From: "http://host1:7360",
+		Ring: ring,
+		Peers: []PeerStatus{
+			{Peer: "http://host1:7360", Incarnation: 4, State: StateAlive},
+			{Peer: "http://host2:7360", Incarnation: 2, State: StateSuspect},
+			{Peer: "http://host3:7360", Incarnation: 1, State: StateDead},
+		},
+	}
+}
+
+func TestMembershipEncodeDecodeRoundTrip(t *testing.T) {
+	data, err := EncodeMembership(testMembership())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte(MembershipMagic+" ")) {
+		t.Fatalf("encoding does not open with the magic: %q", data)
+	}
+	back, err := DecodeMembership(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.From != "http://host1:7360" {
+		t.Fatalf("from = %q", back.From)
+	}
+	if back.Ring.Epoch != 3 || len(back.Ring.Peers) != 3 {
+		t.Fatalf("ring did not round-trip: %+v", back.Ring)
+	}
+	if len(back.Peers) != 3 || back.Peers[1].State != StateSuspect || back.Peers[1].Incarnation != 2 {
+		t.Fatalf("view did not round-trip: %+v", back.Peers)
+	}
+	again, err := EncodeMembership(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encoding drifted:\n%s\nvs\n%s", data, again)
+	}
+}
+
+func TestMembershipEncodeSortsView(t *testing.T) {
+	m := testMembership()
+	m.Peers[0], m.Peers[2] = m.Peers[2], m.Peers[0] // out of order
+	data, err := EncodeMembership(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeMembership(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Peers[0].Peer != "http://host1:7360" || back.Peers[0].Incarnation != 4 {
+		t.Fatalf("view not canonicalized: %+v", back.Peers)
+	}
+}
+
+func TestMembershipValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Membership)
+	}{
+		{"empty from", func(m *Membership) { m.From = "" }},
+		{"whitespace from", func(m *Membership) { m.From = "http://a b" }},
+		{"bad ring", func(m *Membership) { m.Ring.Epoch = 0 }},
+		{"missing entry", func(m *Membership) { m.Peers = m.Peers[:2] }},
+		{"extra entry", func(m *Membership) {
+			m.Peers = append(m.Peers, PeerStatus{Peer: "http://host9:7360", State: StateAlive})
+		}},
+		{"entry for non-peer", func(m *Membership) { m.Peers[1].Peer = "http://host9:7360" }},
+		{"unknown state", func(m *Membership) { m.Peers[0].State = "zombie" }},
+		{"empty state", func(m *Membership) { m.Peers[0].State = "" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := testMembership()
+			tc.mutate(&m)
+			if err := m.Validate(); !errors.Is(err, ErrMembership) {
+				t.Fatalf("Validate = %v, want ErrMembership", err)
+			}
+			if _, err := EncodeMembership(m); err == nil {
+				t.Fatal("EncodeMembership accepted an invalid message")
+			}
+		})
+	}
+}
+
+func TestMembershipDecodeRejects(t *testing.T) {
+	valid, err := EncodeMembership(testMembership())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"no newline", []byte(MembershipMagic + " from=http://a peers=0 crc32c=00000000")},
+		{"bad magic", bytes.Replace(valid, []byte(MembershipMagic), []byte("%DMFMEM9"), 1)},
+		{"truncated", valid[:len(valid)-2]},
+		{"bad crc", bytes.Replace(valid, []byte("inc=4"), []byte("inc=5"), 1)},
+		{"huge view", []byte(MembershipMagic + " from=http://a peers=999999 crc32c=00000000\n")},
+		{"conflicting incarnations", conflictingIncarnations(t)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeMembership(tc.data); !errors.Is(err, ErrMembership) {
+				t.Fatalf("DecodeMembership = %v, want ErrMembership", err)
+			}
+		})
+	}
+}
+
+// conflictingIncarnations hand-builds a message whose view lists the same
+// peer twice with different incarnations (and drops another peer to keep
+// the count right). The decoder must reject it: a view is one entry per
+// ring peer, exactly.
+func conflictingIncarnations(t *testing.T) []byte {
+	t.Helper()
+	valid, err := EncodeMembership(testMembership())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(valid), "\n")
+	// Replace host2's entry with a second, conflicting host1 entry.
+	lines[2] = "http://host1:7360 inc=9 state=dead\n"
+	data := []byte(strings.Join(lines, ""))
+	// Re-stamp the outer CRC so only the duplicate-entry check can reject it.
+	head, rest, _ := bytes.Cut(data, []byte{'\n'})
+	toks := strings.Split(string(head), " ")
+	payload := append([]byte(toks[1]+" "+toks[2]+"\n"), rest...)
+	toks[3] = "crc32c=" + crcHex(payload)
+	return append([]byte(strings.Join(toks, " ")+"\n"), rest...)
+}
+
+func TestPeerStateWorse(t *testing.T) {
+	if !StateDead.Worse(StateSuspect) || !StateSuspect.Worse(StateAlive) || !StateDead.Worse(StateAlive) {
+		t.Fatal("state ordering broken: want dead > suspect > alive")
+	}
+	if StateAlive.Worse(StateAlive) || StateAlive.Worse(StateDead) {
+		t.Fatal("Worse is not strict")
+	}
+	if PeerState("zombie").Valid() || PeerState("").Valid() {
+		t.Fatal("invalid states reported valid")
+	}
+}

@@ -10,17 +10,28 @@ import (
 	"strings"
 )
 
-// The cluster membership protocol is deliberately static: a Ring descriptor
-// names the peer daemons, the replication factor, and the hash-ring
-// parameters, and an Epoch versions the whole assignment. Every daemon in a
-// cluster is started with the same descriptor (-peers/-replicas/...) and
-// serves it at GET /api/v1/cluster, so clients can cross-check that all
-// peers agree on one epoch before routing writes. Changing the membership
-// means bumping the epoch, restarting the daemons with the new descriptor,
-// and running a rebalance pass — no dynamic consensus.
+// A Ring descriptor names the peer daemons, the replication factor, and the
+// hash-ring parameters, and an Epoch versions the whole assignment. Every
+// daemon in a cluster is started with a descriptor (-peers/-replicas/...)
+// and serves its current one at GET /api/v1/cluster, so clients can
+// cross-check that all peers agree on one epoch before routing writes.
+// Placement is versioned but static per epoch — there is no consensus
+// protocol. What is dynamic is propagation: daemons gossip a Membership
+// message (see membership.go) that carries the newest descriptor along
+// with per-peer liveness, so an epoch bump announced to one seed reaches
+// every member and every connected client without restarts.
 
-// RingMagic opens the first line of an encoded ring descriptor.
+// RingMagic opens the first line of an encoded ring descriptor using the
+// original (v1) placement hash.
 const RingMagic = "%DMFRING1"
+
+// RingMagicV2 opens a descriptor whose placement hash is the v2 variant:
+// FNV-1a followed by a splitmix64-style finalizing mixer, which fixes the
+// weak avalanche of raw FNV on near-identical short names (see
+// cluster.NewRing). The header layout is otherwise identical to v1; the
+// magic alone selects the placement function, so the two versions can
+// never be confused for one another on the wire.
+const RingMagicV2 = "%DMFRING2"
 
 // RingContentType is the media type GET /api/v1/cluster answers with.
 const RingContentType = "application/x-dmfring"
@@ -44,6 +55,11 @@ var ErrRing = errors.New("malformed ring descriptor")
 // that versions this assignment. It is the body of GET /api/v1/cluster
 // (text-encoded, see EncodeRing) and the input to cluster.NewRing.
 type Ring struct {
+	// Version selects the placement hash: 0 or 1 is the original FNV-1a
+	// placement (%DMFRING1), 2 adds a finalizing mixer (%DMFRING2).
+	// Version is part of the placement contract exactly like Seed: every
+	// member and client of one cluster must agree on it.
+	Version int `json:"version,omitempty"`
 	// Epoch versions the membership; peers only cooperate when their
 	// epochs agree. Must be >= 1.
 	Epoch uint64 `json:"epoch"`
@@ -61,15 +77,36 @@ type Ring struct {
 	Peers []string `json:"peers"`
 }
 
-// Canonical returns a copy with the peer list sorted and deduplicated —
-// the form EncodeRing writes and DecodeRing requires, so that any two
-// processes given the same membership produce byte-identical descriptors.
+// Canonical returns a copy with the peer list sorted and deduplicated and
+// the version normalized (0 → 1) — the form EncodeRing writes and
+// DecodeRing requires, so that any two processes given the same membership
+// produce byte-identical descriptors.
 func (r Ring) Canonical() Ring {
 	peers := append([]string(nil), r.Peers...)
 	sort.Strings(peers)
 	peers = slicesCompact(peers)
 	r.Peers = peers
+	if r.Version == 0 {
+		r.Version = 1
+	}
 	return r
+}
+
+// PlacementVersion reports which placement hash the descriptor selects:
+// 1 (raw FNV-1a) unless Version is 2 (FNV-1a + finalizing mixer).
+func (r Ring) PlacementVersion() int {
+	if r.Version == 2 {
+		return 2
+	}
+	return 1
+}
+
+// magic returns the header magic for the descriptor's version.
+func (r Ring) magic() string {
+	if r.PlacementVersion() == 2 {
+		return RingMagicV2
+	}
+	return RingMagic
 }
 
 // slicesCompact removes adjacent duplicates from a sorted slice.
@@ -87,6 +124,9 @@ func slicesCompact(s []string) []string {
 func (r Ring) Validate() error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("dmfwire: %w: %s", ErrRing, fmt.Sprintf(format, args...))
+	}
+	if r.Version < 0 || r.Version > 2 {
+		return fail("version %d out of range [0, 2]", r.Version)
 	}
 	if r.Epoch < 1 {
 		return fail("epoch %d < 1", r.Epoch)
@@ -125,9 +165,16 @@ func (r Ring) Validate() error {
 var ringCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ringPayload is the checksummed portion of the encoding: the header fields
-// and the peer lines, without the magic or the checksum itself.
+// and the peer lines, without the magic or the checksum itself. The
+// placement version participates in the checksum (as a "version=2" prefix
+// for v2 descriptors; v1 keeps the original payload bytes for backward
+// compatibility), so editing the magic line alone cannot silently switch a
+// cluster's placement function.
 func ringPayload(r Ring) []byte {
 	var b bytes.Buffer
+	if r.PlacementVersion() == 2 {
+		b.WriteString("version=2 ")
+	}
 	fmt.Fprintf(&b, "epoch=%d replicas=%d vnodes=%d seed=%d peers=%d\n",
 		r.Epoch, r.Replicas, r.VNodes, r.Seed, len(r.Peers))
 	for _, p := range r.Peers {
@@ -157,7 +204,7 @@ func EncodeRing(r Ring) ([]byte, error) {
 	crc := crc32.Checksum(payload, ringCRCTable)
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "%s epoch=%d replicas=%d vnodes=%d seed=%d peers=%d crc32c=%08x\n",
-		RingMagic, r.Epoch, r.Replicas, r.VNodes, r.Seed, len(r.Peers), crc)
+		r.magic(), r.Epoch, r.Replicas, r.VNodes, r.Seed, len(r.Peers), crc)
 	for _, p := range r.Peers {
 		b.WriteString(p)
 		b.WriteByte('\n')
@@ -202,7 +249,12 @@ func DecodeRing(data []byte) (Ring, error) {
 	if len(toks) != 7 {
 		return r, fmt.Errorf("dmfwire: %w: header has %d fields, want 7", ErrRing, len(toks))
 	}
-	if toks[0] != RingMagic {
+	switch toks[0] {
+	case RingMagic:
+		r.Version = 1
+	case RingMagicV2:
+		r.Version = 2
+	default:
 		return r, fmt.Errorf("dmfwire: %w: bad magic %q", ErrRing, toks[0])
 	}
 	var err error

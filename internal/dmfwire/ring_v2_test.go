@@ -1,0 +1,94 @@
+package dmfwire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRingV2EncodeDecodeRoundTrip(t *testing.T) {
+	r := testRing()
+	r.Version = 2
+	data, err := EncodeRing(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte(RingMagicV2+" ")) {
+		t.Fatalf("v2 encoding does not open with %s: %q", RingMagicV2, data)
+	}
+	back, err := DecodeRing(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != 2 || back.PlacementVersion() != 2 {
+		t.Fatalf("version did not round-trip: %+v", back)
+	}
+	again, err := EncodeRing(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("v2 re-encoding drifted:\n%s\nvs\n%s", data, again)
+	}
+}
+
+// TestRingV1EncodingUnchanged pins the v1 bytes: adding the version field
+// must not perturb what existing clusters exchange, or a mixed-version
+// rolling restart would see spurious CRC mismatches.
+func TestRingV1EncodingUnchanged(t *testing.T) {
+	data, err := EncodeRing(Ring{
+		Epoch: 1, Replicas: 2, VNodes: 64, Seed: 0,
+		Peers: []string{"http://127.0.0.1:7461", "http://127.0.0.1:7462", "http://127.0.0.1:7463"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "%DMFRING1 epoch=1 replicas=2 vnodes=64 seed=0 peers=3 crc32c=34e6d2dc\n" +
+		"http://127.0.0.1:7461\nhttp://127.0.0.1:7462\nhttp://127.0.0.1:7463\n"
+	if string(data) != want {
+		t.Fatalf("v1 encoding drifted:\n%q\nwant\n%q", data, want)
+	}
+}
+
+// TestRingMagicSwapRejected: the placement version participates in the
+// CRC, so editing only the magic line cannot silently switch a cluster
+// from v1 to v2 placement (which would reshuffle every key).
+func TestRingMagicSwapRejected(t *testing.T) {
+	v1, err := EncodeRing(testRing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := bytes.Replace(v1, []byte(RingMagic), []byte(RingMagicV2), 1)
+	if _, err := DecodeRing(swapped); !errors.Is(err, ErrRing) {
+		t.Fatalf("v1→v2 magic swap decoded without error: %v", err)
+	}
+
+	r := testRing()
+	r.Version = 2
+	v2, err := EncodeRing(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped = bytes.Replace(v2, []byte(RingMagicV2), []byte(RingMagic), 1)
+	if _, err := DecodeRing(swapped); !errors.Is(err, ErrRing) {
+		t.Fatalf("v2→v1 magic swap decoded without error: %v", err)
+	}
+}
+
+func TestRingVersionValidate(t *testing.T) {
+	r := testRing()
+	r.Version = 3
+	if err := r.Validate(); !errors.Is(err, ErrRing) {
+		t.Fatalf("version 3 accepted: %v", err)
+	}
+	r.Version = -1
+	if err := r.Validate(); !errors.Is(err, ErrRing) {
+		t.Fatalf("version -1 accepted: %v", err)
+	}
+	if testRing().PlacementVersion() != 1 {
+		t.Fatal("zero version must mean v1 placement")
+	}
+	if got := (Ring{}).Canonical().Version; got != 1 {
+		t.Fatalf("Canonical did not normalize version: %d", got)
+	}
+}

@@ -98,17 +98,31 @@ type (
 	// RemoteOption customizes a RemoteRepository (retry policy, timeouts,
 	// transport).
 	RemoteOption = dmfclient.Option
-	// ClusterRing is the static membership descriptor of a sharded
-	// perfdmfd cluster: peers, replication factor, virtual nodes,
-	// placement seed and epoch. Every member and every routing client
-	// must share one descriptor.
+	// ClusterRing is the membership descriptor of a sharded perfdmfd
+	// cluster: peers, replication factor, virtual nodes, placement seed,
+	// placement version and epoch. Every member and every routing client
+	// must share one descriptor per epoch; a newer epoch announced to any
+	// gossiping member propagates cluster-wide.
 	ClusterRing = dmfwire.Ring
 	// ClusterStore routes Store operations across a perfdmfd cluster —
-	// replicated writes, fan-out reads, union listings — so sessions run
-	// against a cluster unchanged. See DialCluster.
+	// replicated writes with hinted handoff, fan-out reads, union
+	// listings — so sessions run against a cluster unchanged. See
+	// DialCluster.
 	ClusterStore = cluster.ShardedStore
 	// ClusterOption customizes a ClusterStore (shared registry, tracer).
 	ClusterOption = cluster.Option
+	// ClusterAgent is the daemon-side self-healing loop: gossip
+	// membership with failure detection, hinted-handoff replay, and
+	// leader-driven anti-entropy repair. perfdmfd runs one per member.
+	ClusterAgent = cluster.Agent
+	// ClusterAgentConfig configures a ClusterAgent.
+	ClusterAgentConfig = cluster.AgentConfig
+	// ClusterMembership is the gossip exchange message: per-peer
+	// incarnations and liveness states plus the sender's ring.
+	ClusterMembership = dmfwire.Membership
+	// ClusterGossipView is the operator-facing JSON view of one member's
+	// membership state (GET /api/v1/cluster/gossip).
+	ClusterGossipView = dmfwire.GossipView
 	// RepairReport summarizes one anti-entropy Rebalance pass.
 	RepairReport = dmfwire.RepairReport
 	// StreamInfo describes one streaming upload: coordinates, analysis
